@@ -1,0 +1,38 @@
+# Standard developer entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover repro repro-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the end-to-end tests that shell out to `go run` and the soak
+# test; useful on slow machines.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -20
+
+# Regenerate every paper artifact quickly (sanity) or at the recorded
+# protocol scale.
+repro:
+	$(GO) run ./cmd/xgftpaper -exp all -scale quick -out results-quick
+
+repro-full:
+	$(GO) run ./cmd/xgftpaper -exp all -scale paper -out results
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,264 @@
+package xgftsim_test
+
+// One benchmark per table and figure of the paper plus the ablations
+// in DESIGN.md, and micro-benchmarks for the hot paths. The artifact
+// benchmarks regenerate their experiment at quick scale per iteration
+// and report the headline number as a custom metric, so
+//
+//	go test -bench=Fig4a -benchtime=1x
+//
+// reproduces one artifact, and `go test -bench=. -benchmem` sweeps
+// everything.
+
+import (
+	"math/rand"
+	"testing"
+
+	"xgftsim"
+	"xgftsim/internal/core"
+	"xgftsim/internal/experiments"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/lid"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// benchScale is QuickScale further trimmed so a full -bench=. sweep
+// stays in benchmark territory.
+func benchScale() experiments.Scale {
+	sc := experiments.QuickScale()
+	sc.Sampling = stats.AdaptiveConfig{InitialSamples: 30, MaxSamples: 60, RelPrecision: 0.05}
+	sc.FlitWarmup = 1500
+	sc.FlitMeasure = 4000
+	sc.Loads = []float64{0.4, 0.6, 0.8, 1.0}
+	return sc
+}
+
+// lastColumnMean extracts a representative headline value (final row,
+// final column — the strongest multi-path configuration).
+func lastColumnMean(t *experiments.Table) float64 {
+	row := t.Cells[len(t.Cells)-1]
+	return row[len(row)-1].Mean
+}
+
+func benchFig4(b *testing.B, panel string, ks []int) {
+	topo, err := experiments.Fig4Panel(panel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Fig4Ks(topo, ks, sc, 2012)
+		b.ReportMetric(lastColumnMean(tbl), "maxload@Kmax")
+	}
+}
+
+// BenchmarkFig4a regenerates Figure 4(a): XGFT(2;8,16;1,8).
+func BenchmarkFig4a(b *testing.B) { benchFig4(b, "a", []int{1, 2, 4, 8}) }
+
+// BenchmarkFig4b regenerates Figure 4(b): XGFT(3;8,8,16;1,8,8).
+func BenchmarkFig4b(b *testing.B) { benchFig4(b, "b", []int{1, 4, 16, 64}) }
+
+// BenchmarkFig4c regenerates Figure 4(c): XGFT(2;12,24;1,12).
+func BenchmarkFig4c(b *testing.B) { benchFig4(b, "c", []int{1, 3, 6, 12}) }
+
+// BenchmarkFig4d regenerates Figure 4(d): XGFT(3;12,12,24;1,12,12),
+// the TACC-Ranger-scale tree.
+func BenchmarkFig4d(b *testing.B) { benchFig4(b, "d", []int{1, 4, 16, 144}) }
+
+// BenchmarkTable1 regenerates Table 1: flit-level saturation
+// throughput on XGFT(3;4,4,8;1,4,4).
+func BenchmarkTable1(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table1(sc)
+		b.ReportMetric(lastColumnMean(tbl), "thr:disjoint@K=8")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: message delay vs offered load.
+func BenchmarkFig5(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Fig5(sc)
+		b.ReportMetric(tbl.Cells[0][0].Mean, "dmodk-delay@minload")
+	}
+}
+
+// BenchmarkTheorem1 verifies PERF(UMULTI)=1 over sampled demands.
+func BenchmarkTheorem1(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Theorem1(sc, 2012)
+		worst := 0.0
+		for _, row := range tbl.Cells {
+			if row[0].Mean > worst {
+				worst = row[0].Mean
+			}
+		}
+		b.ReportMetric(worst, "worstPERF")
+	}
+}
+
+// BenchmarkTheorem2 regenerates the adversarial worst-case table.
+func BenchmarkTheorem2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Theorem2()
+		b.ReportMetric(tbl.Cells[len(tbl.Cells)-1][0].Mean, "dmodkPERF")
+	}
+}
+
+// BenchmarkAblationTierBalance regenerates the per-tier load ablation
+// behind the disjoint heuristic's design.
+func BenchmarkAblationTierBalance(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.TierBalance(sc, 4, 2012)
+		// Tier 1-2 up: shift-1 (column 0) vs disjoint (column 2).
+		b.ReportMetric(tbl.Cells[1][0].Mean/tbl.Cells[1][2].Mean, "shift/disjoint@tier1")
+	}
+}
+
+// BenchmarkAblationLIDBudget regenerates the address-budget table.
+func BenchmarkAblationLIDBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.LIDBudget()
+		b.ReportMetric(float64(len(tbl.Cells)), "topologies")
+	}
+}
+
+// BenchmarkAblationDiversity regenerates the LFT effective-diversity
+// ablation.
+func BenchmarkAblationDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.EffectiveDiversity(4)
+		b.ReportMetric(tbl.Cells[1][1].Mean, "disjoint@NCA2")
+	}
+}
+
+// BenchmarkAblationWorkload regenerates the uniform-workload-reading
+// sensitivity study (DESIGN.md §5).
+func BenchmarkAblationWorkload(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.WorkloadSensitivity(sc)
+		b.ReportMetric(tbl.Cells[len(tbl.Cells)-1][0].Mean, "disjoint8-fixed")
+	}
+}
+
+// --- Micro-benchmarks for the hot paths -----------------------------
+
+func benchTopo() *topology.Topology {
+	return topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+}
+
+// BenchmarkPathSelection measures per-pair path-set computation.
+func BenchmarkPathSelection(b *testing.B) {
+	t := benchTopo()
+	n := t.NumProcessors()
+	rng := rand.New(rand.NewSource(1))
+	for _, sel := range []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}} {
+		b.Run(sel.Name(), func(b *testing.B) {
+			buf := make([]int, 0, 16)
+			for i := 0; i < b.N; i++ {
+				src := i % n
+				dst := (i*31 + 7) % n
+				if src == dst {
+					dst = (dst + 1) % n
+				}
+				buf = sel.Select(t, src, dst, 4, rng, buf[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkPathLinks measures link realization of one path.
+func BenchmarkPathLinks(b *testing.B) {
+	t := benchTopo()
+	n := t.NumProcessors()
+	buf := make([]topology.LinkID, 0, 8)
+	for i := 0; i < b.N; i++ {
+		src := i % n
+		dst := (i*31 + 7) % n
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		buf = core.PathLinksForIndex(t, src, dst, i%t.NumPathsBetween(src, dst), buf[:0])
+	}
+}
+
+// BenchmarkFlowEvaluator measures a full permutation load evaluation.
+func BenchmarkFlowEvaluator(b *testing.B) {
+	t := benchTopo()
+	ev := flow.NewEvaluator(core.NewRouting(t, core.Disjoint{}, 4, 0))
+	tm := traffic.FromPermutation(traffic.RandomPermutation(t.NumProcessors(), rand.New(rand.NewSource(2))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.MaxLoad(tm)
+	}
+}
+
+// BenchmarkOptimalLoad measures the subtree-cut OLOAD computation.
+func BenchmarkOptimalLoad(b *testing.B) {
+	t := benchTopo()
+	tm := traffic.FromPermutation(traffic.RandomPermutation(t.NumProcessors(), rand.New(rand.NewSource(3))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = flow.OptimalLoad(t, tm)
+	}
+}
+
+// BenchmarkFlitEngine measures simulated cycles per second of the
+// flit-level simulator at a medium load.
+func BenchmarkFlitEngine(b *testing.B) {
+	t := benchTopo()
+	pattern := traffic.NewPermutationPattern("bench",
+		traffic.RandomDerangementish(t.NumProcessors(), rand.New(rand.NewSource(4))))
+	cfg := flit.Config{
+		Routing:       core.NewRouting(t, core.Disjoint{}, 4, 0),
+		Pattern:       pattern,
+		OfferedLoad:   0.6,
+		WarmupCycles:  500,
+		MeasureCycles: 2000,
+		Seed:          5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flit.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(2500*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkLFTBuild measures forwarding-table synthesis.
+func BenchmarkLFTBuild(b *testing.B) {
+	t := benchTopo()
+	plan, err := lid.NewPlan(t, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := lid.BuildFabric(plan, core.Disjoint{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade the examples use, keeping it
+// honest under load.
+func BenchmarkPublicAPI(b *testing.B) {
+	topo, err := xgftsim.MPortNTree(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xgftsim.NewRouting(topo, xgftsim.Disjoint{}, 2, 0)
+	tm := xgftsim.FromPermutation(xgftsim.ShiftPermutation(topo.NumProcessors(), 3))
+	ev := xgftsim.NewEvaluator(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.MaxLoad(tm)
+	}
+}

@@ -1,0 +1,123 @@
+// Command xgftflit runs the flit-level virtual cut-through simulator:
+// a single run at one offered load, or a load sweep reporting delay,
+// accepted throughput and the saturation point.
+//
+// Usage:
+//
+//	xgftflit -mport 8 -ntree 3 -scheme disjoint -k 8 -load 0.6
+//	xgftflit -mport 8 -ntree 3 -scheme d-mod-k -sweep
+//	xgftflit -xgft "2;8,16;1,8" -scheme shift-1 -k 2 -sweep -workload uniform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func main() {
+	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := flag.Int("ntree", 0, "tree height for -mport")
+	scheme := flag.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := flag.Int("k", 4, "path limit K")
+	load := flag.Float64("load", 0.5, "offered load in (0,1] for a single run")
+	sweep := flag.Bool("sweep", false, "sweep offered loads 0.05..1.00")
+	workload := flag.String("workload", "assignment", "assignment (fixed random src->dst map) | uniform (fresh destination per message) | shift")
+	arg := flag.Int("arg", 1, "workload argument (shift amount)")
+	flits := flag.Int("flits", 8, "flits per packet")
+	packets := flag.Int("packets", 4, "packets per message")
+	buf := flag.Int("buf", 4, "buffer capacity in packets per port")
+	warmup := flag.Int64("warmup", 10000, "warmup cycles")
+	measure := flag.Int64("measure", 30000, "measurement cycles")
+	seed := flag.Int64("seed", 2012, "simulation seed")
+	policy := flag.String("policy", "round-robin", "per-message path policy: round-robin | random")
+	adaptive := flag.Bool("adaptive", false, "use minimal adaptive routing instead of the oblivious scheme")
+	vcs := flag.Int("vcs", 1, "virtual channels per link (the paper uses 1)")
+	flag.Parse()
+
+	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := core.SelectorByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	pattern, err := buildPattern(t, *workload, *arg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pp := flit.RoundRobin
+	if *policy == "random" {
+		pp = flit.RandomPath
+	} else if *policy != "round-robin" {
+		fatal(fmt.Errorf("unknown path policy %q", *policy))
+	}
+	base := flit.Config{
+		Routing:           core.NewRouting(t, sel, *k, *seed),
+		Pattern:           pattern,
+		OfferedLoad:       *load,
+		FlitsPerPacket:    *flits,
+		PacketsPerMessage: *packets,
+		BufferPackets:     *buf,
+		WarmupCycles:      *warmup,
+		MeasureCycles:     *measure,
+		Seed:              *seed,
+		PathPolicy:        pp,
+		Adaptive:          *adaptive,
+		VirtualChannels:   *vcs,
+		DelayHistogram:    true,
+	}
+	fmt.Printf("%s, routing %s, workload %s, packet %d flits, message %d packets, buffers %d\n",
+		t, base.Routing, pattern.Name(), *flits, *packets, *buf)
+
+	if !*sweep {
+		res, err := flit.Run(base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("offered %.3f: accepted %.4f, delay %.1f cycles (p95 %.0f), %d/%d messages, saturated=%v\n",
+			res.OfferedLoad, res.Throughput, res.AvgDelay, res.P95Delay,
+			res.MsgsCompleted, res.MsgsGenerated, res.Saturated)
+		return
+	}
+	results, err := flit.Sweep(flit.SweepConfig{Base: base})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%8s %10s %12s %10s %10s\n", "load", "accepted", "delay(cyc)", "p95", "saturated")
+	for _, r := range results {
+		fmt.Printf("%8.2f %10.4f %12.1f %10.0f %10v\n",
+			r.OfferedLoad, r.Throughput, r.AvgDelay, r.P95Delay, r.Saturated)
+	}
+	fmt.Printf("max throughput %.4f, saturation at load %.2f\n",
+		flit.MaxThroughput(results), flit.SaturationLoad(results))
+}
+
+func buildPattern(t *topology.Topology, workload string, arg int, seed int64) (traffic.Pattern, error) {
+	n := t.NumProcessors()
+	switch workload {
+	case "assignment":
+		rng := stats.Stream(seed, 31)
+		return traffic.NewPermutationPattern("assignment", traffic.RandomDerangementish(n, rng)), nil
+	case "uniform":
+		return traffic.UniformPattern{N: n}, nil
+	case "shift":
+		return traffic.NewPermutationPattern("shift", traffic.ShiftPermutation(n, arg)), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgftflit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command xgftflow runs flow-level routing experiments: the maximum
+// link load, optimal load and performance ratio of a routing scheme on
+// a chosen traffic pattern, or the paper's average-permutation study.
+//
+// Usage:
+//
+//	xgftflow -mport 16 -ntree 2 -scheme disjoint -k 4                 # permutation study
+//	xgftflow -mport 8 -ntree 3 -scheme d-mod-k -pattern shift -arg 1  # one pattern
+//	xgftflow -xgft "2;8,64;1,8" -scheme d-mod-k -pattern adversarial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func main() {
+	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := flag.Int("ntree", 0, "tree height for -mport")
+	scheme := flag.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := flag.Int("k", 4, "path limit K")
+	pattern := flag.String("pattern", "permutations", "permutations | shift | bitcomp | bitrev | transpose | tornado | neighbor | butterfly | uniform | hotspot | adversarial | random")
+	arg := flag.Int("arg", 1, "pattern argument (shift amount, hotspot node)")
+	seed := flag.Int64("seed", 2012, "base seed")
+	samples := flag.Int("samples", 100, "initial samples for the permutation study")
+	maxSamples := flag.Int("max-samples", 12800, "sample cap for the permutation study")
+	precision := flag.Float64("precision", 0.01, "relative confidence-interval target")
+	flag.Parse()
+
+	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := core.SelectorByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s, routing %s\n", t, core.NewRouting(t, sel, *k, *seed))
+
+	if *pattern == "permutations" {
+		res := flow.Experiment{
+			Topo: t, Sel: sel, K: *k, PermSeed: *seed,
+			Sampling: stats.AdaptiveConfig{
+				InitialSamples: *samples, MaxSamples: *maxSamples, RelPrecision: *precision,
+			},
+		}.Run()
+		fmt.Printf("average max link load over %d permutations: %.4f ± %.4f (99%% CI, converged=%v)\n",
+			res.Acc.N(), res.Acc.Mean(), res.HalfWidth, res.Converged)
+		return
+	}
+
+	tm, err := buildMatrix(t, *pattern, *arg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	r := core.NewRouting(t, sel, *k, *seed)
+	ev := flow.NewEvaluator(r)
+	mload := ev.MaxLoad(tm)
+	oload := flow.OptimalLoad(t, tm)
+	fmt.Printf("pattern %s: %d flows, %.1f units\n", *pattern, tm.NumFlows(), tm.Total())
+	fmt.Printf("  MLOAD = %.4f  OLOAD = %.4f  PERF = %.4f\n", mload, oload, mload/oload)
+	for tier, pair := range ev.TierLoads() {
+		fmt.Printf("  tier %d-%d max load: up %.3f, down %.3f\n", tier, tier+1, pair[0], pair[1])
+	}
+}
+
+func buildMatrix(t *topology.Topology, pattern string, arg int, seed int64) (*traffic.Matrix, error) {
+	n := t.NumProcessors()
+	switch pattern {
+	case "shift":
+		return traffic.FromPermutation(traffic.ShiftPermutation(n, arg)), nil
+	case "bitcomp":
+		p, err := traffic.BitComplement(n)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.FromPermutation(p), nil
+	case "bitrev":
+		p, err := traffic.BitReversal(n)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.FromPermutation(p), nil
+	case "transpose":
+		p, err := traffic.Transpose(n)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.FromPermutation(p), nil
+	case "tornado":
+		return traffic.FromPermutation(traffic.Tornado(n)), nil
+	case "neighbor":
+		p, err := traffic.NeighborExchange(n)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.FromPermutation(p), nil
+	case "butterfly":
+		p, err := traffic.Butterfly(n)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.FromPermutation(p), nil
+	case "uniform":
+		return traffic.Uniform(n), nil
+	case "hotspot":
+		return traffic.Hotspot(n, arg%n, 0), nil
+	case "adversarial":
+		return traffic.AdversarialDModK(t)
+	case "random":
+		return traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(seed, 0))), nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", pattern)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgftflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command xgftinfo inspects extended generalized fat-trees: node and
+// link counts, the paper's tuple labels, and the shortest paths a
+// routing scheme selects for a source-destination pair.
+//
+// Usage:
+//
+//	xgftinfo -xgft "3;4,4,8;1,4,4"            # topology summary
+//	xgftinfo -mport 8 -ntree 3                # same tree by variant name
+//	xgftinfo -xgft "3;4,4,4;1,4,2" -src 0 -dst 63 -scheme disjoint -k 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/lid"
+	"xgftsim/internal/topology"
+)
+
+func main() {
+	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := flag.Int("ntree", 0, "tree height for -mport")
+	src := flag.Int("src", -1, "source processing node for path listing")
+	dst := flag.Int("dst", -1, "destination processing node for path listing")
+	scheme := flag.String("scheme", "disjoint", "routing scheme for path listing ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := flag.Int("k", 4, "path limit K for path listing")
+	seed := flag.Int64("seed", 0, "seed for randomized schemes")
+	draw := flag.Bool("draw", false, "render the topology level by level (paper Figures 1-3 style)")
+	flag.Parse()
+
+	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
+	if err != nil {
+		fatal(err)
+	}
+	summarize(t)
+	if *draw {
+		fmt.Println()
+		t.Draw(os.Stdout, 16)
+	}
+	if *src >= 0 && *dst >= 0 {
+		if err := listPaths(t, *src, *dst, *scheme, *k, *seed); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func summarize(t *topology.Topology) {
+	fmt.Printf("%s\n", t)
+	fmt.Printf("  processing nodes: %d\n", t.NumProcessors())
+	fmt.Printf("  switches:         %d (top level: %d)\n", t.NumSwitches(), t.NumTopSwitches())
+	for l := 0; l < t.H(); l++ {
+		fmt.Printf("  tier %d-%d cables:  %d\n", l, l+1, t.CablesAtTier(l))
+	}
+	fmt.Printf("  diameter: %d hops, avg shortest path %.2f hops\n", t.Diameter(), t.AvgShortestPathLen())
+	fmt.Printf("  max oversubscription: %.2f (ideal uniform throughput %.3f)\n",
+		t.MaxOversubscription(), t.IdealUniformThroughput())
+	cost := t.Cost()
+	fmt.Printf("  cost: %d switches, %d switch ports, %d cables\n", cost.Switches, cost.SwitchPorts, cost.Cables)
+	fmt.Printf("  max shortest paths between nodes: %d\n", t.MaxPaths())
+	if maxK := lid.MaxRealizableK(t); maxK < t.MaxPaths() {
+		fmt.Printf("  InfiniBand-addressable path limit: K <= %d (of %d)\n", maxK, t.MaxPaths())
+	} else {
+		fmt.Printf("  InfiniBand can address all %d paths per pair\n", t.MaxPaths())
+	}
+}
+
+func listPaths(t *topology.Topology, src, dst int, scheme string, k int, seed int64) error {
+	n := t.NumProcessors()
+	if src >= n || dst >= n {
+		return fmt.Errorf("pair (%d,%d) out of range [0,%d)", src, dst, n)
+	}
+	sel, err := core.SelectorByName(scheme)
+	if err != nil {
+		return err
+	}
+	nca := t.NCALevel(src, dst)
+	fmt.Printf("\npair (%d -> %d): NCA level %d, %d shortest paths\n", src, dst, nca, t.NumPathsBetween(src, dst))
+	if src == dst {
+		return nil
+	}
+	r := core.NewRouting(t, sel, k, seed)
+	fmt.Printf("%s selects:\n", r)
+	for _, idx := range r.Paths(src, dst) {
+		up := core.DecodePathIndex(t, nca, idx, nil)
+		nodes := t.PathNodes(src, dst, up)
+		labels := make([]string, len(nodes))
+		for i, nd := range nodes {
+			labels[i] = t.LabelOf(nd).String()
+		}
+		fmt.Printf("  path %3d (up ports %v): %s\n", idx, up, strings.Join(labels, " -> "))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgftinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command xgftlft synthesizes, inspects and verifies the InfiniBand
+// linear forwarding tables (LFTs) realizing a routing scheme: the
+// subnet-manager view of limited multi-path routing.
+//
+// Usage:
+//
+//	xgftlft -mport 8 -ntree 3 -scheme disjoint -k 4 -dump lft.txt
+//	xgftlft -mport 8 -ntree 3 -scheme disjoint -k 4 -verify
+//	xgftlft -mport 8 -ntree 3 -scheme shift-1 -k 4 -diversity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/lid"
+	"xgftsim/internal/stats"
+)
+
+func main() {
+	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := flag.Int("ntree", 0, "tree height for -mport")
+	scheme := flag.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := flag.Int("k", 4, "paths per destination")
+	seed := flag.Int64("seed", 0, "seed for randomized schemes")
+	dump := flag.String("dump", "", "write the LFT dump to this file ('-' for stdout)")
+	verify := flag.Bool("verify", false, "walk every (src,dst,slot) and verify shortest-path delivery")
+	diversity := flag.Bool("diversity", false, "report average effective path diversity by NCA level")
+	flag.Parse()
+
+	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := core.SelectorByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := lid.NewPlan(t, *k)
+	if err != nil {
+		fatal(err)
+	}
+	fabric, err := lid.BuildFabric(plan, sel, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	st := fabric.Stats()
+	fmt.Printf("%s, scheme %s, K=%d: LMC=%d, %d LIDs total (%.1f%% of space)\n",
+		t, sel.Name(), plan.K, plan.LMC, plan.TotalLIDs,
+		100*float64(plan.TotalLIDs)/float64(lid.MaxUnicastLIDs))
+	fmt.Printf("forwarding tables: %d switches, %d entries each, %d total\n",
+		st.Switches, st.EntriesMax, st.EntriesTotal)
+
+	if *dump != "" {
+		out := os.Stdout
+		if *dump != "-" {
+			f, err := os.Create(*dump)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := fabric.WriteTo(out); err != nil {
+			fatal(err)
+		}
+		if *dump != "-" {
+			fmt.Printf("wrote LFT dump to %s\n", *dump)
+		}
+	}
+	if *verify {
+		n := t.NumProcessors()
+		walks := 0
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				for slot := 0; slot < plan.LIDsPerNode; slot++ {
+					path, err := fabric.Walk(src, dst, slot)
+					if err != nil {
+						fatal(fmt.Errorf("walk(%d,%d,%d): %w", src, dst, slot, err))
+					}
+					if want := 2*t.NCALevel(src, dst) + 1; len(path) != want {
+						fatal(fmt.Errorf("walk(%d,%d,%d): %d nodes, want %d (non-shortest)", src, dst, slot, len(path), want))
+					}
+					walks++
+				}
+			}
+		}
+		fmt.Printf("verified %d forwarding walks: all shortest, all delivered\n", walks)
+	}
+	if *diversity {
+		fmt.Println("effective path diversity under LFT truncation:")
+		for lvl := 1; lvl <= t.H(); lvl++ {
+			var acc stats.Accumulator
+			n := t.NumProcessors()
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src != dst && t.NCALevel(src, dst) == lvl {
+						acc.Add(float64(fabric.EffectivePaths(src, dst)))
+					}
+				}
+			}
+			if acc.N() > 0 {
+				fmt.Printf("  NCA level %d: %.2f distinct paths/pair (of up to %d)\n",
+					lvl, acc.Mean(), min(plan.K, t.WProd(lvl)))
+			}
+		}
+	}
+	// A quick look at how the top tier spreads destinations.
+	top := t.NodeAt(t.H(), 0)
+	hist := fabric.PortHistogram(top)
+	fmt.Printf("top switch %v port spread:", t.LabelOf(top))
+	for _, p := range lid.SortedPorts(hist) {
+		fmt.Printf(" %d:%d", p, hist[p])
+	}
+	fmt.Println()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgftlft:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command xgftpaper regenerates the tables and figures of "Limited
+// Multi-path Routing on Extended Generalized Fat-trees" (IPDPS
+// Workshops 2012): the four Figure 4 panels (flow-level average
+// maximum link load vs K), Table 1 (flit-level saturation throughput),
+// Figure 5 (message delay vs offered load), the Theorem 1/2
+// verifications and the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	xgftpaper -exp all -scale quick -out results/
+//	xgftpaper -exp fig4a,table1 -scale full
+//
+// Each experiment prints an aligned text table and, when -out is set,
+// writes a CSV with the same data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"xgftsim/internal/adversary"
+	"xgftsim/internal/experiments"
+	"xgftsim/internal/topology"
+)
+
+var order = []string{
+	"fig4a", "fig4b", "fig4c", "fig4d",
+	"table1", "fig5",
+	"thm1", "thm2",
+	"tier", "lid", "diversity", "workload",
+	"adaptive", "alltoall", "worstcase", "model", "crossover", "buffers", "vcs",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(order, ",")+" or all")
+	scaleName := flag.String("scale", "quick", "quick (seconds per experiment) or full (the paper's protocol)")
+	out := flag.String("out", "", "directory for CSV output (created if missing)")
+	seed := flag.Int64("seed", 2012, "base seed for sampled workloads")
+	flitSeeds := flag.Int("flit-seeds", 0, "override the scale's flit-level workload seed count")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *flitSeeds > 0 {
+		scale.FlitSeeds = *flitSeeds
+	}
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if !contains(order, name) {
+				fatal(fmt.Errorf("unknown experiment %q (want %s or all)", name, strings.Join(order, ",")))
+			}
+			selected = append(selected, name)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range selected {
+		start := time.Now()
+		tbl := run(name, scale, *seed)
+		tbl.Render(os.Stdout)
+		fmt.Printf("  [%s, scale=%s, %.1fs]\n\n", name, scale.Name, time.Since(start).Seconds())
+		if *out != "" {
+			path := filepath.Join(*out, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s\n\n", path)
+		}
+	}
+}
+
+func run(name string, scale experiments.Scale, seed int64) *experiments.Table {
+	switch name {
+	case "fig4a", "fig4b", "fig4c", "fig4d":
+		t, err := experiments.Fig4Panel(name[len(name)-1:])
+		if err != nil {
+			fatal(err)
+		}
+		return experiments.Fig4(t, scale, seed)
+	case "table1":
+		return experiments.Table1(scale)
+	case "fig5":
+		return experiments.Fig5(scale)
+	case "thm1":
+		return experiments.Theorem1(scale, seed)
+	case "thm2":
+		return experiments.Theorem2()
+	case "tier":
+		return experiments.TierBalance(scale, 4, seed)
+	case "lid":
+		return experiments.LIDBudget()
+	case "diversity":
+		return experiments.EffectiveDiversity(4)
+	case "workload":
+		return experiments.WorkloadSensitivity(scale)
+	case "adaptive":
+		return experiments.AdaptiveComparison(scale)
+	case "model":
+		return experiments.ModelValidation(scale)
+	case "crossover":
+		return experiments.DelayCrossover(scale)
+	case "buffers":
+		return experiments.BufferDepth(scale)
+	case "vcs":
+		return experiments.VirtualChannelDepth(scale)
+	case "alltoall":
+		t, err := topology.FromPaper(topology.Paper8Port3Tree)
+		if err != nil {
+			fatal(err)
+		}
+		return experiments.AllToAllShift(t, []int{1, 2, 4, 8, 16})
+	case "worstcase":
+		t, err := topology.FromPaper(topology.Paper8Port2Tree)
+		if err != nil {
+			fatal(err)
+		}
+		steps := 1500
+		if scale.Name == "full" || scale.Name == "paper" {
+			steps = 4000
+		}
+		return experiments.WorstCaseSearch(t, []int{1, 2, 4}, adversary.Config{Steps: steps, Restarts: 3, Seed: seed})
+	}
+	fatal(fmt.Errorf("unknown experiment %q", name))
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgftpaper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command xgftworst searches for worst-case permutations: the
+// adversarial demands that lower-bound a routing's oblivious
+// performance ratio (Theorem 2 hand-constructs one for d-mod-k; the
+// annealing search finds them automatically for any scheme and K).
+//
+// Usage:
+//
+//	xgftworst -mport 8 -ntree 2 -scheme d-mod-k
+//	xgftworst -xgft "3;4,4,8;1,4,4" -scheme disjoint -k 4 -steps 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xgftsim/internal/adversary"
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/traffic"
+)
+
+func main() {
+	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := flag.Int("ntree", 0, "tree height for -mport")
+	scheme := flag.String("scheme", "d-mod-k", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := flag.Int("k", 1, "path limit K")
+	steps := flag.Int("steps", 3000, "annealing steps per restart")
+	restarts := flag.Int("restarts", 4, "annealing restarts")
+	seed := flag.Int64("seed", 1, "search seed")
+	show := flag.Bool("show", false, "print the worst permutation found")
+	flag.Parse()
+
+	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := core.SelectorByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	r := core.NewRouting(t, sel, *k, *seed)
+	fmt.Printf("searching worst permutation for %s on %s ...\n", r, t)
+	res := adversary.WorstPermutation(r, adversary.Config{
+		Steps:    *steps,
+		Restarts: *restarts,
+		Seed:     *seed,
+	})
+	tm := traffic.FromPermutation(res.Perm)
+	fmt.Printf("worst ratio found: %.4f (MLOAD %.4f / OLOAD %.4f) after %d evaluations\n",
+		res.Ratio, flow.NewEvaluator(r).MaxLoad(tm), flow.OptimalLoad(t, tm), res.Evaluations)
+	if *show {
+		for src, dst := range res.Perm {
+			if src != dst {
+				fmt.Printf("  %d -> %d\n", src, dst)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgftworst:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Package xgftsim is a library for studying limited multi-path routing
+// on extended generalized fat-trees (XGFTs), reproducing Mahapatra,
+// Yuan and Nienaber, "Limited Multi-path Routing on Extended
+// Generalized Fat-trees" (IPDPS Workshops, 2012).
+//
+// The library provides:
+//
+//   - XGFT topologies and the common fat-tree variants (m-port n-tree,
+//     k-ary n-tree, GFT) as pure-arithmetic graphs (NewXGFT,
+//     MPortNTree, KAryNTree, GFT);
+//   - the canonical shortest-path enumeration and the paper's routing
+//     schemes: d-mod-k, s-mod-k and random single-path baselines, the
+//     shift-1, disjoint and random limited multi-path heuristics, and
+//     the provably optimal unlimited multi-path UMULTI (SelectorByName,
+//     NewRouting);
+//   - a flow-level evaluator computing link loads, the exact optimal
+//     load OLOAD(TM) and oblivious performance ratios, plus the paper's
+//     adaptive permutation experiment (NewEvaluator, OptimalLoad,
+//     PermutationExperiment);
+//   - a flit-level virtual cut-through simulator with credit-based
+//     flow control for message-delay and saturation-throughput studies
+//     (FlitConfig, RunFlit, FlitSweep);
+//   - traffic generators: permutations (random, shift, bit-complement,
+//     bit-reversal, transpose, tornado), uniform and hotspot demands,
+//     and the paper's Theorem 2 adversarial pattern (AdversarialDModK);
+//   - an InfiniBand LID/forwarding-table model quantifying the address
+//     budget that motivates limited multi-path routing (NewLIDPlan,
+//     BuildFabric).
+//
+// A minimal session:
+//
+//	topo, _ := xgftsim.MPortNTree(8, 3)            // XGFT(3;4,4,8;1,4,4)
+//	r := xgftsim.NewRouting(topo, xgftsim.Disjoint{}, 4, 0)
+//	tm := xgftsim.FromPermutation(xgftsim.ShiftPermutation(topo.NumProcessors(), 1))
+//	load := xgftsim.NewEvaluator(r).MaxLoad(tm)
+//	ratio := load / xgftsim.OptimalLoad(topo, tm)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record; cmd/xgftpaper regenerates every table
+// and figure.
+package xgftsim

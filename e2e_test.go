@@ -1,0 +1,88 @@
+package xgftsim_test
+
+// End-to-end smoke tests: build and run every example and command the
+// way a user would, checking exit status and a marker in the output.
+// Skipped under -short (they shell out to the go tool).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runGo(t *testing.T, timeout time.Duration, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		t.Fatalf("go %s timed out after %v", strings.Join(args, " "), timeout)
+	}
+	if err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shelling out to go run")
+	}
+	cases := []struct {
+		pkg    string
+		marker string
+	}{
+		{"./examples/quickstart", "umulti"},
+		{"./examples/adversarial", "performance ratio"},
+		{"./examples/lid-budget", "largest addressable K"},
+		{"./examples/fault-tolerance", "adaptive, failed link"},
+		{"./examples/saturation", "max throughput"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.pkg, "./examples/"), func(t *testing.T) {
+			out := runGo(t, 5*time.Minute, "run", c.pkg)
+			if !strings.Contains(out, c.marker) {
+				t.Fatalf("output missing %q:\n%s", c.marker, out)
+			}
+		})
+	}
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shelling out to go run")
+	}
+	cases := []struct {
+		name   string
+		args   []string
+		marker string
+	}{
+		{"xgftinfo", []string{"run", "./cmd/xgftinfo", "-xgft", "3;4,4,4;1,4,2", "-src", "0", "-dst", "63", "-k", "4"}, "path   7"},
+		{"xgftflow", []string{"run", "./cmd/xgftflow", "-mport", "8", "-ntree", "2", "-scheme", "disjoint", "-k", "2", "-samples", "20", "-max-samples", "20", "-precision", "0.5"}, "average max link load"},
+		{"xgftflow-adversarial", []string{"run", "./cmd/xgftflow", "-xgft", "2;8,64;1,8", "-scheme", "d-mod-k", "-pattern", "adversarial"}, "PERF = 8.0000"},
+		{"xgftflit", []string{"run", "./cmd/xgftflit", "-mport", "8", "-ntree", "2", "-scheme", "disjoint", "-k", "2", "-load", "0.3", "-warmup", "1000", "-measure", "4000"}, "accepted"},
+		{"xgftflit-adaptive", []string{"run", "./cmd/xgftflit", "-mport", "8", "-ntree", "2", "-adaptive", "-load", "0.3", "-warmup", "1000", "-measure", "4000"}, "accepted"},
+		{"xgftlft", []string{"run", "./cmd/xgftlft", "-mport", "8", "-ntree", "2", "-scheme", "disjoint", "-k", "2", "-verify"}, "all delivered"},
+		{"xgftworst", []string{"run", "./cmd/xgftworst", "-mport", "8", "-ntree", "2", "-scheme", "umulti", "-steps", "200", "-restarts", "1"}, "worst ratio found: 1.0000"},
+		{"xgftpaper", []string{"run", "./cmd/xgftpaper", "-exp", "thm2,lid"}, "Theorem 2"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out := runGo(t, 5*time.Minute, c.args...)
+			if !strings.Contains(out, c.marker) {
+				t.Fatalf("output missing %q:\n%s", c.marker, out)
+			}
+		})
+	}
+}

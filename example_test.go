@@ -1,0 +1,75 @@
+package xgftsim_test
+
+// Godoc examples: runnable documentation with verified output.
+
+import (
+	"fmt"
+
+	"xgftsim"
+)
+
+// The paper's Figure 3 worked example: the d-mod-k path between
+// processing nodes 0 and 63 of XGFT(3;4,4,4;1,4,2) is Path 7, and the
+// disjoint heuristic's first four paths are 7, 1, 3, 5.
+func Example() {
+	topo, _ := xgftsim.NewXGFT(3, []int{4, 4, 4}, []int{1, 4, 2})
+	fmt.Println("paths between 0 and 63:", topo.NumPathsBetween(0, 63))
+	fmt.Println("d-mod-k picks path:", xgftsim.DModKIndex(topo, 63, 3))
+
+	r := xgftsim.NewRouting(topo, xgftsim.Disjoint{}, 4, 0)
+	fmt.Println("disjoint K=4 picks:", r.Paths(0, 63))
+	// Output:
+	// paths between 0 and 63: 8
+	// d-mod-k picks path: 7
+	// disjoint K=4 picks: [7 1 3 5]
+}
+
+func ExampleMPortNTree() {
+	topo, _ := xgftsim.MPortNTree(8, 3) // the paper's 8-port 3-tree
+	fmt.Println(topo)
+	fmt.Println("processing nodes:", topo.NumProcessors())
+	fmt.Println("max paths per pair:", topo.MaxPaths())
+	// Output:
+	// XGFT(3; 4,4,8; 1,4,4)
+	// processing nodes: 128
+	// max paths per pair: 16
+}
+
+func ExampleOptimalLoad() {
+	topo, _ := xgftsim.MPortNTree(8, 2)
+	// A shift permutation: d-mod-k routes it with zero contention.
+	tm := xgftsim.FromPermutation(xgftsim.ShiftPermutation(topo.NumProcessors(), 1))
+	r := xgftsim.NewRouting(topo, xgftsim.DModK{}, 1, 0)
+	load := xgftsim.NewEvaluator(r).MaxLoad(tm)
+	fmt.Printf("max load %.1f, optimal %.1f\n", load, xgftsim.OptimalLoad(topo, tm))
+	// Output:
+	// max load 1.0, optimal 1.0
+}
+
+func ExampleAdversarialDModK() {
+	topo, _ := xgftsim.NewXGFT(2, []int{8, 64}, []int{1, 8})
+	tm, _ := xgftsim.AdversarialDModK(topo)
+	ratio := xgftsim.PerformanceRatio(xgftsim.NewRouting(topo, xgftsim.DModK{}, 1, 0), tm)
+	fmt.Printf("PERF(d-mod-k) = %.0f (Theorem 2 bound: %d)\n", ratio, topo.MaxPaths())
+	// Output:
+	// PERF(d-mod-k) = 8 (Theorem 2 bound: 8)
+}
+
+func ExampleNewLIDPlan() {
+	topo, _ := xgftsim.MPortNTree(24, 3) // TACC-Ranger scale
+	if _, err := xgftsim.NewLIDPlan(topo, topo.MaxPaths()); err != nil {
+		fmt.Println("unlimited multi-path: unrealizable")
+	}
+	plan, _ := xgftsim.NewLIDPlan(topo, 8)
+	fmt.Printf("K=8 needs %d LIDs of %d\n", plan.TotalLIDs, xgftsim.MaxUnicastLIDs)
+	// Output:
+	// unlimited multi-path: unrealizable
+	// K=8 needs 28368 LIDs of 49151
+}
+
+func ExampleSelectorByName() {
+	sel, _ := xgftsim.SelectorByName("disjoint")
+	fmt.Println(sel.Name(), "multipath:", sel.MultiPath())
+	// Output:
+	// disjoint multipath: true
+}

@@ -1,0 +1,74 @@
+// LID budget: the InfiniBand address-space arithmetic that motivates
+// limited multi-path routing, computed for the paper's evaluation
+// topologies — including the TACC-Ranger-scale 24-port 3-tree on which
+// unlimited multi-path routing is unaddressable.
+//
+//	go run ./examples/lid-budget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xgftsim"
+)
+
+func main() {
+	fmt.Printf("InfiniBand unicast LID space: %d addresses\n\n", xgftsim.MaxUnicastLIDs)
+	for _, name := range []xgftsim.PaperTopology{
+		"8-port-3-tree", "16-port-3-tree", "24-port-3-tree",
+	} {
+		topo, err := xgftsim.FromPaperTopology(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s = %s: %d nodes, up to %d paths per pair\n",
+			name, topo, topo.NumProcessors(), topo.MaxPaths())
+		for _, k := range []int{1, 2, 4, 8, 16, 64, topo.MaxPaths()} {
+			if k > topo.MaxPaths() {
+				continue
+			}
+			plan, err := xgftsim.NewLIDPlan(topo, k)
+			if err != nil {
+				fmt.Printf("  K=%-4d unrealizable: %v\n", k, err)
+				continue
+			}
+			fmt.Printf("  K=%-4d LMC=%d -> %6d LIDs (%4.1f%% of the space)\n",
+				k, plan.LMC, plan.TotalLIDs, 100*float64(plan.TotalLIDs)/float64(xgftsim.MaxUnicastLIDs))
+		}
+		fmt.Printf("  largest addressable K: %d\n\n", xgftsim.MaxRealizableK(topo))
+	}
+
+	// Beyond counting: synthesize the forwarding tables for K=4
+	// disjoint routing on the 8-port 3-tree and verify a route.
+	topo, _ := xgftsim.FromPaperTopology("8-port-3-tree")
+	plan, err := xgftsim.NewLIDPlan(topo, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabric, err := xgftsim.BuildFabric(plan, xgftsim.Disjoint{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, dst := 0, 127
+	fmt.Printf("forwarding-table walk on %s, disjoint K=4, %d -> %d:\n", topo, src, dst)
+	for slot := 0; slot < plan.K; slot++ {
+		path, err := fabric.Walk(src, dst, slot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  LID %5d (slot %d): %d hops", plan.LID(dst, slot), slot, len(path)-1)
+		for _, n := range path {
+			fmt.Printf(" %v", topo.LabelOf(n))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\neffective path diversity under LFT truncation (nearby pair %d -> %d):\n", 0, 5)
+	for _, sel := range []xgftsim.Selector{xgftsim.Shift1{}, xgftsim.Disjoint{}} {
+		f, err := xgftsim.BuildFabric(plan, sel, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %d distinct physical paths\n", sel.Name(), f.EffectivePaths(0, 5))
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a fat-tree, pick a routing scheme, and measure how
+// well it spreads a permutation's traffic.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xgftsim"
+)
+
+func main() {
+	// The paper's flit-level evaluation tree: an 8-port 3-tree,
+	// XGFT(3;4,4,8;1,4,4) with 128 processing nodes.
+	topo, err := xgftsim.MPortNTree(8, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology %s: %d processing nodes, %d switches, up to %d shortest paths per pair\n",
+		topo, topo.NumProcessors(), topo.NumSwitches(), topo.MaxPaths())
+
+	// Enumerate the paths the disjoint heuristic picks for one pair.
+	r := xgftsim.NewRouting(topo, xgftsim.Disjoint{}, 4, 0)
+	src, dst := 0, 127
+	fmt.Printf("\n%s routes %d -> %d (NCA level %d, %d paths available) via path indices %v\n",
+		r, src, dst, topo.NCALevel(src, dst), topo.NumPathsBetween(src, dst), r.Paths(src, dst))
+	for _, idx := range r.Paths(src, dst) {
+		fmt.Printf("  path %2d: output ports %v\n", idx, xgftsim.PortRoute(topo, src, dst, idx))
+	}
+
+	// Flow-level evaluation on a random permutation: maximum link load
+	// against the provable optimum.
+	perm := xgftsim.RandomPermutation(topo.NumProcessors(), xgftsim.RNGStream(42, 0))
+	tm := xgftsim.FromPermutation(perm)
+	fmt.Printf("\nrandom permutation (%d flows):\n", tm.NumFlows())
+	for _, scheme := range []struct {
+		sel xgftsim.Selector
+		k   int
+	}{
+		{xgftsim.DModK{}, 1},
+		{xgftsim.Disjoint{}, 2},
+		{xgftsim.Disjoint{}, 4},
+		{xgftsim.UMulti{}, 0},
+	} {
+		rt := xgftsim.NewRouting(topo, scheme.sel, scheme.k, 0)
+		load := xgftsim.NewEvaluator(rt).MaxLoad(tm)
+		fmt.Printf("  %-16s max link load %.3f (optimal %.3f, ratio %.2f)\n",
+			rt, load, xgftsim.OptimalLoad(topo, tm), load/xgftsim.OptimalLoad(topo, tm))
+	}
+}

@@ -1,0 +1,59 @@
+// Saturation study: drive the flit-level virtual cut-through simulator
+// through a load sweep and watch multi-path routing push the
+// saturation point outward — the paper's Table 1 / Figure 5 story.
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xgftsim"
+)
+
+func main() {
+	topo, err := xgftsim.MPortNTree(8, 3) // XGFT(3;4,4,8;1,4,4), N=128
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's flit-level workload: a fixed random assignment of
+	// destinations, Poisson message arrivals.
+	assign := xgftsim.RandomDerangementish(topo.NumProcessors(), xgftsim.RNGStream(11, 0))
+	pattern := xgftsim.NewPermutationPattern("uniform-assignment", assign)
+
+	loads := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	fmt.Printf("flit-level sweep on %s (packet 8 flits, message 4 packets, buffers 4)\n\n", topo)
+	for _, cfg := range []struct {
+		sel xgftsim.Selector
+		k   int
+	}{
+		{xgftsim.DModK{}, 1},
+		{xgftsim.Disjoint{}, 2},
+		{xgftsim.Disjoint{}, 8},
+	} {
+		base := xgftsim.FlitConfig{
+			Routing:       xgftsim.NewRouting(topo, cfg.sel, cfg.k, 0),
+			Pattern:       pattern,
+			Seed:          3,
+			WarmupCycles:  4000,
+			MeasureCycles: 12000,
+		}
+		results, err := xgftsim.FlitSweep(xgftsim.FlitSweepConfig{Base: base, Loads: loads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", base.Routing)
+		fmt.Printf("  %8s %10s %12s\n", "load", "accepted", "delay(cyc)")
+		for _, r := range results {
+			marker := ""
+			if r.Saturated {
+				marker = "  << saturated"
+			}
+			fmt.Printf("  %8.2f %10.4f %12.1f%s\n", r.OfferedLoad, r.Throughput, r.AvgDelay, marker)
+		}
+		fmt.Printf("  max throughput: %.4f\n\n", xgftsim.MaxThroughput(results))
+	}
+	fmt.Println("expected shape: disjoint(8) > disjoint(2) > d-mod-k in max throughput;")
+	fmt.Println("multi-path delays stay flat to higher loads before the saturation wall.")
+}

@@ -1,0 +1,3 @@
+module xgftsim
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package adversary searches for worst-case traffic for a given
+// routing: the permutation that maximizes the performance ratio
+// PERF(r, TM) = MLOAD / OLOAD. Random permutation averages (Figure 4)
+// describe typical behaviour; the worst case lower-bounds the oblivious
+// performance ratio and exposes how much adversarial slack each
+// heuristic leaves at a given K (in the spirit of Towles & Dally's
+// worst-case permutation search and of the paper's Theorem 2, which
+// hand-constructs such a demand for d-mod-k).
+//
+// The search is simulated annealing over the permutation group: the
+// neighbourhood operator swaps the destinations of two sources, the
+// objective is the performance ratio, and temperature decays
+// geometrically. Annealing is restarted from several seeds and the
+// best permutation found is returned. For single-path destination-
+// based routings the search reliably rediscovers Theorem 2-like
+// concentrations; for UMULTI it can never exceed 1, which doubles as a
+// correctness check.
+package adversary
+
+import (
+	"math"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// Config tunes the annealing search.
+type Config struct {
+	// Steps per restart. Default 2000.
+	Steps int
+	// Restarts from fresh random permutations. Default 4.
+	Restarts int
+	// InitialTemp is the starting acceptance temperature relative to
+	// the objective scale. Default 0.5.
+	InitialTemp float64
+	// Cooling is the per-step geometric temperature decay. Default
+	// chosen so the temperature falls to ~1% of initial by the end.
+	Cooling float64
+	// Seed drives the search.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps <= 0 {
+		c.Steps = 2000
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 4
+	}
+	if c.InitialTemp <= 0 {
+		c.InitialTemp = 0.5
+	}
+	if c.Cooling <= 0 || c.Cooling >= 1 {
+		c.Cooling = math.Pow(0.01, 1/float64(c.Steps))
+	}
+	return c
+}
+
+// Result reports the worst permutation found.
+type Result struct {
+	// Perm is the worst permutation found (Perm[src] = dst).
+	Perm []int
+	// Ratio is PERF(r, Perm): MLOAD divided by the optimal load.
+	Ratio float64
+	// Evaluations counts objective evaluations performed.
+	Evaluations int
+}
+
+// searcher keeps the incremental evaluation state of one annealing
+// run.
+type searcher struct {
+	r    *core.Routing
+	topo *topology.Topology
+	ev   *flow.Evaluator
+	perm []int
+}
+
+// ratio evaluates PERF(r, perm) from scratch.
+func (s *searcher) ratio() float64 {
+	tm := traffic.FromPermutation(s.perm)
+	if tm.NumFlows() == 0 {
+		return 1
+	}
+	opt := flow.OptimalLoad(s.topo, tm)
+	if opt == 0 {
+		return 1
+	}
+	return s.ev.MaxLoad(tm) / opt
+}
+
+// WorstPermutation runs the annealing search against routing r.
+func WorstPermutation(r *core.Routing, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	t := r.Topology()
+	n := t.NumProcessors()
+	best := Result{Ratio: -1}
+	evals := 0
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		rng := stats.Stream(cfg.Seed, int64(restart))
+		s := &searcher{r: r, topo: t, ev: flow.NewEvaluator(r), perm: traffic.RandomPermutation(n, rng)}
+		cur := s.ratio()
+		evals++
+		localBest := append([]int(nil), s.perm...)
+		localBestRatio := cur
+		temp := cfg.InitialTemp
+		for step := 0; step < cfg.Steps; step++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+			cand := s.ratio()
+			evals++
+			accept := cand >= cur
+			if !accept && temp > 0 {
+				accept = rng.Float64() < math.Exp((cand-cur)/temp)
+			}
+			if accept {
+				cur = cand
+				if cur > localBestRatio {
+					localBestRatio = cur
+					copy(localBest, s.perm)
+				}
+			} else {
+				s.perm[i], s.perm[j] = s.perm[j], s.perm[i] // undo
+			}
+			temp *= cfg.Cooling
+		}
+		if localBestRatio > best.Ratio {
+			best.Ratio = localBestRatio
+			best.Perm = append([]int(nil), localBest...)
+		}
+	}
+	best.Evaluations = evals
+	return best
+}

@@ -1,0 +1,49 @@
+package cliutil
+
+import "testing"
+
+func TestParseXGFT(t *testing.T) {
+	tp, err := ParseXGFT("3;4,4,8;1,4,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.String() != "XGFT(3; 4,4,8; 1,4,4)" {
+		t.Fatalf("parsed %s", tp)
+	}
+	tp, err = ParseXGFT(" 2 ; 8 , 16 ; 1 , 8 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumProcessors() != 128 {
+		t.Fatalf("whitespace spec parsed wrong: %s", tp)
+	}
+	for _, bad := range []string{
+		"", "3;4,4,8", "x;1;1", "2;a,b;1,2", "2;4,8;1,x", "2;4;1,2", "1;0;1",
+	} {
+		if _, err := ParseXGFT(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	tp, err := BuildTopology("2;4,8;1,4", 0, 0)
+	if err != nil || tp.NumProcessors() != 32 {
+		t.Fatalf("spec path: %v %v", tp, err)
+	}
+	tp, err = BuildTopology("", 8, 3)
+	if err != nil || tp.String() != "XGFT(3; 4,4,8; 1,4,4)" {
+		t.Fatalf("mport path: %v %v", tp, err)
+	}
+	// Spec wins over mport.
+	tp, err = BuildTopology("1;2;1", 8, 3)
+	if err != nil || tp.NumProcessors() != 2 {
+		t.Fatalf("precedence: %v %v", tp, err)
+	}
+	if _, err := BuildTopology("", 0, 0); err == nil {
+		t.Error("no topology accepted")
+	}
+	if _, err := BuildTopology("", 7, 2); err == nil {
+		t.Error("odd m-port accepted")
+	}
+}

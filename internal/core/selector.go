@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"xgftsim/internal/topology"
+)
+
+// Selector computes the set of shortest-path indices an SD pair may
+// use under a routing scheme. Implementations must be safe for
+// concurrent use: any randomness comes from the rng argument, which
+// callers derive deterministically per pair or per sample.
+type Selector interface {
+	// Name returns the scheme's short identifier (e.g. "disjoint").
+	Name() string
+	// MultiPath reports whether the scheme honours the path limit K.
+	// Single-path schemes (d-mod-k, s-mod-k, random-single) ignore K.
+	MultiPath() bool
+	// Select appends the path indices for the SD pair (NCA level k
+	// must be >= 1) to buf and returns the extended slice. At most
+	// min(K, WProd(k)) distinct indices are produced; limK <= 0 means
+	// unlimited. rng may be nil for deterministic schemes.
+	Select(t *topology.Topology, src, dst, limK int, rng *rand.Rand, buf []int) []int
+}
+
+// clampK resolves the effective number of paths for a pair with X
+// shortest paths under limit limK (<= 0 meaning unlimited).
+func clampK(limK, x int) int {
+	if limK <= 0 || limK > x {
+		return x
+	}
+	return limK
+}
+
+// DModK is the destination-mod-k single-path scheme (Lin et al.), the
+// de-facto standard fat-tree routing realized by InfiniBand subnet
+// managers. It ignores K.
+type DModK struct{}
+
+// Name implements Selector.
+func (DModK) Name() string { return "d-mod-k" }
+
+// MultiPath implements Selector.
+func (DModK) MultiPath() bool { return false }
+
+// Select implements Selector.
+func (DModK) Select(t *topology.Topology, src, dst, limK int, _ *rand.Rand, buf []int) []int {
+	return append(buf, DModKIndex(t, dst, t.NCALevel(src, dst)))
+}
+
+// SModK is the source-mod-k single-path scheme; the paper notes its
+// performance is indistinguishable from d-mod-k.
+type SModK struct{}
+
+// Name implements Selector.
+func (SModK) Name() string { return "s-mod-k" }
+
+// MultiPath implements Selector.
+func (SModK) MultiPath() bool { return false }
+
+// Select implements Selector.
+func (SModK) Select(t *topology.Topology, src, dst, limK int, _ *rand.Rand, buf []int) []int {
+	return append(buf, SModKIndex(t, src, t.NCALevel(src, dst)))
+}
+
+// RandomSingle picks one shortest path uniformly at random per SD pair
+// (Greenberg & Leiserson style randomized routing). It ignores K.
+type RandomSingle struct{}
+
+// Name implements Selector.
+func (RandomSingle) Name() string { return "random-single" }
+
+// MultiPath implements Selector.
+func (RandomSingle) MultiPath() bool { return false }
+
+// Select implements Selector.
+func (RandomSingle) Select(t *topology.Topology, src, dst, limK int, rng *rand.Rand, buf []int) []int {
+	x := t.WProd(t.NCALevel(src, dst))
+	return append(buf, rng.Intn(x))
+}
+
+// Shift1 is the paper's shift-1 heuristic: take the d-mod-k path index
+// i and the K-1 consecutive indices after it, (i+1) mod X ...
+// (i+K-1) mod X. Each shift is logically one whole d-mod-k routing, but
+// consecutive indices differ only at the top level, so lower-tier links
+// stay shared — the limitation that motivates the disjoint heuristic.
+type Shift1 struct{}
+
+// Name implements Selector.
+func (Shift1) Name() string { return "shift-1" }
+
+// MultiPath implements Selector.
+func (Shift1) MultiPath() bool { return true }
+
+// Select implements Selector.
+func (Shift1) Select(t *topology.Topology, src, dst, limK int, _ *rand.Rand, buf []int) []int {
+	k := t.NCALevel(src, dst)
+	x := t.WProd(k)
+	i0 := DModKIndex(t, dst, k)
+	n := clampK(limK, x)
+	for c := 0; c < n; c++ {
+		buf = append(buf, (i0+c)%x)
+	}
+	return buf
+}
+
+// Disjoint is the paper's disjoint heuristic: K d-mod-k-structured
+// paths chosen to fork as low in the tree as possible, maximizing
+// link-disjointness. Starting from the d-mod-k index i, it first takes
+// the w_1 paths forking at the processing node (stride Π_{t=2..k} w_t),
+// then the w_1·w_2 paths forking at level-1 switches, and so on — the
+// c-th selected path offsets i by Σ_j a_j·S_j where c = Σ_j a_j·Π_{t<j} w_t
+// and S_j = Π_{t=j+1..k} w_t.
+type Disjoint struct{}
+
+// Name implements Selector.
+func (Disjoint) Name() string { return "disjoint" }
+
+// MultiPath implements Selector.
+func (Disjoint) MultiPath() bool { return true }
+
+// Select implements Selector.
+func (Disjoint) Select(t *topology.Topology, src, dst, limK int, _ *rand.Rand, buf []int) []int {
+	k := t.NCALevel(src, dst)
+	x := t.WProd(k)
+	i0 := DModKIndex(t, dst, k)
+	n := clampK(limK, x)
+	for c := 0; c < n; c++ {
+		buf = append(buf, (i0+DisjointOffset(t, k, c))%x)
+	}
+	return buf
+}
+
+// DisjointOffset maps enumeration position c of the disjoint heuristic
+// to its index offset at NCA level k: c is decomposed little-endian
+// over radices w_1, w_2, ..., w_k and each digit a_j is weighted by the
+// level-j stride S_j = Π_{t=j+1..k} w_t. The map is a digit-reversal
+// bijection on [0, X), so all X offsets are distinct and K = X yields
+// UMULTI. Exposed for the InfiniBand LFT synthesizer, which applies
+// the heuristic at full height to destination path tags.
+func DisjointOffset(t *topology.Topology, k, c int) int {
+	off := 0
+	for j := 1; j <= k; j++ {
+		a := c % t.W(j)
+		c /= t.W(j)
+		off += a * (t.WProd(k) / t.WProd(j))
+	}
+	return off
+}
+
+// RandomK is the paper's random heuristic: min(K, X) distinct shortest
+// paths drawn uniformly at random. It serves as the benchmark the
+// structured heuristics must beat.
+type RandomK struct{}
+
+// Name implements Selector.
+func (RandomK) Name() string { return "random" }
+
+// MultiPath implements Selector.
+func (RandomK) MultiPath() bool { return true }
+
+// Select implements Selector.
+func (RandomK) Select(t *topology.Topology, src, dst, limK int, rng *rand.Rand, buf []int) []int {
+	k := t.NCALevel(src, dst)
+	x := t.WProd(k)
+	n := clampK(limK, x)
+	switch {
+	case n == x:
+		for i := 0; i < x; i++ {
+			buf = append(buf, i)
+		}
+	case n*4 >= x:
+		// Dense draw: partial Fisher-Yates over [0, x).
+		perm := make([]int, x)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := 0; i < n; i++ {
+			j := i + rng.Intn(x-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		buf = append(buf, perm[:n]...)
+	default:
+		// Sparse draw: rejection sample into a small set.
+		seen := make(map[int]struct{}, n)
+		for len(seen) < n {
+			v := rng.Intn(x)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			buf = append(buf, v)
+		}
+	}
+	return buf
+}
+
+// UMulti is the unlimited multi-path routing UMULTI: every shortest
+// path carries an equal share. Theorem 1 proves its oblivious
+// performance ratio is exactly 1 on any XGFT.
+type UMulti struct{}
+
+// Name implements Selector.
+func (UMulti) Name() string { return "umulti" }
+
+// MultiPath implements Selector.
+func (UMulti) MultiPath() bool { return true }
+
+// Select implements Selector.
+func (UMulti) Select(t *topology.Topology, src, dst, limK int, _ *rand.Rand, buf []int) []int {
+	x := t.WProd(t.NCALevel(src, dst))
+	for i := 0; i < x; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// SelectorByName resolves a scheme identifier (case-insensitive,
+// accepting a few aliases) to its Selector.
+func SelectorByName(name string) (Selector, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "d-mod-k", "dmodk", "dest-mod-k":
+		return DModK{}, nil
+	case "s-mod-k", "smodk", "source-mod-k":
+		return SModK{}, nil
+	case "random-single", "randsingle", "random1":
+		return RandomSingle{}, nil
+	case "shift-1", "shift1", "shift":
+		return Shift1{}, nil
+	case "disjoint":
+		return Disjoint{}, nil
+	case "random", "random-k", "randomk":
+		return RandomK{}, nil
+	case "umulti", "unlimited", "multipath-all":
+		return UMulti{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown routing scheme %q (want one of %s)", name, strings.Join(SelectorNames(), ", "))
+}
+
+// SelectorNames lists the canonical scheme identifiers.
+func SelectorNames() []string {
+	names := []string{"d-mod-k", "s-mod-k", "random-single", "shift-1", "disjoint", "random", "umulti"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/lid"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// TierBalance quantifies the design rationale behind the disjoint
+// heuristic (Section 4.2.3): shift-1 balances only the top tier while
+// disjoint balances every tier. It reports the average per-tier
+// maximum link load over random permutations at a fixed K.
+func TierBalance(sc Scale, k int, permSeed int64) *Table {
+	t := table1Topology()
+	schemes := []core.Selector{core.Shift1{}, core.Disjoint{}}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Ablation: per-tier average max link load at K=%d, %s (permutation traffic)", k, t),
+		XLabel:  "tier",
+		Columns: []string{"shift-1 up", "shift-1 down", "disjoint up", "disjoint down"},
+	}
+	samples := sc.Sampling.InitialSamples
+	accs := make([][]stats.Accumulator, t.H()) // [tier][column]
+	for i := range accs {
+		accs[i] = make([]stats.Accumulator, 4)
+	}
+	n := t.NumProcessors()
+	for j, sel := range schemes {
+		ev := flow.NewEvaluator(core.NewRouting(t, sel, k, 0))
+		for i := 0; i < samples; i++ {
+			rng := stats.Stream(permSeed, int64(i))
+			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+			ev.Loads(tm)
+			tiers := ev.TierLoads()
+			for tier := 0; tier < t.H(); tier++ {
+				accs[tier][2*j].Add(tiers[tier][0])
+				accs[tier][2*j+1].Add(tiers[tier][1])
+			}
+		}
+	}
+	for tier := 0; tier < t.H(); tier++ {
+		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d-%d", tier, tier+1))
+		row := make([]Cell, 4)
+		for c := 0; c < 4; c++ {
+			a := accs[tier][c]
+			row[c] = Cell{Mean: a.Mean(), HalfWidth: a.ConfidenceHalfWidth(0.95), Samples: a.N()}
+		}
+		tbl.Cells = append(tbl.Cells, row)
+	}
+	tbl.Footnote = "disjoint's gains concentrate in the lower tiers, where shift-1's paths coincide"
+	return tbl
+}
+
+// LIDBudget reproduces the resource argument of the introduction: the
+// InfiniBand addresses required for K-path routing on each evaluation
+// topology, and whether they fit the unicast LID space.
+func LIDBudget() *Table {
+	ks := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Ablation: LID budget per topology and K (unicast space: %d)", lid.MaxUnicastLIDs),
+		XLabel:  "topology",
+		Columns: make([]string, len(ks)),
+	}
+	for j, k := range ks {
+		tbl.Columns[j] = fmt.Sprintf("K=%d", k)
+	}
+	for _, name := range topology.PaperTopologies() {
+		t, err := topology.FromPaper(name)
+		if err != nil {
+			panic(err)
+		}
+		row := make([]Cell, len(ks))
+		for j, k := range ks {
+			p, err := lid.NewPlan(t, k)
+			if err != nil {
+				row[j] = Cell{Mean: -1, Samples: 1} // does not fit
+				continue
+			}
+			row[j] = Cell{Mean: float64(p.TotalLIDs), Samples: 1}
+		}
+		tbl.XValues = append(tbl.XValues, string(name))
+		tbl.Cells = append(tbl.Cells, row)
+	}
+	tbl.Footnote = "-1 marks configurations that exceed the LID space or the LMC=7 block limit; unlimited multi-path is unrealizable on the 24-port 3-tree"
+	return tbl
+}
+
+// EffectiveDiversity measures how much path diversity survives the
+// destination-based (LFT) realization for pairs at each NCA level:
+// disjoint keeps low-level diversity, shift-1 collapses it.
+func EffectiveDiversity(k int) *Table {
+	t := table1Topology()
+	plan, err := lid.NewPlan(t, k)
+	if err != nil {
+		panic(err)
+	}
+	schemes := []core.Selector{core.Shift1{}, core.Disjoint{}, core.RandomK{}}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Ablation: LFT-realized effective paths by NCA level at K=%d, %s", k, t),
+		XLabel:  "NCA level",
+		Columns: make([]string, len(schemes)),
+	}
+	for j, s := range schemes {
+		tbl.Columns[j] = s.Name()
+	}
+	fabrics := make([]*lid.Fabric, len(schemes))
+	for j, s := range schemes {
+		f, err := lid.BuildFabric(plan, s, 1)
+		if err != nil {
+			panic(err)
+		}
+		fabrics[j] = f
+	}
+	n := t.NumProcessors()
+	for lvl := 1; lvl <= t.H(); lvl++ {
+		accs := make([]stats.Accumulator, len(schemes))
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst || t.NCALevel(src, dst) != lvl {
+					continue
+				}
+				for j := range schemes {
+					accs[j].Add(float64(fabrics[j].EffectivePaths(src, dst)))
+				}
+			}
+		}
+		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d", lvl))
+		row := make([]Cell, len(schemes))
+		for j := range schemes {
+			row[j] = Cell{Mean: accs[j].Mean(), Samples: accs[j].N()}
+		}
+		tbl.Cells = append(tbl.Cells, row)
+	}
+	tbl.Footnote = "average distinct physical paths per SD pair after truncating full-height LID tags to the pair's subtree"
+	return tbl
+}
+
+// WorkloadSensitivity contrasts the two readings of "uniform random
+// traffic" (DESIGN.md §5): with per-message random destinations
+// d-mod-k's tree alignment makes multi-path pointless, while a fixed
+// random assignment reproduces the paper's Table 1 ordering.
+func WorkloadSensitivity(sc Scale) *Table {
+	t := table1Topology()
+	schemes := []struct {
+		sel core.Selector
+		k   int
+	}{{core.DModK{}, 1}, {core.Disjoint{}, 2}, {core.Disjoint{}, 8}}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Ablation: max throughput under the two uniform-workload readings, %s", t),
+		XLabel:  "routing",
+		Columns: []string{"fixed assignment", "per-message random"},
+	}
+	for _, s := range schemes {
+		name := s.sel.Name()
+		if s.sel.MultiPath() {
+			name = fmt.Sprintf("%s(%d)", name, s.k)
+		}
+		row := make([]Cell, 2)
+		row[0] = maxThroughput(t, s.sel, s.k, sc)
+		// Per-message uniform destinations.
+		base := flit.Config{
+			Routing:       core.NewRouting(t, s.sel, s.k, 0),
+			Pattern:       traffic.UniformPattern{N: t.NumProcessors()},
+			Seed:          0,
+			WarmupCycles:  sc.FlitWarmup,
+			MeasureCycles: sc.FlitMeasure,
+		}
+		results, err := flit.Sweep(flit.SweepConfig{Base: base, Loads: sc.Loads})
+		if err != nil {
+			panic(err)
+		}
+		row[1] = Cell{Mean: flit.MaxThroughput(results), Samples: 1}
+		tbl.XValues = append(tbl.XValues, name)
+		tbl.Cells = append(tbl.Cells, row)
+	}
+	tbl.Footnote = "under per-message randomness every down link serves one destination under d-mod-k (perfect alignment)"
+	return tbl
+}

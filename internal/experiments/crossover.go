@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/stats"
+)
+
+// DelayCrossover tests the paper's finest-grained flit-level claim:
+// "disjoint(2) has better delay than disjoint(8) at low load" while
+// disjoint(8) wins at medium-to-high load, because more paths spread a
+// message across more contention points but soften each one. The
+// experiment measures mean message delay for disjoint(2) and
+// disjoint(8) across the load grid (averaged over the scale's
+// workload seeds) and reports the crossover load, if any, in the
+// footnote.
+func DelayCrossover(sc Scale) *Table {
+	t := table1Topology()
+	series := []int{2, 8}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Extension: disjoint(2) vs disjoint(8) message delay (cycles), %s", t),
+		XLabel:  "load",
+		Columns: []string{"disjoint(2)", "disjoint(8)", "delta(2-8)"},
+	}
+	means := make([][]stats.Accumulator, len(sc.Loads))
+	for i := range means {
+		means[i] = make([]stats.Accumulator, len(series))
+	}
+	for s := 0; s < sc.FlitSeeds; s++ {
+		pattern := flitWorkload(t, int64(s))
+		for j, k := range series {
+			base := flit.Config{
+				Routing:       core.NewRouting(t, core.Disjoint{}, k, int64(s)),
+				Pattern:       pattern,
+				Seed:          int64(s),
+				WarmupCycles:  sc.FlitWarmup,
+				MeasureCycles: sc.FlitMeasure,
+			}
+			results, err := flit.Sweep(flit.SweepConfig{Base: base, Loads: sc.Loads})
+			if err != nil {
+				panic(err)
+			}
+			for i, r := range results {
+				means[i][j].Add(r.AvgDelay)
+			}
+		}
+	}
+	crossover := -1.0
+	prevSign := 0
+	for i, l := range sc.Loads {
+		d2, d8 := means[i][0].Mean(), means[i][1].Mean()
+		sign := 0
+		switch {
+		case d2 < d8:
+			sign = -1
+		case d2 > d8:
+			sign = 1
+		}
+		if prevSign < 0 && sign > 0 && crossover < 0 {
+			crossover = l
+		}
+		prevSign = sign
+		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%.2f", l))
+		tbl.Cells = append(tbl.Cells, []Cell{
+			{Mean: d2, HalfWidth: ci95(means[i][0]), Samples: means[i][0].N()},
+			{Mean: d8, HalfWidth: ci95(means[i][1]), Samples: means[i][1].N()},
+			{Mean: d2 - d8, Samples: means[i][0].N()},
+		})
+	}
+	if crossover > 0 {
+		tbl.Footnote = fmt.Sprintf("disjoint(8) overtakes disjoint(2) at offered load ~%.2f", crossover)
+	} else {
+		tbl.Footnote = "no crossover observed on this grid (positive delta(2-8) means disjoint(8) is already ahead)"
+	}
+	return tbl
+}

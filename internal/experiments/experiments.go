@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section, plus the ablations called out in
+// DESIGN.md. Each experiment returns a structured result that can be
+// rendered as an aligned text table or CSV; cmd/xgftpaper drives them
+// from the command line and bench_test.go exposes one benchmark per
+// artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// Scale selects the fidelity/runtime trade-off of a reproduction run.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// Sampling configures flow-level adaptive sampling.
+	Sampling stats.AdaptiveConfig
+	// FlitWarmup and FlitMeasure are the flit-level windows (cycles).
+	FlitWarmup, FlitMeasure int64
+	// FlitSeeds is how many workload seeds flit metrics average over.
+	FlitSeeds int
+	// Loads is the offered-load grid for sweeps.
+	Loads []float64
+}
+
+// QuickScale finishes each experiment in seconds; for smoke runs and
+// benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Name:        "quick",
+		Sampling:    stats.AdaptiveConfig{InitialSamples: 40, MaxSamples: 160, RelPrecision: 0.03},
+		FlitWarmup:  2000,
+		FlitMeasure: 6000,
+		FlitSeeds:   1,
+		Loads:       []float64{0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+	}
+}
+
+// FullScale follows the paper's protocol (99% confidence, 1% relative
+// precision, five seeds for randomized schemes).
+func FullScale() Scale {
+	loads := make([]float64, 0, 19)
+	for l := 0.05; l < 1.0001; l += 0.05 {
+		loads = append(loads, l)
+	}
+	return Scale{
+		Name:        "full",
+		Sampling:    stats.AdaptiveConfig{InitialSamples: 100, MaxSamples: 12800, RelPrecision: 0.01},
+		FlitWarmup:  10000,
+		FlitMeasure: 30000,
+		FlitSeeds:   3,
+		Loads:       loads,
+	}
+}
+
+// PaperScale balances the paper's protocol against single-machine
+// runtimes: tight confidence targets with bounded sample caps and
+// moderate flit windows. The reported half-widths always state the
+// achieved precision.
+func PaperScale() Scale {
+	loads := make([]float64, 0, 12)
+	for l := 0.1; l < 1.0001; l += 0.1 {
+		loads = append(loads, l)
+	}
+	return Scale{
+		Name:        "paper",
+		Sampling:    stats.AdaptiveConfig{InitialSamples: 200, MaxSamples: 1600, RelPrecision: 0.015},
+		FlitWarmup:  4000,
+		FlitMeasure: 12000,
+		FlitSeeds:   2,
+		Loads:       loads,
+	}
+}
+
+// ScaleByName resolves "quick", "paper" or "full".
+func ScaleByName(name string) (Scale, error) {
+	switch strings.ToLower(name) {
+	case "quick", "":
+		return QuickScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	case "full":
+		return FullScale(), nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (want quick, paper or full)", name)
+}
+
+// fig4Schemes are the four series in every Figure 4 plot.
+func fig4Schemes() []core.Selector {
+	return []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}}
+}
+
+// KGrid returns the Figure 4 x-axis for a topology: every K up to 16,
+// then powers-of-two-ish steps up to the maximum path count.
+func KGrid(t *topology.Topology) []int {
+	max := t.MaxPaths()
+	var ks []int
+	for k := 1; k <= max && k <= 16; k++ {
+		ks = append(ks, k)
+	}
+	for k := 24; k < max; k += k / 2 {
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 || ks[len(ks)-1] != max {
+		ks = append(ks, max)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Cell is one measured value with its confidence half-width and
+// sample count.
+type Cell struct {
+	Mean      float64
+	HalfWidth float64
+	Samples   int
+}
+
+// Table is a generic labelled grid of cells used by the experiment
+// results: one row per x-axis value, one column per series.
+type Table struct {
+	Title    string
+	XLabel   string
+	XValues  []string
+	Columns  []string
+	Cells    [][]Cell // [row][col]
+	Footnote string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	fmt.Fprintf(w, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %14s", c)
+	}
+	fmt.Fprintln(w)
+	for i, x := range t.XValues {
+		fmt.Fprintf(w, "%-12s", x)
+		for j := range t.Columns {
+			c := t.Cells[i][j]
+			fmt.Fprintf(w, " %14s", fmt.Sprintf("%.4g±%.2g", c.Mean, c.HalfWidth))
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Footnote != "" {
+		fmt.Fprintf(w, "  %s\n", t.Footnote)
+	}
+}
+
+// WriteCSV writes the table as CSV (mean and half-width columns per
+// series).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cols := []string{csvEscape(t.XLabel)}
+	for _, c := range t.Columns {
+		cols = append(cols, csvEscape(c), csvEscape(c+"_ci"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range t.XValues {
+		row := []string{csvEscape(x)}
+		for j := range t.Columns {
+			c := t.Cells[i][j]
+			row = append(row, fmt.Sprintf("%g", c.Mean), fmt.Sprintf("%g", c.HalfWidth))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"testing"
+
+	"xgftsim/internal/adversary"
+	"xgftsim/internal/topology"
+)
+
+func TestAllToAllShiftOptimality(t *testing.T) {
+	tp := topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	tbl := AllToAllShift(tp, []int{1, 2, 4, 16})
+	col := func(name string) int {
+		for j, c := range tbl.Columns {
+			if c == name {
+				return j
+			}
+		}
+		t.Fatalf("column %s missing", name)
+		return -1
+	}
+	dmodk, disjoint, shift := col("d-mod-k"), col("disjoint"), col("shift-1")
+	for i := range tbl.Cells {
+		// d-mod-k is provably optimal on shifts (Zahavi et al.), and
+		// the disjoint heuristic must preserve that at every K.
+		if tbl.Cells[i][dmodk].Mean != 1 {
+			t.Errorf("row %s: d-mod-k worst shift load %g", tbl.XValues[i], tbl.Cells[i][dmodk].Mean)
+		}
+		if tbl.Cells[i][disjoint].Mean != 1 {
+			t.Errorf("row %s: disjoint worst shift load %g", tbl.XValues[i], tbl.Cells[i][disjoint].Mean)
+		}
+	}
+	// shift-1 temporarily regresses the all-to-all optimality at
+	// intermediate K (its fractional top-level spreading misaligns),
+	// which is exactly the lower-tier weakness the paper describes.
+	if tbl.Cells[1][shift].Mean <= 1 {
+		t.Errorf("expected shift-1 to regress at K=2, got %g", tbl.Cells[1][shift].Mean)
+	}
+	// At K = max paths every heuristic is UMULTI and optimal again.
+	last := len(tbl.Cells) - 1
+	for j := range tbl.Columns {
+		if tbl.Cells[last][j].Mean != 1 {
+			t.Errorf("%s at K=max: %g", tbl.Columns[j], tbl.Cells[last][j].Mean)
+		}
+	}
+}
+
+func TestWorstCaseSearchTable(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	tbl := WorstCaseSearch(tp, []int{1, 4}, adversary.Config{Steps: 400, Restarts: 2, Seed: 3})
+	if len(tbl.Cells) != 2 {
+		t.Fatalf("rows %d", len(tbl.Cells))
+	}
+	// d-mod-k's found worst case must exceed the K=4 heuristics'.
+	if tbl.Cells[0][0].Mean <= tbl.Cells[1][2].Mean {
+		t.Errorf("d-mod-k worst %g not above disjoint(4) worst %g",
+			tbl.Cells[0][0].Mean, tbl.Cells[1][2].Mean)
+	}
+	for i := range tbl.Cells {
+		for j := range tbl.Columns {
+			if c := tbl.Cells[i][j]; c.Mean < 1 || c.Samples <= 0 {
+				t.Errorf("cell %d,%d: %+v", i, j, c)
+			}
+		}
+	}
+}
+
+func TestAdaptiveComparisonTable(t *testing.T) {
+	tbl := AdaptiveComparison(tinyScale())
+	if len(tbl.Cells) != 5 {
+		t.Fatalf("rows %d", len(tbl.Cells))
+	}
+	byName := map[string]float64{}
+	for i, x := range tbl.XValues {
+		byName[x] = tbl.Cells[i][0].Mean
+	}
+	if byName["adaptive"] <= byName["d-mod-k"] {
+		t.Errorf("adaptive %g not above d-mod-k %g", byName["adaptive"], byName["d-mod-k"])
+	}
+	if byName["disjoint(8)"] <= byName["d-mod-k"] {
+		t.Errorf("disjoint(8) %g not above d-mod-k %g", byName["disjoint(8)"], byName["d-mod-k"])
+	}
+}
+
+func TestModelValidationTable(t *testing.T) {
+	tbl := ModelValidation(tinyScale())
+	if len(tbl.Cells) != 6 || len(tbl.Columns) != 3 {
+		t.Fatalf("shape %dx%d", len(tbl.Cells), len(tbl.Columns))
+	}
+	byName := map[string][]Cell{}
+	for i, x := range tbl.XValues {
+		byName[x] = tbl.Cells[i]
+	}
+	// Predictions are exact flow-level values: umulti predicts 1
+	// (optimal on a derangement of this tree) and d-mod-k far less.
+	if byName["umulti"][0].Mean != 1 {
+		t.Errorf("umulti predicted %g, want 1", byName["umulti"][0].Mean)
+	}
+	if byName["d-mod-k"][0].Mean >= byName["disjoint(4)"][0].Mean {
+		t.Errorf("flow model must rank disjoint(4) above d-mod-k")
+	}
+	// Measured side: disjoint(4) must beat d-mod-k, as the model ranks.
+	if byName["disjoint(4)"][1].Mean <= byName["d-mod-k"][1].Mean {
+		t.Errorf("measured disagrees with model ordering: disjoint(4) %g vs d-mod-k %g",
+			byName["disjoint(4)"][1].Mean, byName["d-mod-k"][1].Mean)
+	}
+	for name, row := range byName {
+		if row[1].Mean <= 0 || row[2].Mean <= 0 {
+			t.Errorf("%s: non-positive cells %+v", name, row)
+		}
+	}
+}
+
+func TestDelayCrossoverTable(t *testing.T) {
+	sc := tinyScale()
+	sc.Loads = []float64{0.2, 0.6}
+	sc.FlitMeasure = 4000
+	tbl := DelayCrossover(sc)
+	if len(tbl.Cells) != 2 || len(tbl.Columns) != 3 {
+		t.Fatalf("shape %dx%d", len(tbl.Cells), len(tbl.Columns))
+	}
+	for i, row := range tbl.Cells {
+		if row[0].Mean <= 0 || row[1].Mean <= 0 {
+			t.Errorf("row %d: non-positive delays %+v", i, row)
+		}
+		if got := row[0].Mean - row[1].Mean; mathAbs(got-row[2].Mean) > 1e-9 {
+			t.Errorf("row %d: delta %g want %g", i, row[2].Mean, got)
+		}
+	}
+	// At the 0.6 point disjoint(8) should already be ahead.
+	if tbl.Cells[1][2].Mean <= 0 {
+		t.Errorf("disjoint(8) not ahead at load 0.6: delta %g", tbl.Cells[1][2].Mean)
+	}
+	if tbl.Footnote == "" {
+		t.Error("footnote missing")
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBufferDepthTable(t *testing.T) {
+	sc := tinyScale()
+	sc.Loads = []float64{0.7, 1.0}
+	tbl := BufferDepth(sc)
+	if len(tbl.Cells) != 4 || len(tbl.Columns) != 4 {
+		t.Fatalf("shape %dx%d", len(tbl.Cells), len(tbl.Columns))
+	}
+	for i, row := range tbl.Cells {
+		for j, c := range row {
+			if c.Mean <= 0 || c.Mean > 1.01 {
+				t.Errorf("cell %d,%d out of range: %g", i, j, c.Mean)
+			}
+		}
+	}
+	// Deeper buffers never hurt at fixed K (row-wise monotone within
+	// tolerance) — check the K=8 column across buffer rows 4 -> 16.
+	if tbl.Cells[3][2].Mean < tbl.Cells[1][2].Mean-0.05 {
+		t.Errorf("16-packet buffers (%.3f) worse than 4 (%.3f) at K=8",
+			tbl.Cells[3][2].Mean, tbl.Cells[1][2].Mean)
+	}
+}
+
+func TestVirtualChannelDepthTable(t *testing.T) {
+	sc := tinyScale()
+	sc.Loads = []float64{0.8, 1.0}
+	tbl := VirtualChannelDepth(sc)
+	if len(tbl.Cells) != 3 || len(tbl.Columns) != 4 {
+		t.Fatalf("shape %dx%d", len(tbl.Cells), len(tbl.Columns))
+	}
+	// At K=8, 4 VCs must beat 1 VC.
+	if tbl.Cells[2][2].Mean <= tbl.Cells[0][2].Mean {
+		t.Errorf("4 VCs (%.3f) not above 1 VC (%.3f) at K=8",
+			tbl.Cells[2][2].Mean, tbl.Cells[0][2].Mean)
+	}
+}

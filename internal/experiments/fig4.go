@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/flow"
+	"xgftsim/internal/topology"
+)
+
+// Fig4 reproduces one panel of the paper's Figure 4: the average
+// maximum link load of random permutations versus the number of paths
+// K, for d-mod-k, shift-1, disjoint and random. d-mod-k ignores K and
+// appears as a flat reference series.
+func Fig4(t *topology.Topology, sc Scale, permSeed int64) *Table {
+	return Fig4Ks(t, KGrid(t), sc, permSeed)
+}
+
+// Fig4Ks is Fig4 over an explicit K grid (used by the benchmarks to
+// bound runtime on the largest topologies).
+func Fig4Ks(t *topology.Topology, ks []int, sc Scale, permSeed int64) *Table {
+	schemes := fig4Schemes()
+	tbl := &Table{
+		Title:   fmt.Sprintf("Figure 4: average maximum link load vs paths, %s (permutation traffic)", t),
+		XLabel:  "K",
+		Columns: make([]string, len(schemes)),
+	}
+	for j, s := range schemes {
+		tbl.Columns[j] = s.Name()
+	}
+	// Single-path baselines ignore K: measure them once and replicate
+	// the flat series across rows.
+	flat := make(map[int]Cell)
+	for j, sel := range schemes {
+		if sel.MultiPath() {
+			continue
+		}
+		res := flow.Experiment{Topo: t, Sel: sel, K: 1, PermSeed: permSeed, Sampling: sc.Sampling}.Run()
+		flat[j] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+	}
+	for _, k := range ks {
+		row := make([]Cell, len(schemes))
+		for j, sel := range schemes {
+			if c, ok := flat[j]; ok {
+				row[j] = c
+				continue
+			}
+			res := flow.Experiment{
+				Topo:     t,
+				Sel:      sel,
+				K:        k,
+				PermSeed: permSeed,
+				Sampling: sc.Sampling,
+			}.Run()
+			row[j] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+		}
+		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d", k))
+		tbl.Cells = append(tbl.Cells, row)
+	}
+	tbl.Footnote = fmt.Sprintf("adaptive sampling: %.0f%% confidence, %.0f%% precision target",
+		confidencePct(sc), precisionPct(sc))
+	return tbl
+}
+
+func confidencePct(sc Scale) float64 {
+	c := sc.Sampling.Confidence
+	if c == 0 {
+		c = 0.99
+	}
+	return c * 100
+}
+
+func precisionPct(sc Scale) float64 {
+	p := sc.Sampling.RelPrecision
+	if p == 0 {
+		p = 0.01
+	}
+	return p * 100
+}
+
+// Fig4Panel maps the paper's panel letters to their topologies.
+func Fig4Panel(panel string) (*topology.Topology, error) {
+	switch panel {
+	case "a":
+		return topology.FromPaper(topology.Paper16Port2Tree)
+	case "b":
+		return topology.FromPaper(topology.Paper16Port3Tree)
+	case "c":
+		return topology.FromPaper(topology.Paper24Port2Tree)
+	case "d":
+		return topology.FromPaper(topology.Paper24Port3Tree)
+	}
+	return nil, fmt.Errorf("experiments: Figure 4 has panels a-d, not %q", panel)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/traffic"
+)
+
+// ModelValidation cross-validates the two simulators: for a fixed
+// assignment workload, the flow level predicts 1/MLOAD as the largest
+// *uniform per-source* rate — the fair saturation point at which the
+// most loaded link fills. The flit level measures aggregate accepted
+// throughput, which can exceed the prediction for unbalanced routings
+// (flows that miss the bottleneck keep flowing after it saturates:
+// d-mod-k's measured/predicted ratio is large exactly because its
+// bottleneck starves few flows), and falls below it for perfectly
+// balanced ones (VCT's finite buffers, burstiness and tree saturation
+// cost 10-50%). The key validation is ordering: routings the flow
+// model ranks better must not measure worse — the assumption under the
+// paper's use of max link load as its flow-level figure of merit.
+func ModelValidation(sc Scale) *Table {
+	t := table1Topology()
+	rows := []struct {
+		name string
+		sel  core.Selector
+		k    int
+	}{
+		{"d-mod-k", core.DModK{}, 1},
+		{"shift-1(4)", core.Shift1{}, 4},
+		{"random(4)", core.RandomK{}, 4},
+		{"disjoint(4)", core.Disjoint{}, 4},
+		{"disjoint(8)", core.Disjoint{}, 8},
+		{"umulti", core.UMulti{}, 0},
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Extension: flow-model prediction (1/MLOAD) vs flit-level saturation throughput, %s", t),
+		XLabel:  "routing",
+		Columns: []string{"predicted", "measured", "measured/predicted"},
+	}
+	n := t.NumProcessors()
+	for _, row := range rows {
+		var pred, meas stats.Accumulator
+		for s := 0; s < sc.FlitSeeds; s++ {
+			rng := stats.Stream(int64(s), 31)
+			assignment := traffic.RandomDerangementish(n, rng)
+			r := core.NewRouting(t, row.sel, row.k, int64(s))
+			// Flow-level prediction: unit demand per source, the
+			// bottleneck link fills first.
+			mload := flow.NewEvaluator(r).MaxLoad(traffic.FromPermutation(assignment))
+			pred.Add(1 / mload)
+			// Flit-level measurement over the load sweep.
+			base := flit.Config{
+				Routing:       r,
+				Pattern:       traffic.NewPermutationPattern("assignment", assignment),
+				Seed:          int64(s),
+				WarmupCycles:  sc.FlitWarmup,
+				MeasureCycles: sc.FlitMeasure,
+			}
+			results, err := flit.Sweep(flit.SweepConfig{Base: base, Loads: sc.Loads})
+			if err != nil {
+				panic(err)
+			}
+			meas.Add(flit.MaxThroughput(results))
+		}
+		ratio := 0.0
+		if pred.Mean() > 0 {
+			ratio = meas.Mean() / pred.Mean()
+		}
+		tbl.XValues = append(tbl.XValues, row.name)
+		tbl.Cells = append(tbl.Cells, []Cell{
+			{Mean: pred.Mean(), HalfWidth: ci95(pred), Samples: pred.N()},
+			{Mean: meas.Mean(), HalfWidth: ci95(meas), Samples: meas.N()},
+			{Mean: ratio, Samples: pred.N()},
+		})
+	}
+	tbl.Footnote = "predicted = fair per-source rate (fluid, infinite buffers); measured = aggregate VCT throughput — above prediction under unfairness, below it under spreading overheads"
+	return tbl
+}
+
+func ci95(a stats.Accumulator) float64 {
+	if a.N() < 2 {
+		return 0
+	}
+	return a.ConfidenceHalfWidth(0.95)
+}

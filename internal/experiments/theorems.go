@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// Theorem1 verifies PERF(UMULTI) = 1 empirically: the worst observed
+// performance ratio of unlimited multi-path routing over many sampled
+// traffic matrices on each paper topology. Every cell should be 1.
+func Theorem1(sc Scale, seed int64) *Table {
+	tbl := &Table{
+		Title:   "Theorem 1: oblivious performance ratio of UMULTI (worst sampled ratio; theory: exactly 1)",
+		XLabel:  "topology",
+		Columns: []string{"worst PERF", "traffic matrices"},
+	}
+	samples := sc.Sampling.InitialSamples
+	if samples < 20 {
+		samples = 20
+	}
+	for _, name := range topology.PaperTopologies() {
+		t, err := topology.FromPaper(name)
+		if err != nil {
+			panic(err)
+		}
+		if t.NumProcessors() > 1200 {
+			continue // keep the verification sweep snappy
+		}
+		r := core.NewRouting(t, core.UMulti{}, 0, 0)
+		worst := 0.0
+		n := t.NumProcessors()
+		for i := 0; i < samples; i++ {
+			rng := stats.Stream(seed, int64(i))
+			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+			if tm.NumFlows() == 0 {
+				continue
+			}
+			if ratio := flow.PerformanceRatio(r, tm); ratio > worst {
+				worst = ratio
+			}
+		}
+		tbl.XValues = append(tbl.XValues, string(name))
+		tbl.Cells = append(tbl.Cells, []Cell{
+			{Mean: worst, Samples: samples},
+			{Mean: float64(samples), Samples: samples},
+		})
+	}
+	return tbl
+}
+
+// Theorem2 constructs the adversarial pattern on trees satisfying the
+// theorem's conditions and reports the realized performance ratio of
+// d-mod-k against the Π w_i bound, and how limited multi-path routing
+// dissolves the worst case as K grows.
+func Theorem2() *Table {
+	trees := []*topology.Topology{
+		topology.MustNew(2, []int{2, 16}, []int{1, 2}),
+		topology.MustNew(2, []int{4, 32}, []int{1, 4}),
+		topology.MustNew(2, []int{8, 64}, []int{1, 8}),
+		topology.MustNew(3, []int{2, 4, 32}, []int{1, 2, 4}),
+	}
+	tbl := &Table{
+		Title:   "Theorem 2: PERF(d-mod-k) on the adversarial pattern (predicted: M / max_k cut_k; theorem max: Πw)",
+		XLabel:  "topology",
+		Columns: []string{"PERF d-mod-k", "predicted", "Πw", "PERF disjoint K=2", "PERF disjoint K=4", "PERF UMULTI"},
+	}
+	for _, t := range trees {
+		tm, err := traffic.AdversarialDModK(t)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", t, err))
+		}
+		ratio := func(sel core.Selector, k int) float64 {
+			return flow.PerformanceRatio(core.NewRouting(t, sel, k, 0), tm)
+		}
+		// All M = Π_{i<h} m_i flows concentrate on one link under
+		// d-mod-k, so MLOAD = M; OLOAD is the tightest subtree cut the
+		// pattern saturates: max_k Π_{i<=k} m_i / Π_{i<=k+1} w_i.
+		m := t.ProcessorsPerSubtree(t.H() - 1)
+		oload := 0.0
+		for k := 0; k < t.H(); k++ {
+			if v := float64(t.ProcessorsPerSubtree(k)) / float64(t.TL(k)); v > oload {
+				oload = v
+			}
+		}
+		tbl.XValues = append(tbl.XValues, t.String())
+		tbl.Cells = append(tbl.Cells, []Cell{
+			{Mean: ratio(core.DModK{}, 1), Samples: 1},
+			{Mean: float64(m) / oload, Samples: 1},
+			{Mean: float64(t.WProd(t.H())), Samples: 1},
+			{Mean: ratio(core.Disjoint{}, 2), Samples: 1},
+			{Mean: ratio(core.Disjoint{}, 4), Samples: 1},
+			{Mean: ratio(core.UMulti{}, 0), Samples: 1},
+		})
+	}
+	tbl.Footnote = "each row uses the Theorem 2 traffic: one unit from every node of the first subtree to an aligned far destination"
+	return tbl
+}

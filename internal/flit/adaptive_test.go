@@ -1,0 +1,97 @@
+package flit
+
+import (
+	"math"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func adaptiveBase(t *testing.T, tp *topology.Topology, pattern traffic.Pattern) Config {
+	t.Helper()
+	return Config{
+		Routing:       core.NewRouting(tp, core.DModK{}, 1, 0),
+		Pattern:       pattern,
+		Adaptive:      true,
+		Seed:          21,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+	}
+}
+
+// TestAdaptiveZeroLoadDelay: adaptive routing still takes shortest
+// paths, so the zero-load delay formula holds unchanged.
+func TestAdaptiveZeroLoadDelay(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	n := tp.NumProcessors()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[0] = n - 1
+	cfg := adaptiveBase(t, tp, traffic.NewPermutationPattern("single", perm))
+	cfg.OfferedLoad = 0.02
+	cfg.MeasureCycles = 40000
+	res := MustRun(cfg)
+	hops := 2 * tp.NCALevel(0, n-1)
+	want := float64(4*8 + (hops-1)*2)
+	if math.Abs(res.AvgDelay-want) > 0.5 {
+		t.Fatalf("adaptive zero-load delay %.2f, want %.1f", res.AvgDelay, want)
+	}
+}
+
+// TestAdaptiveDelivers: conservation and delivery under load on a
+// 3-level tree.
+func TestAdaptiveDelivers(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	cfg := adaptiveBase(t, tp, traffic.UniformPattern{N: tp.NumProcessors()})
+	cfg.OfferedLoad = 0.5
+	res := MustRun(cfg)
+	if res.MsgsCompleted == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if math.Abs(res.Throughput-0.5) > 0.05 {
+		t.Fatalf("adaptive throughput %.3f at load 0.5", res.Throughput)
+	}
+	if res.BacklogPackets < 0 {
+		t.Fatal("negative backlog")
+	}
+}
+
+// TestAdaptiveBeatsSinglePathOnAssignment: with a fixed assignment
+// workload, spreading over all up links must raise the saturation
+// throughput above oblivious d-mod-k.
+func TestAdaptiveBeatsSinglePathOnAssignment(t *testing.T) {
+	tp := topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	pattern := traffic.NewPermutationPattern("fixed",
+		traffic.RandomDerangementish(tp.NumProcessors(), stats.Stream(5, 0)))
+	run := func(adaptive bool) float64 {
+		base := adaptiveBase(t, tp, pattern)
+		base.Adaptive = adaptive
+		base.MeasureCycles = 6000
+		results, err := Sweep(SweepConfig{Base: base, Loads: []float64{0.5, 0.7, 0.9, 1.0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MaxThroughput(results)
+	}
+	oblivious := run(false)
+	adaptive := run(true)
+	if adaptive <= oblivious {
+		t.Fatalf("adaptive %.3f not above oblivious d-mod-k %.3f", adaptive, oblivious)
+	}
+}
+
+// TestAdaptiveDeterministic: reproducible under a fixed seed.
+func TestAdaptiveDeterministic(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	cfg := adaptiveBase(t, tp, traffic.UniformPattern{N: tp.NumProcessors()})
+	cfg.OfferedLoad = 0.7
+	a, b := MustRun(cfg), MustRun(cfg)
+	if a != b {
+		t.Fatalf("adaptive not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,657 @@
+package flit
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// The engine is a discrete-event simulator of output-queued virtual
+// cut-through switches. Every directed link carries V virtual channels
+// (VCs); each (link, VC) pair has a FIFO packet queue at the link's
+// sending side, and a packet always sits in the queue of the next link
+// it will traverse, on the VC it was assigned at injection.
+// Transmitting a packet over link L requires (a) L idle, (b) the
+// packet's head to have arrived (cut-through), and (c) a free slot in
+// the (next link, same VC) queue — the paper's "a packet is blocked if
+// the destination port does not have available buffer space", enforced
+// with credit-style slot reservations. Slots are reserved when a
+// transmission toward the queue starts and released when the packet's
+// tail later leaves the queue, so backpressure propagates exactly as
+// credits do. The physical link arbitrates round-robin across VCs, so
+// a blocked VC does not idle the wire if another VC can proceed.
+//
+// Scheduling uses a timing wheel: every network event lands at most
+// max(packet length, router delay + 1) cycles in the future, so a
+// fixed ring of buckets gives O(1) push and pop with FIFO-per-cycle
+// determinism. Only Poisson injection events, whose horizon is
+// unbounded, live in a small binary heap. Packets are arena-allocated
+// and referenced by index, keeping events pointer-free.
+
+type message struct {
+	genTime     int64
+	packetsLeft int
+	measured    bool
+}
+
+type packet struct {
+	msg   *message
+	route []int // output port at the i-th node on the path; nil => adaptive
+	hop   int   // index into route of the link queue the packet is in
+	dst   int32 // destination processor
+	vc    int8  // virtual channel, fixed for the packet's lifetime
+	flits int
+}
+
+type evKind uint8
+
+const (
+	evArrive  evKind = iota // packet joins queue a (a = link*V + vc)
+	evDeliver               // packet tail ejected at destination
+	evFree                  // queue a's transmission drained: link idle, slot back
+)
+
+// wheelEvent is a pointer-free scheduled action.
+type wheelEvent struct {
+	kind evKind
+	a    int32 // queue id (link*V + vc)
+	pkt  int32 // packet arena index, or -1
+}
+
+// injEvent schedules the next Poisson message of one node.
+type injEvent struct {
+	time int64
+	node int32
+}
+
+type injHeap []injEvent
+
+func (h injHeap) Len() int { return len(h) }
+func (h injHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].node < h[j].node
+}
+func (h injHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *injHeap) Push(x any)   { *h = append(*h, x.(injEvent)) }
+func (h *injHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type engine struct {
+	cfg  Config
+	topo *topology.Topology
+	rng  *rand.Rand
+	vcs  int
+
+	// Timing wheel. All network events land within wheelSpan cycles,
+	// so bucket (t % wheelSpan) is unambiguous.
+	wheel     [][]wheelEvent
+	wheelSpan int64
+	pending   int // events currently in the wheel
+
+	inj injHeap
+
+	// Packet arena.
+	packets []packet
+	freePkt []int32
+
+	// Per queue (link*V + vc): output queue state at the sending side.
+	outQ [][]int32
+	occ  []int // reserved slots (inbound + queued + draining tails)
+
+	// Per physical link.
+	linkFree []int64
+	linkRR   []int32   // VC arbitration pointer
+	rrIdx    []int     // feeder arbitration pointer
+	feeders  [][]int32 // upstream links whose packets can enter this link's queues
+	failed   []bool    // down for the whole run
+
+	// Link endpoint tables (LinkEndpoints is arithmetic-heavy).
+	linkSrc []topology.NodeID
+	linkDst []topology.NodeID
+
+	// Per node.
+	outLinks    [][]int32 // outgoing directed link per port number
+	injQueue    [][]int32
+	nextArrival []float64 // fractional Poisson clocks
+	rrVC        []int8    // per-node VC assignment pointer
+
+	// Adaptive-routing tables (see adaptiveNext).
+	nodeLevel  []int8
+	subtreeIdx []int32 // height-l subtree copy a switch roots
+	adaptRR    []int32 // per-node up-port rotation for tie-breaking
+	mLow       []int   // mLow[l] = Π_{i=1..l} m_i
+
+	// Routing caches.
+	routes map[int64][][]int // SD pair -> port routes per path
+	rrPath map[int64]int     // SD pair -> round-robin pointer
+
+	// Workload parameters.
+	numProc int
+	msgRate float64 // messages per cycle per node
+	endTime int64
+
+	// Statistics.
+	warmEnd      int64
+	flitsEjected int64
+	ejectedPer   []int64 // measured ejected flits per destination
+	delay        stats.Accumulator
+	batches      []stats.Accumulator // batch means over the window
+	batchLen     int64
+	hist         *stats.Histogram
+	msgsGen      int64
+	msgsDone     int64
+	pktsInFlight int64
+}
+
+func newEngine(cfg Config) *engine {
+	t := cfg.Routing.Topology()
+	e := &engine{
+		cfg:     cfg,
+		topo:    t,
+		rng:     stats.Stream(cfg.Seed, 0),
+		vcs:     cfg.VirtualChannels,
+		numProc: t.NumProcessors(),
+		routes:  make(map[int64][][]int),
+		rrPath:  make(map[int64]int),
+	}
+	span := int64(cfg.FlitsPerPacket)
+	if alt := cfg.RouterDelay + 1; alt > span {
+		span = alt
+	}
+	e.wheelSpan = span + 1
+	e.wheel = make([][]wheelEvent, e.wheelSpan)
+	nl := t.NumLinks()
+	nq := nl * e.vcs
+	e.outQ = make([][]int32, nq)
+	e.occ = make([]int, nq)
+	e.linkFree = make([]int64, nl)
+	e.linkRR = make([]int32, nl)
+	e.rrIdx = make([]int, nl)
+	e.feeders = make([][]int32, nl)
+	e.linkSrc = make([]topology.NodeID, nl)
+	e.linkDst = make([]topology.NodeID, nl)
+	for l := 0; l < nl; l++ {
+		e.linkSrc[l], e.linkDst[l] = t.LinkEndpoints(topology.LinkID(l))
+	}
+	nn := t.NumNodes()
+	e.outLinks = make([][]int32, nn)
+	inbound := make([][]int32, nn) // inbound transit links per node
+	for n := topology.NodeID(0); int(n) < nn; n++ {
+		level, _ := t.LevelIndex(n)
+		up := t.NumParents(n)
+		down := t.NumChildren(n)
+		out := make([]int32, up+down)
+		for p := 0; p < up; p++ {
+			out[p] = int32(t.UpLink(n, p))
+			inbound[n] = append(inbound[n], int32(t.DownLink(n, p)))
+		}
+		for c := 0; c < down; c++ {
+			child := t.Child(n, c)
+			childUpPort := t.LabelOf(n).Digit(level)
+			out[t.DownPortTo(n, c)] = int32(t.DownLink(child, childUpPort))
+			inbound[n] = append(inbound[n], int32(t.UpLink(child, childUpPort)))
+		}
+		e.outLinks[n] = out
+	}
+	// A link's queues are fed by the transit links arriving at its
+	// source node; packets never transit through processing nodes
+	// (their queues are fed by injection alone).
+	for l := 0; l < nl; l++ {
+		if src := e.linkSrc[l]; int(src) >= e.numProc { // switch-sourced
+			e.feeders[l] = inbound[src]
+		}
+	}
+	e.nodeLevel = make([]int8, nn)
+	e.subtreeIdx = make([]int32, nn)
+	e.adaptRR = make([]int32, nn)
+	e.mLow = make([]int, t.H()+1)
+	e.mLow[0] = 1
+	for l := 1; l <= t.H(); l++ {
+		e.mLow[l] = e.mLow[l-1] * t.M(l)
+	}
+	for n := topology.NodeID(0); int(n) < nn; n++ {
+		l, idx := t.LevelIndex(n)
+		e.nodeLevel[n] = int8(l)
+		e.subtreeIdx[n] = int32(idx / t.WProd(l))
+	}
+	e.injQueue = make([][]int32, e.numProc)
+	e.nextArrival = make([]float64, e.numProc)
+	e.rrVC = make([]int8, e.numProc)
+	flitsPerMsg := float64(cfg.FlitsPerPacket * cfg.PacketsPerMessage)
+	e.msgRate = cfg.OfferedLoad * float64(t.W(1)) / flitsPerMsg
+	e.warmEnd = cfg.WarmupCycles
+	e.endTime = cfg.WarmupCycles + cfg.MeasureCycles
+	if cfg.DelayHistogram {
+		e.hist = stats.NewHistogram(4096, 4)
+	}
+	// Batch means: 10 equal sub-windows of the measurement phase.
+	const numBatches = 10
+	e.batches = make([]stats.Accumulator, numBatches)
+	e.batchLen = (cfg.MeasureCycles + numBatches - 1) / numBatches
+	e.ejectedPer = make([]int64, e.numProc)
+	e.failed = make([]bool, nl)
+	for _, l := range cfg.FailedLinks {
+		if l < 0 || int(l) >= nl {
+			panic("flit: failed link out of range")
+		}
+		e.failed[l] = true
+	}
+	return e
+}
+
+// qid maps (link, vc) to its queue index.
+func (e *engine) qid(l int32, vc int8) int32 { return l*int32(e.vcs) + int32(vc) }
+
+// qlink recovers the physical link of a queue id.
+func (e *engine) qlink(q int32) int32 { return q / int32(e.vcs) }
+
+// schedule places a network event delta cycles ahead (0 < delta <
+// wheelSpan).
+func (e *engine) schedule(now, at int64, kind evKind, q int32, pkt int32) {
+	if at <= now || at-now >= e.wheelSpan {
+		panic("flit: event outside wheel horizon") // invariant guard
+	}
+	b := at % e.wheelSpan
+	e.wheel[b] = append(e.wheel[b], wheelEvent{kind: kind, a: q, pkt: pkt})
+	e.pending++
+}
+
+// allocPacket takes a slot from the arena.
+func (e *engine) allocPacket(p packet) int32 {
+	if n := len(e.freePkt); n > 0 {
+		idx := e.freePkt[n-1]
+		e.freePkt = e.freePkt[:n-1]
+		e.packets[idx] = p
+		return idx
+	}
+	e.packets = append(e.packets, p)
+	return int32(len(e.packets) - 1)
+}
+
+// routesFor lazily builds and caches the port routes of an SD pair.
+func (e *engine) routesFor(src, dst int) [][]int {
+	key := int64(src)*int64(e.numProc) + int64(dst)
+	if r, ok := e.routes[key]; ok {
+		return r
+	}
+	r := e.cfg.Routing.PortRoutes(src, dst)
+	e.routes[key] = r
+	return r
+}
+
+// pickRoute applies the path policy for a new message.
+func (e *engine) pickRoute(src, dst int) []int {
+	routes := e.routesFor(src, dst)
+	if len(routes) == 1 {
+		return routes[0]
+	}
+	switch e.cfg.PathPolicy {
+	case RandomPath:
+		return routes[e.rng.Intn(len(routes))]
+	default:
+		key := int64(src)*int64(e.numProc) + int64(dst)
+		i := e.rrPath[key]
+		e.rrPath[key] = (i + 1) % len(routes)
+		return routes[i]
+	}
+}
+
+// scheduleArrival advances node's Poisson clock and queues the next
+// injection event, unless it falls beyond the simulation end.
+func (e *engine) scheduleArrival(node int, now int64) {
+	e.nextArrival[node] += e.rng.ExpFloat64() / e.msgRate
+	t := int64(e.nextArrival[node]) + 1
+	if t < now {
+		t = now // high-rate clocks may floor into the past
+	}
+	if t >= e.endTime {
+		return
+	}
+	heap.Push(&e.inj, injEvent{time: t, node: int32(node)})
+}
+
+// inject creates one message at node and enqueues its packets, moving
+// as many as fit into the first link's queue.
+func (e *engine) inject(node int, now int64) {
+	dst := e.cfg.Pattern.Dest(node, e.rng)
+	if dst == node {
+		return // pattern chose a self-destination; nothing to send
+	}
+	var route []int
+	if !e.cfg.Adaptive {
+		route = e.pickRoute(node, dst)
+	}
+	vc := e.rrVC[node]
+	e.rrVC[node] = int8((int(vc) + 1) % e.vcs)
+	msg := &message{
+		genTime:     now,
+		packetsLeft: e.cfg.PacketsPerMessage,
+		measured:    now >= e.warmEnd && now < e.endTime,
+	}
+	if msg.measured {
+		e.msgsGen++
+	}
+	for i := 0; i < e.cfg.PacketsPerMessage; i++ {
+		idx := e.allocPacket(packet{
+			msg:   msg,
+			route: route,
+			dst:   int32(dst),
+			vc:    vc,
+			flits: e.cfg.FlitsPerPacket,
+		})
+		e.injQueue[node] = append(e.injQueue[node], idx)
+		e.pktsInFlight++
+	}
+	e.drainInjection(node, now)
+}
+
+// drainInjection moves injection-queue packets into their first link
+// queue while slots are available.
+func (e *engine) drainInjection(node int, now int64) {
+	for len(e.injQueue[node]) > 0 {
+		idx := e.injQueue[node][0]
+		p := &e.packets[idx]
+		var l int32
+		if p.route != nil {
+			l = e.outLinks[node][p.route[0]]
+			if e.occ[e.qid(l, p.vc)] >= e.cfg.BufferPackets {
+				return
+			}
+		} else {
+			var ok bool
+			l, ok = e.adaptiveNext(topology.NodeID(node), int(p.dst), p.vc)
+			if !ok {
+				return
+			}
+		}
+		q := e.injQueue[node]
+		copy(q, q[1:])
+		e.injQueue[node] = q[:len(q)-1]
+		qi := e.qid(l, p.vc)
+		e.occ[qi]++
+		e.outQ[qi] = append(e.outQ[qi], idx)
+		e.tryStart(l, now)
+	}
+}
+
+// adaptiveNext picks the link a packet at node x heading to dst (on
+// the given VC) crosses next: the forced downward port once dst lies
+// in x's subtree, or the upward output whose VC queue is least
+// occupied otherwise (ties rotate per node). It reports false when
+// every admissible queue is full; the caller's retry machinery fires
+// when any of them frees a slot.
+func (e *engine) adaptiveNext(x topology.NodeID, dst int, vc int8) (int32, bool) {
+	l := int(e.nodeLevel[x])
+	if l > 0 && dst/e.mLow[l] == int(e.subtreeIdx[x]) {
+		// Downward: the child digit at level l addresses the subtree
+		// copy holding dst.
+		digit := dst / e.mLow[l-1] % e.topo.M(l)
+		port := digit
+		if l < e.topo.H() {
+			port += e.topo.W(l + 1)
+		}
+		next := e.outLinks[x][port]
+		if e.failed[next] || e.occ[e.qid(next, vc)] >= e.cfg.BufferPackets {
+			return 0, false // a failed forced downward link stalls the flow
+		}
+		return next, true
+	}
+	ups := e.topo.W(l + 1)
+	start := int(e.adaptRR[x])
+	best, bestOcc := int32(-1), e.cfg.BufferPackets
+	for i := 0; i < ups; i++ {
+		link := e.outLinks[x][(start+i)%ups]
+		if e.failed[link] {
+			continue // adaptivity routes around failed upward links
+		}
+		if o := e.occ[e.qid(link, vc)]; o < bestOcc {
+			best, bestOcc = link, o
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	e.adaptRR[x] = int32((start + 1) % ups)
+	return best, true
+}
+
+// tryStart attempts to begin a transmission on link l, arbitrating
+// round-robin across its VC queues. Safe to call speculatively: all
+// gates re-checked.
+func (e *engine) tryStart(l int32, now int64) {
+	if e.failed[l] || e.linkFree[l] > now {
+		return
+	}
+	start := int(e.linkRR[l])
+	for i := 0; i < e.vcs; i++ {
+		vc := int8((start + i) % e.vcs)
+		q := e.qid(l, vc)
+		if len(e.outQ[q]) == 0 {
+			continue
+		}
+		idx := e.outQ[q][0]
+		p := &e.packets[idx]
+		var last bool
+		if p.route != nil {
+			last = p.hop == len(p.route)-1
+		} else {
+			last = int(e.linkDst[l]) < e.numProc
+		}
+		var next int32
+		if !last {
+			if p.route != nil {
+				next = e.outLinks[e.linkDst[l]][p.route[p.hop+1]]
+				if e.occ[e.qid(next, vc)] >= e.cfg.BufferPackets {
+					continue // this VC blocked; let another VC use the wire
+				}
+			} else {
+				var ok bool
+				next, ok = e.adaptiveNext(e.linkDst[l], int(p.dst), vc)
+				if !ok {
+					continue
+				}
+			}
+			e.occ[e.qid(next, vc)]++
+		}
+		// Commit: pop, busy the link, free our slot when the tail
+		// leaves.
+		f := int64(p.flits)
+		qq := e.outQ[q]
+		copy(qq, qq[1:])
+		e.outQ[q] = qq[:len(qq)-1]
+		e.linkFree[l] = now + f
+		e.linkRR[l] = int32((int(vc) + 1) % e.vcs)
+		e.schedule(now, now+f, evFree, q, -1)
+		if last {
+			e.schedule(now, now+f, evDeliver, q, idx)
+			return
+		}
+		p.hop++
+		e.schedule(now, now+1+e.cfg.RouterDelay, evArrive, e.qid(next, vc), idx)
+		return
+	}
+}
+
+// free handles the tail of a transmission leaving queue q: the link
+// idles and the queue slot returns, unblocking the next local packet,
+// upstream senders (round-robin) and the injection queue.
+func (e *engine) free(q int32, now int64) {
+	e.occ[q]--
+	if e.occ[q] < 0 {
+		panic("flit: occupancy underflow") // invariant guard
+	}
+	l := e.qlink(q)
+	e.tryStart(l, now)
+	src := int(e.linkSrc[l])
+	if src < e.numProc {
+		e.drainInjection(src, now)
+		return
+	}
+	fs := e.feeders[l]
+	start := e.rrIdx[l]
+	for i := 0; i < len(fs); i++ {
+		li := fs[(start+i)%len(fs)]
+		e.tryStart(li, now)
+		if e.occ[q] >= e.cfg.BufferPackets {
+			e.rrIdx[l] = (start + i + 1) % len(fs)
+			return
+		}
+	}
+	e.rrIdx[l] = start
+}
+
+// deliver finalizes a packet at its destination.
+func (e *engine) deliver(idx int32, now int64) {
+	p := &e.packets[idx]
+	e.pktsInFlight--
+	if now >= e.warmEnd && now < e.endTime {
+		e.flitsEjected += int64(p.flits)
+		e.ejectedPer[p.dst] += int64(p.flits)
+	}
+	m := p.msg
+	m.packetsLeft--
+	if m.packetsLeft == 0 && m.measured && now < e.endTime {
+		e.msgsDone++
+		d := float64(now - m.genTime)
+		e.delay.Add(d)
+		if b := (now - e.warmEnd) / e.batchLen; b >= 0 && int(b) < len(e.batches) {
+			e.batches[b].Add(d)
+		}
+		if e.hist != nil {
+			e.hist.Observe(d)
+		}
+	}
+	p.msg = nil
+	p.route = nil
+	e.freePkt = append(e.freePkt, idx)
+}
+
+// run executes the simulation and gathers the result.
+func (e *engine) run() Result {
+	for n := 0; n < e.numProc; n++ {
+		e.scheduleArrival(n, 0)
+	}
+	limit := e.endTime
+	if e.cfg.Drain {
+		limit = e.endTime * 10
+		if limit < e.endTime+1000 {
+			limit = e.endTime + 1000
+		}
+	}
+	var scratch []wheelEvent
+	for now := int64(0); now < limit; now++ {
+		if now >= e.endTime && e.pending == 0 && len(e.inj) == 0 {
+			break
+		}
+		// Injections first (they were scheduled far in advance, as the
+		// former global ordering had them).
+		for len(e.inj) > 0 && e.inj[0].time <= now {
+			ev := heap.Pop(&e.inj).(injEvent)
+			e.inject(int(ev.node), now)
+			e.scheduleArrival(int(ev.node), now)
+		}
+		// Then this cycle's network events, in scheduling order. No
+		// handler schedules into the current cycle, so the bucket can
+		// be detached wholesale.
+		b := now % e.wheelSpan
+		if len(e.wheel[b]) == 0 {
+			if e.pending == 0 {
+				// Idle network: jump to the next injection.
+				if len(e.inj) == 0 {
+					if !e.cfg.Drain {
+						break
+					}
+					continue
+				}
+				if t := e.inj[0].time; t > now+1 {
+					now = t - 1
+				}
+			}
+			continue
+		}
+		scratch, e.wheel[b] = e.wheel[b], scratch[:0]
+		e.pending -= len(scratch)
+		for _, ev := range scratch {
+			switch ev.kind {
+			case evArrive:
+				q := ev.a
+				if len(e.outQ[q]) >= e.cfg.BufferPackets {
+					panic("flit: queue overflow") // invariant guard
+				}
+				e.outQ[q] = append(e.outQ[q], ev.pkt)
+				if len(e.outQ[q]) == 1 {
+					e.tryStart(e.qlink(q), now)
+				}
+			case evDeliver:
+				e.deliver(ev.pkt, now)
+			case evFree:
+				e.free(ev.a, now)
+			}
+		}
+		scratch = scratch[:0]
+	}
+	capacity := float64(e.cfg.MeasureCycles) * float64(e.numProc) * float64(e.topo.W(1))
+	res := Result{
+		OfferedLoad:    e.cfg.OfferedLoad,
+		Throughput:     float64(e.flitsEjected) / capacity,
+		AvgDelay:       e.delay.Mean(),
+		MsgsGenerated:  e.msgsGen,
+		MsgsCompleted:  e.msgsDone,
+		FlitsEjected:   e.flitsEjected,
+		BacklogPackets: e.pktsInFlight,
+		Cycles:         e.cfg.MeasureCycles,
+	}
+	if e.hist != nil {
+		res.P95Delay = e.hist.Percentile(95)
+	}
+	// Batch-means CI: treat non-empty batch means as i.i.d. samples.
+	var bm stats.Accumulator
+	for i := range e.batches {
+		if e.batches[i].N() > 0 {
+			bm.Add(e.batches[i].Mean())
+		}
+	}
+	if bm.N() >= 2 {
+		res.DelayCI = bm.ConfidenceHalfWidth(0.95)
+	}
+	res.Saturated = res.Throughput < 0.95*e.cfg.OfferedLoad
+	// Jain's fairness index over per-destination ejections.
+	var sum, sumSq float64
+	for _, x := range e.ejectedPer {
+		v := float64(x)
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq > 0 {
+		res.Fairness = sum * sum / (float64(len(e.ejectedPer)) * sumSq)
+	}
+	return res
+}
+
+// Run executes one flit-level simulation.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	return newEngine(cfg).run(), nil
+}
+
+// MustRun is Run but panics on configuration errors; for tests and
+// examples.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,121 @@
+package flit
+
+import (
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// failure tests: link-failure injection and the fault-tolerance gap
+// between oblivious and adaptive routing.
+
+func failureBase(tp *topology.Topology) Config {
+	return Config{
+		Routing:       core.NewRouting(tp, core.DModK{}, 1, 0),
+		Pattern:       traffic.UniformPattern{N: tp.NumProcessors()},
+		OfferedLoad:   0.3,
+		Seed:          13,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+	}
+}
+
+// TestObliviousStallsOnFailedLink: d-mod-k traffic whose path crosses
+// a failed up link never arrives, so throughput drops and backlog
+// grows.
+func TestObliviousStallsOnFailedLink(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	healthy := MustRun(failureBase(tp))
+	cfg := failureBase(tp)
+	// Fail one leaf-to-top up link: leaf switch 0's port 0.
+	cfg.FailedLinks = []topology.LinkID{tp.UpLink(tp.NodeAt(1, 0), 0)}
+	broken := MustRun(cfg)
+	if broken.Throughput >= healthy.Throughput {
+		t.Fatalf("failure did not hurt: %.4f vs %.4f", broken.Throughput, healthy.Throughput)
+	}
+	if broken.BacklogPackets <= healthy.BacklogPackets {
+		t.Fatalf("backlog did not grow: %d vs %d", broken.BacklogPackets, healthy.BacklogPackets)
+	}
+}
+
+// TestAdaptiveRoutesAroundUpFailure: with the same failed up link,
+// adaptive routing delivers the full offered load.
+func TestAdaptiveRoutesAroundUpFailure(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	cfg := failureBase(tp)
+	cfg.Adaptive = true
+	cfg.FailedLinks = []topology.LinkID{tp.UpLink(tp.NodeAt(1, 0), 0)}
+	res := MustRun(cfg)
+	if res.Saturated || res.Throughput < 0.28 {
+		t.Fatalf("adaptive did not absorb the up-link failure: %v", res)
+	}
+	if res.BacklogPackets > 100 {
+		t.Fatalf("backlog %d with adaptive rerouting", res.BacklogPackets)
+	}
+}
+
+// TestFairnessIndex: balanced uniform traffic scores near 1; a failed
+// link skews the shares and lowers the index for oblivious routing.
+func TestFairnessIndex(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	healthy := MustRun(failureBase(tp))
+	if healthy.Fairness < 0.95 || healthy.Fairness > 1 {
+		t.Fatalf("healthy fairness %.3f", healthy.Fairness)
+	}
+	cfg := failureBase(tp)
+	cfg.FailedLinks = []topology.LinkID{tp.UpLink(tp.NodeAt(1, 0), 0)}
+	broken := MustRun(cfg)
+	if broken.Fairness >= healthy.Fairness {
+		t.Fatalf("failure did not skew fairness: %.3f vs %.3f", broken.Fairness, healthy.Fairness)
+	}
+}
+
+// TestFailedLinkValidation: out-of-range links are rejected.
+func TestFailedLinkValidation(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	cfg := failureBase(tp)
+	cfg.FailedLinks = []topology.LinkID{topology.LinkID(tp.NumLinks())}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range failed link")
+		}
+	}()
+	MustRun(cfg)
+}
+
+// TestDrainConservation: with drain enabled and a healthy fabric,
+// every injected packet is delivered — exact conservation.
+func TestDrainConservation(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+		cfg := Config{
+			Routing:       core.NewRouting(tp, core.Disjoint{}, 2, 0),
+			Pattern:       traffic.UniformPattern{N: tp.NumProcessors()},
+			OfferedLoad:   0.7,
+			Adaptive:      adaptive,
+			Seed:          17,
+			WarmupCycles:  1000,
+			MeasureCycles: 6000,
+			Drain:         true,
+		}
+		res := MustRun(cfg)
+		if res.BacklogPackets != 0 {
+			t.Fatalf("adaptive=%v: %d packets lost or stuck after drain", adaptive, res.BacklogPackets)
+		}
+	}
+}
+
+// TestDrainWithFailureKeepsBacklog: a failed link leaves permanently
+// stuck packets even after draining (oblivious routing).
+func TestDrainWithFailureKeepsBacklog(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	cfg := failureBase(tp)
+	cfg.Drain = true
+	cfg.FailedLinks = []topology.LinkID{tp.UpLink(tp.NodeAt(1, 0), 0)}
+	res := MustRun(cfg)
+	if res.BacklogPackets == 0 {
+		t.Fatal("expected stuck packets behind the failed link")
+	}
+}

@@ -1,0 +1,64 @@
+package flit
+
+// Randomized soak test: throw arbitrary configurations at the engine
+// and rely on the built-in invariant guards (credit/occupancy
+// underflow, queue overflow, wheel horizon) to catch scheduling bugs,
+// while asserting the external conservation properties.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func TestEngineSoakQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	trees := []*topology.Topology{
+		topology.MustNew(1, []int{4}, []int{2}),
+		topology.MustNew(2, []int{3, 4}, []int{2, 2}),
+		topology.MustNew(2, []int{4, 8}, []int{1, 4}),
+		topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2}),
+	}
+	sels := []core.Selector{core.DModK{}, core.SModK{}, core.RandomSingle{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}, core.UMulti{}}
+	f := func(ti, si, ki, fl, pk, bu, lo uint8, seed int64, adaptive, randomPolicy bool) bool {
+		tp := trees[int(ti)%len(trees)]
+		sel := sels[int(si)%len(sels)]
+		cfg := Config{
+			Routing:           core.NewRouting(tp, sel, int(ki)%6+1, seed),
+			Pattern:           traffic.UniformPattern{N: tp.NumProcessors()},
+			OfferedLoad:       0.1 + float64(lo%90)/100,
+			FlitsPerPacket:    int(fl)%12 + 1,
+			PacketsPerMessage: int(pk)%4 + 1,
+			BufferPackets:     int(bu)%6 + 1,
+			WarmupCycles:      300,
+			MeasureCycles:     1500,
+			Seed:              seed,
+			Adaptive:          adaptive,
+			Drain:             true,
+		}
+		if randomPolicy {
+			cfg.PathPolicy = RandomPath
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		// Conservation after drain: nothing lost on a healthy fabric.
+		if res.BacklogPackets != 0 {
+			return false
+		}
+		// Sanity of every reported statistic.
+		return res.Throughput >= 0 && res.Throughput <= 1.01 &&
+			res.AvgDelay >= 0 && res.MsgsCompleted <= res.MsgsGenerated &&
+			res.Fairness >= 0 && res.Fairness <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: stats.Stream(2024, 0)}); err != nil {
+		t.Fatal(err)
+	}
+}

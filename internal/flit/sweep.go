@@ -1,0 +1,96 @@
+package flit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepConfig describes a load sweep: the base Config is replicated at
+// each offered load point. Points run in parallel (each simulation is
+// single-threaded and deterministic in its seed).
+type SweepConfig struct {
+	Base Config
+	// Loads are the offered load points; empty defaults to
+	// 0.05, 0.10, ..., 1.00.
+	Loads []float64
+	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultLoads returns the standard sweep grid 0.05..1.00 step 0.05.
+func DefaultLoads() []float64 {
+	loads := make([]float64, 20)
+	for i := range loads {
+		loads[i] = float64(i+1) * 0.05
+	}
+	return loads
+}
+
+// Sweep runs the base configuration at every load point and returns
+// the results in load order.
+func Sweep(sc SweepConfig) ([]Result, error) {
+	loads := sc.Loads
+	if len(loads) == 0 {
+		loads = DefaultLoads()
+	}
+	for _, l := range loads {
+		if l <= 0 || l > 1 {
+			return nil, fmt.Errorf("flit: sweep load %g out of (0,1]", l)
+		}
+	}
+	par := sc.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(loads) {
+		par = len(loads)
+	}
+	results := make([]Result, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, l := range loads {
+		wg.Add(1)
+		go func(i int, l float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := sc.Base
+			cfg.OfferedLoad = l
+			results[i], errs[i] = Run(cfg)
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// MaxThroughput returns the paper's Table 1 metric: the maximum
+// normalized accepted throughput over a load sweep, expressed as a
+// fraction of capacity (multiply by 100 for the paper's percentages).
+func MaxThroughput(results []Result) float64 {
+	max := 0.0
+	for _, r := range results {
+		if r.Throughput > max {
+			max = r.Throughput
+		}
+	}
+	return max
+}
+
+// SaturationLoad returns the lowest offered load at which the run
+// reported saturation, or 1 if none did. Results must be in ascending
+// load order.
+func SaturationLoad(results []Result) float64 {
+	for _, r := range results {
+		if r.Saturated {
+			return r.OfferedLoad
+		}
+	}
+	return 1
+}

@@ -1,0 +1,231 @@
+// Package flow implements the paper's flow-level evaluation: given a
+// routing and a traffic matrix it computes per-link loads, the maximum
+// link load MLOAD(r, TM), the optimal load OLOAD(TM) (exactly, via the
+// subtree-cut bound ML(TM) that Lemma 1 and Theorem 1 pin down), and
+// performance ratios. It also provides the paper's permutation
+// experiment: the average maximum link load over random permutations
+// with adaptive 99%-confidence sampling.
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// Evaluator computes link loads for one routing, reusing internal
+// scratch buffers across calls. It is not safe for concurrent use;
+// create one per goroutine (see Experiment).
+type Evaluator struct {
+	r       *core.Routing
+	topo    *topology.Topology
+	loads   []float64
+	pathBuf []int
+	linkBuf []topology.LinkID
+}
+
+// NewEvaluator creates an evaluator for routing r.
+func NewEvaluator(r *core.Routing) *Evaluator {
+	t := r.Topology()
+	return &Evaluator{
+		r:     r,
+		topo:  t,
+		loads: make([]float64, t.NumLinks()),
+	}
+}
+
+// Routing returns the routing under evaluation.
+func (e *Evaluator) Routing() *core.Routing { return e.r }
+
+// Loads computes the load of every directed link under tm: the paper's
+// Σ tm_{i,j}·f^k_{i,j} over paths crossing the link. The returned slice
+// is owned by the evaluator and valid until the next call.
+func (e *Evaluator) Loads(tm *traffic.Matrix) []float64 {
+	if tm.N != e.topo.NumProcessors() {
+		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, e.topo.NumProcessors()))
+	}
+	for i := range e.loads {
+		e.loads[i] = 0
+	}
+	for _, f := range tm.Flows() {
+		e.pathBuf = e.r.AppendPaths(e.pathBuf[:0], f.Src, f.Dst)
+		if len(e.pathBuf) == 0 {
+			continue
+		}
+		share := f.Amount / float64(len(e.pathBuf))
+		for _, idx := range e.pathBuf {
+			e.linkBuf = core.PathLinksForIndex(e.topo, f.Src, f.Dst, idx, e.linkBuf[:0])
+			for _, link := range e.linkBuf {
+				e.loads[link] += share
+			}
+		}
+	}
+	return e.loads
+}
+
+// MaxLoad computes MLOAD(r, TM): the largest link load under tm.
+func (e *Evaluator) MaxLoad(tm *traffic.Matrix) float64 {
+	loads := e.Loads(tm)
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// TierLoads reports, for each tier (links between levels l and l+1)
+// and direction, the maximum link load under the most recent Loads
+// call. Index [l][0] is the up direction, [l][1] the down direction.
+// Used by the ablation study of where each heuristic leaves contention.
+func (e *Evaluator) TierLoads() [][2]float64 {
+	out := make([][2]float64, e.topo.H())
+	for link, l := range e.loads {
+		if l == 0 {
+			continue
+		}
+		id := topology.LinkID(link)
+		tier := e.topo.LinkTier(id)
+		dir := 1
+		if e.topo.LinkIsUp(id) {
+			dir = 0
+		}
+		if l > out[tier][dir] {
+			out[tier][dir] = l
+		}
+	}
+	return out
+}
+
+// OptimalLoad computes OLOAD(TM) for a topology: by Lemma 1 every
+// routing has maximum link load at least ML(TM), and by Theorem 1
+// UMULTI attains it, so the subtree-cut bound is exact on XGFTs:
+//
+//	ML(TM) = max_{k, st_k} MT(TM, st_k) / TL(k)
+//
+// where MT is the larger of the traffic entering and leaving subtree
+// st_k and TL(k) = Π_{i=1..k+1} w_i is the subtree's up-link count.
+func OptimalLoad(t *topology.Topology, tm *traffic.Matrix) float64 {
+	if tm.N != t.NumProcessors() {
+		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, t.NumProcessors()))
+	}
+	best := 0.0
+	// k = 0 (single processing nodes) up to h-1; the height-h "subtree"
+	// is the whole network and has no crossing links.
+	in := make([]float64, 0)
+	out := make([]float64, 0)
+	for k := 0; k < t.H(); k++ {
+		nSub := t.MProd(k)
+		in = append(in[:0], make([]float64, nSub)...)
+		out = append(out[:0], make([]float64, nSub)...)
+		for _, f := range tm.Flows() {
+			ss := t.SubtreeOfProcessor(f.Src, k)
+			ds := t.SubtreeOfProcessor(f.Dst, k)
+			if ss == ds {
+				continue
+			}
+			out[ss] += f.Amount
+			in[ds] += f.Amount
+		}
+		tl := float64(t.TL(k))
+		for i := 0; i < nSub; i++ {
+			mt := in[i]
+			if out[i] > mt {
+				mt = out[i]
+			}
+			if v := mt / tl; v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// PerformanceRatio computes PERF(r, TM) = MLOAD(r, TM) / OLOAD(TM).
+// A ratio of 1 means the routing is optimal for this demand. Demands
+// with zero optimal load (empty matrices) return 1.
+func PerformanceRatio(r *core.Routing, tm *traffic.Matrix) float64 {
+	opt := OptimalLoad(r.Topology(), tm)
+	if opt == 0 {
+		return 1
+	}
+	return NewEvaluator(r).MaxLoad(tm) / opt
+}
+
+// evalPool amortizes evaluator allocation across concurrent samples.
+type evalPool struct {
+	pool sync.Pool
+}
+
+func newEvalPool(r *core.Routing) *evalPool {
+	return &evalPool{pool: sync.Pool{New: func() any { return NewEvaluator(r) }}}
+}
+
+func (p *evalPool) maxLoad(tm *traffic.Matrix) float64 {
+	e := p.pool.Get().(*Evaluator)
+	v := e.MaxLoad(tm)
+	p.pool.Put(e)
+	return v
+}
+
+// Experiment is the paper's flow-level permutation study for a single
+// (topology, scheme, K) cell: sample random permutations, measure the
+// maximum link load of each, and average with the adaptive
+// 99%-confidence protocol. For randomized schemes the per-permutation
+// value is itself averaged over Seeds (the paper uses five).
+type Experiment struct {
+	Topo *topology.Topology
+	Sel  core.Selector
+	K    int
+	// Seeds drive randomized selectors; nil defaults to a single zero
+	// seed for deterministic schemes and five seeds for randomized
+	// ones, matching the paper.
+	Seeds []int64
+	// PermSeed salts the permutation sample streams.
+	PermSeed int64
+	// Sampling configures the adaptive protocol; the zero value uses
+	// the defaults in stats.AdaptiveConfig.
+	Sampling stats.AdaptiveConfig
+}
+
+// deterministicSelector reports whether sel ignores its RNG.
+func deterministicSelector(sel core.Selector) bool {
+	switch sel.(type) {
+	case core.DModK, core.SModK, core.Shift1, core.Disjoint, core.UMulti:
+		return true
+	}
+	return false
+}
+
+// Run executes the experiment and returns the sampling result; the
+// accumulator's mean is the paper's "Average of Maximum Load".
+func (x Experiment) Run() stats.AdaptiveResult {
+	seeds := x.Seeds
+	if len(seeds) == 0 {
+		if deterministicSelector(x.Sel) {
+			seeds = []int64{0}
+		} else {
+			seeds = []int64{101, 202, 303, 404, 505}
+		}
+	}
+	pools := make([]*evalPool, len(seeds))
+	for i, s := range seeds {
+		pools[i] = newEvalPool(core.NewRouting(x.Topo, x.Sel, x.K, s))
+	}
+	n := x.Topo.NumProcessors()
+	sample := func(i int) float64 {
+		rng := stats.Stream(x.PermSeed, int64(i))
+		tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+		sum := 0.0
+		for _, p := range pools {
+			sum += p.maxLoad(tm)
+		}
+		return sum / float64(len(pools))
+	}
+	return stats.SampleAdaptive(x.Sampling, sample)
+}

@@ -1,0 +1,314 @@
+package flow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func fig3Topo(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.FromPaper(topology.PaperFigure3Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// TestLoadsConservation: for any routing, the total load summed over
+// the up links of each tier-crossing cut must equal the total traffic
+// whose path crosses that cut (and same for down links).
+func TestLoadsConservation(t *testing.T) {
+	tp := fig3Topo(t)
+	rng := stats.Stream(3, 0)
+	tm := traffic.FromPermutation(traffic.RandomPermutation(tp.NumProcessors(), rng))
+	for _, sel := range []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}, core.UMulti{}} {
+		r := core.NewRouting(tp, sel, 3, 42)
+		ev := NewEvaluator(r)
+		loads := ev.Loads(tm)
+		if len(loads) != tp.NumLinks() {
+			t.Fatalf("loads length %d", len(loads))
+		}
+		// Traffic crossing tier l (upward) = flows whose NCA level > l.
+		upWant := make([]float64, tp.H())
+		for _, f := range tm.Flows() {
+			k := tp.NCALevel(f.Src, f.Dst)
+			for l := 0; l < k; l++ {
+				upWant[l] += f.Amount
+			}
+		}
+		upGot := make([]float64, tp.H())
+		downGot := make([]float64, tp.H())
+		for link, load := range loads {
+			id := topology.LinkID(link)
+			if tp.LinkIsUp(id) {
+				upGot[tp.LinkTier(id)] += load
+			} else {
+				downGot[tp.LinkTier(id)] += load
+			}
+		}
+		for l := 0; l < tp.H(); l++ {
+			if math.Abs(upGot[l]-upWant[l]) > 1e-9 || math.Abs(downGot[l]-upWant[l]) > 1e-9 {
+				t.Fatalf("%s tier %d: up=%g down=%g want %g", r, l, upGot[l], downGot[l], upWant[l])
+			}
+		}
+	}
+}
+
+// TestTheorem1UMultiOptimal: PERF(UMULTI, TM) == 1 for every traffic
+// matrix — checked on random permutations, uniform, hotspot and random
+// sparse demands across several topologies.
+func TestTheorem1UMultiOptimal(t *testing.T) {
+	trees := []*topology.Topology{
+		fig3Topo(t),
+		topology.MustNew(2, []int{4, 8}, []int{1, 4}),
+		topology.MustNew(3, []int{2, 3, 2}, []int{2, 2, 3}),
+		topology.MustNew(2, []int{3, 5}, []int{2, 3}),
+	}
+	for _, tp := range trees {
+		n := tp.NumProcessors()
+		r := core.NewRouting(tp, core.UMulti{}, 0, 0)
+		var tms []*traffic.Matrix
+		for s := int64(0); s < 5; s++ {
+			rng := stats.Stream(s, 77)
+			tms = append(tms, traffic.FromPermutation(traffic.RandomPermutation(n, rng)))
+		}
+		tms = append(tms, traffic.Uniform(n), traffic.Hotspot(n, n/2, 0))
+		// Random sparse demand with varied amounts.
+		rng := stats.Stream(9, 9)
+		sparse := traffic.NewMatrix(n)
+		for i := 0; i < 3*n; i++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s != d {
+				sparse.Add(s, d, rng.Float64()*10+0.1)
+			}
+		}
+		tms = append(tms, sparse)
+		for i, tm := range tms {
+			ratio := PerformanceRatio(r, tm)
+			if math.Abs(ratio-1) > 1e-9 {
+				t.Fatalf("%s tm#%d: PERF(UMULTI)=%g, want 1", tp, i, ratio)
+			}
+		}
+	}
+}
+
+// TestTheorem2DModKWorstCase: on a tree satisfying the Theorem 2
+// conditions, the adversarial pattern drives PERF(d-mod-k) to at least
+// Π w_i while UMULTI stays optimal.
+func TestTheorem2DModKWorstCase(t *testing.T) {
+	// Theorem 2 realizes ratio min(M·w_1, Πw_i); pick M = Π_{i>1} w_i
+	// so the full Πw_i is achieved: XGFT(2;8,64;1,8) with M=8, W=8.
+	tp := topology.MustNew(2, []int{8, 64}, []int{1, 8})
+	tm, err := traffic.AdversarialDModK(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wProd := float64(tp.WProd(tp.H()))
+	ratio := PerformanceRatio(core.NewRouting(tp, core.DModK{}, 1, 0), tm)
+	if ratio < wProd-1e-9 {
+		t.Fatalf("PERF(d-mod-k)=%g, want >= Πw=%g", ratio, wProd)
+	}
+	// All adversarial traffic concentrates on a single link: MLOAD
+	// equals the subtree population.
+	ev := NewEvaluator(core.NewRouting(tp, core.DModK{}, 1, 0))
+	if ml := ev.MaxLoad(tm); ml != float64(tp.ProcessorsPerSubtree(tp.H()-1)) {
+		t.Fatalf("MLOAD(d-mod-k)=%g, want %d", ml, tp.ProcessorsPerSubtree(tp.H()-1))
+	}
+	if umr := PerformanceRatio(core.NewRouting(tp, core.UMulti{}, 0, 0), tm); math.Abs(umr-1) > 1e-9 {
+		t.Fatalf("PERF(UMULTI)=%g on adversarial TM", umr)
+	}
+	// Limited multi-path interpolates: K paths cut the worst load by
+	// about a factor K for the disjoint heuristic.
+	base := ev.MaxLoad(tm)
+	for _, k := range []int{2, 4, 8} {
+		ml := NewEvaluator(core.NewRouting(tp, core.Disjoint{}, k, 0)).MaxLoad(tm)
+		if want := base / float64(k); math.Abs(ml-want) > 1e-9 {
+			t.Fatalf("disjoint(K=%d) MLOAD=%g want %g", k, ml, want)
+		}
+	}
+}
+
+// TestOptimalLoadLowerBoundsEveryRouting: property check of Lemma 1 —
+// no routing can beat OLOAD.
+func TestOptimalLoadLowerBoundsEveryRouting(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 2}, []int{1, 2, 2})
+	n := tp.NumProcessors()
+	sels := []core.Selector{core.DModK{}, core.SModK{}, core.RandomSingle{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}, core.UMulti{}}
+	f := func(seed int64, kk uint8) bool {
+		rng := stats.Stream(seed, 1)
+		tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+		if tm.NumFlows() == 0 {
+			return true
+		}
+		opt := OptimalLoad(tp, tm)
+		for _, sel := range sels {
+			ml := NewEvaluator(core.NewRouting(tp, sel, int(kk)%5+1, seed)).MaxLoad(tm)
+			if ml < opt-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonotonicImprovementWithK: on average over permutations, the
+// deterministic heuristics must not get worse as K grows (allowing a
+// small sampling tolerance).
+func TestMonotonicImprovementWithK(t *testing.T) {
+	tp := topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	n := tp.NumProcessors()
+	const samples = 30
+	for _, sel := range []core.Selector{core.Shift1{}, core.Disjoint{}} {
+		prev := math.Inf(1)
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			ev := NewEvaluator(core.NewRouting(tp, sel, k, 0))
+			var acc stats.Accumulator
+			for i := 0; i < samples; i++ {
+				rng := stats.Stream(55, int64(i))
+				tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+				acc.Add(ev.MaxLoad(tm))
+			}
+			if acc.Mean() > prev*1.05 {
+				t.Fatalf("%s: K=%d mean %.3f worse than previous %.3f", sel.Name(), k, acc.Mean(), prev)
+			}
+			prev = acc.Mean()
+		}
+		// At K = max paths the heuristic must be optimal on every
+		// sampled permutation.
+		evAll := NewEvaluator(core.NewRouting(tp, sel, tp.MaxPaths(), 0))
+		for i := 0; i < 10; i++ {
+			rng := stats.Stream(56, int64(i))
+			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+			if tm.NumFlows() == 0 {
+				continue
+			}
+			if ml, opt := evAll.MaxLoad(tm), OptimalLoad(tp, tm); math.Abs(ml-opt) > 1e-9 {
+				t.Fatalf("%s at K=max: MLOAD=%g OLOAD=%g", sel.Name(), ml, opt)
+			}
+		}
+	}
+}
+
+// TestDisjointBeatsShiftOnThreeLevel: the paper's headline flow-level
+// finding, as an average over permutations at small K.
+func TestDisjointBeatsShiftOnThreeLevel(t *testing.T) {
+	tp := topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	n := tp.NumProcessors()
+	const samples = 40
+	mean := func(sel core.Selector, k int) float64 {
+		ev := NewEvaluator(core.NewRouting(tp, sel, k, 0))
+		var acc stats.Accumulator
+		for i := 0; i < samples; i++ {
+			rng := stats.Stream(7, int64(i))
+			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+			acc.Add(ev.MaxLoad(tm))
+		}
+		return acc.Mean()
+	}
+	for _, k := range []int{2, 4} {
+		dj, sh := mean(core.Disjoint{}, k), mean(core.Shift1{}, k)
+		if dj >= sh {
+			t.Fatalf("K=%d: disjoint %.3f not better than shift-1 %.3f", k, dj, sh)
+		}
+	}
+}
+
+func TestTierLoads(t *testing.T) {
+	tp := fig3Topo(t)
+	r := core.NewRouting(tp, core.DModK{}, 1, 0)
+	ev := NewEvaluator(r)
+	tm := traffic.NewMatrix(tp.NumProcessors())
+	tm.Add(0, 63, 1)
+	_ = ev.Loads(tm)
+	tiers := ev.TierLoads()
+	if len(tiers) != tp.H() {
+		t.Fatalf("tiers=%d", len(tiers))
+	}
+	for l := 0; l < tp.H(); l++ {
+		if tiers[l][0] != 1 || tiers[l][1] != 1 {
+			t.Fatalf("tier %d loads %v, want 1/1 for a single unit flow", l, tiers[l])
+		}
+	}
+}
+
+func TestEvaluatorPanicsOnMismatchedMatrix(t *testing.T) {
+	tp := fig3Topo(t)
+	ev := NewEvaluator(core.NewRouting(tp, core.DModK{}, 1, 0))
+	bad := traffic.NewMatrix(10)
+	for _, f := range []func(){
+		func() { ev.Loads(bad) },
+		func() { OptimalLoad(tp, bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPerformanceRatioEmptyMatrix(t *testing.T) {
+	tp := fig3Topo(t)
+	r := core.NewRouting(tp, core.DModK{}, 1, 0)
+	if got := PerformanceRatio(r, traffic.NewMatrix(tp.NumProcessors())); got != 1 {
+		t.Fatalf("empty TM ratio=%g", got)
+	}
+}
+
+// TestExperimentRun exercises the full adaptive permutation experiment
+// end to end on a small tree and sanity-checks the paper's ordering at
+// K=2: disjoint <= random <= shift-1 (with slack), all below d-mod-k.
+func TestExperimentRun(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	cfg := stats.AdaptiveConfig{InitialSamples: 60, MaxSamples: 240, RelPrecision: 0.02}
+	run := func(sel core.Selector, k int) float64 {
+		res := Experiment{Topo: tp, Sel: sel, K: k, PermSeed: 11, Sampling: cfg}.Run()
+		if res.Acc.N() < 60 {
+			t.Fatalf("too few samples: %d", res.Acc.N())
+		}
+		return res.Acc.Mean()
+	}
+	dmodk := run(core.DModK{}, 1)
+	disjoint := run(core.Disjoint{}, 2)
+	shift := run(core.Shift1{}, 2)
+	random := run(core.RandomK{}, 2)
+	if !(disjoint < dmodk && shift < dmodk && random < dmodk) {
+		t.Fatalf("multi-path not better than single path: dmodk=%.3f dj=%.3f sh=%.3f rnd=%.3f",
+			dmodk, disjoint, shift, random)
+	}
+	if disjoint > shift+0.05 {
+		t.Fatalf("disjoint (%.3f) unexpectedly worse than shift-1 (%.3f)", disjoint, shift)
+	}
+	// Determinism: same configuration, same result.
+	again := Experiment{Topo: tp, Sel: core.Disjoint{}, K: 2, PermSeed: 11, Sampling: cfg}.Run()
+	if math.Abs(again.Acc.Mean()-disjoint) > 1e-12 {
+		t.Fatal("experiment not reproducible")
+	}
+}
+
+func TestExperimentDefaultSeeds(t *testing.T) {
+	tp := topology.MustNew(2, []int{2, 4}, []int{1, 2})
+	cfg := stats.AdaptiveConfig{InitialSamples: 20, MaxSamples: 20, RelPrecision: 0.5}
+	// Randomized scheme gets five seeds by default; just ensure it runs
+	// deterministically and produces a sane value.
+	a := Experiment{Topo: tp, Sel: core.RandomK{}, K: 2, PermSeed: 3, Sampling: cfg}.Run()
+	b := Experiment{Topo: tp, Sel: core.RandomK{}, K: 2, PermSeed: 3, Sampling: cfg}.Run()
+	if a.Acc.Mean() != b.Acc.Mean() {
+		t.Fatal("randomized experiment not seed-stable")
+	}
+	if a.Acc.Mean() <= 0 {
+		t.Fatal("degenerate mean")
+	}
+}

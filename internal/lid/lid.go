@@ -1,0 +1,390 @@
+// Package lid models the InfiniBand realization of limited multi-path
+// routing — the resource constraint that motivates the paper. On
+// InfiniBand, switches forward by destination address (LID) through
+// linear forwarding tables (LFTs); a destination reachable over K
+// paths needs K distinct LIDs (assigned via the LMC mechanism as a
+// 2^LMC-aligned block), and the unicast LID space holds fewer than 48K
+// entries. Unlimited multi-path routing on a TACC-Ranger-scale fabric
+// (3456 nodes × 144 paths) would need half a million addresses; this
+// package quantifies that wall (Plan), synthesizes the LFTs a subnet
+// manager would install for each heuristic (Fabric), and validates
+// that distributed per-LID forwarding reproduces the intended paths.
+//
+// Destination-based forwarding adds one subtlety the paper's abstract
+// model elides: a LID's up-ports must be chosen per destination, not
+// per SD pair, so each (destination, slot) is assigned a full-height
+// path tag and closer sources follow its truncation. Truncation can
+// collapse tags onto the same physical path; the disjoint heuristic,
+// which varies the lowest-level ports first, retains far more
+// effective diversity for nearby pairs than shift-1, which varies the
+// top level first (EffectivePaths quantifies this).
+package lid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// MaxUnicastLIDs is the number of usable unicast LIDs on an InfiniBand
+// subnet: 16-bit space, 0x0000 reserved, 0xC000..0xFFFF multicast.
+const MaxUnicastLIDs = 0xBFFF
+
+// Plan assigns LID blocks to processing nodes for K-path routing.
+type Plan struct {
+	topo *topology.Topology
+	// K is the requested path limit per destination.
+	K int
+	// LMC is the InfiniBand LID mask control: each node owns a block
+	// of 2^LMC consecutive LIDs, the smallest power of two >= K.
+	LMC int
+	// LIDsPerNode is 2^LMC.
+	LIDsPerNode int
+	// TotalLIDs counts all assigned LIDs, including one per switch for
+	// management traffic.
+	TotalLIDs int
+}
+
+// NewPlan computes the LID assignment for K-path routing on t. It
+// fails when the assignment exceeds the unicast LID space — the
+// paper's argument for limiting K.
+func NewPlan(t *topology.Topology, k int) (*Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lid: K must be >= 1, got %d", k)
+	}
+	if k > t.MaxPaths() {
+		k = t.MaxPaths()
+	}
+	lmc := 0
+	for 1<<lmc < k {
+		lmc++
+	}
+	if lmc > 7 {
+		return nil, fmt.Errorf("lid: K=%d needs LMC=%d, but InfiniBand caps LMC at 7 (128 paths)", k, lmc)
+	}
+	p := &Plan{topo: t, K: k, LMC: lmc, LIDsPerNode: 1 << lmc}
+	p.TotalLIDs = t.NumProcessors()*p.LIDsPerNode + t.NumSwitches()
+	if p.TotalLIDs > MaxUnicastLIDs {
+		return nil, fmt.Errorf("lid: %d LIDs needed (%d nodes x %d + %d switches) exceed the %d-entry unicast space",
+			p.TotalLIDs, t.NumProcessors(), p.LIDsPerNode, t.NumSwitches(), MaxUnicastLIDs)
+	}
+	return p, nil
+}
+
+// Topology returns the fabric's topology.
+func (p *Plan) Topology() *topology.Topology { return p.topo }
+
+// BaseLID returns the first LID of processing node d's block. LID 0 is
+// reserved, so blocks start at 1... aligned to 2^LMC as InfiniBand
+// requires.
+func (p *Plan) BaseLID(d int) int {
+	if d < 0 || d >= p.topo.NumProcessors() {
+		panic(fmt.Sprintf("lid: node %d out of range", d))
+	}
+	return p.LIDsPerNode * (d + 1)
+}
+
+// LID returns the address of (destination d, path slot). Slots beyond
+// K-1 but below 2^LMC alias slot 0, as unused block entries do on real
+// subnets.
+func (p *Plan) LID(d, slot int) int {
+	if slot < 0 || slot >= p.LIDsPerNode {
+		panic(fmt.Sprintf("lid: slot %d out of block [0,%d)", slot, p.LIDsPerNode))
+	}
+	if slot >= p.K {
+		slot = 0
+	}
+	return p.BaseLID(d) + slot
+}
+
+// SwitchLID returns the management LID of the i-th switch (NodeIDs
+// after the processing nodes), placed after all node blocks.
+func (p *Plan) SwitchLID(i int) int {
+	if i < 0 || i >= p.topo.NumSwitches() {
+		panic(fmt.Sprintf("lid: switch %d out of range", i))
+	}
+	return p.LIDsPerNode*(p.topo.NumProcessors()+1) + i
+}
+
+// Decode maps a LID back to (destination, slot); ok is false for
+// switch/management or unassigned LIDs.
+func (p *Plan) Decode(lid int) (d, slot int, ok bool) {
+	first := p.LIDsPerNode
+	last := p.LIDsPerNode*(p.topo.NumProcessors()+1) - 1
+	if lid < first || lid > last {
+		return 0, 0, false
+	}
+	return lid/p.LIDsPerNode - 1, lid % p.LIDsPerNode, true
+}
+
+// MaxRealizableK returns the largest K for which NewPlan succeeds on
+// t, or 0 if even single-path routing does not fit.
+func MaxRealizableK(t *topology.Topology) int {
+	best := 0
+	for k := 1; k <= t.MaxPaths(); k++ {
+		if _, err := NewPlan(t, k); err == nil {
+			best = k
+		}
+	}
+	return best
+}
+
+// DestinationTags computes the K full-height path tags assigned to
+// destination dst under the given scheme: indices into the level-h
+// path enumeration whose digit at level j is the up-port every source
+// uses when climbing from level j-1. Only destination-based schemes
+// can be realized with LFTs; source-dependent schemes (s-mod-k,
+// random-single) return an error, which is precisely why d-mod-k
+// variants dominate on InfiniBand.
+func DestinationTags(t *topology.Topology, sel core.Selector, dst, k int, rng *rand.Rand) ([]int, error) {
+	h := t.H()
+	x := t.WProd(h)
+	if k < 1 || k > x {
+		k = x
+	}
+	i0 := core.DModKIndex(t, dst, h)
+	tags := make([]int, 0, k)
+	switch sel.(type) {
+	case core.DModK:
+		tags = append(tags, i0)
+	case core.Shift1:
+		for c := 0; c < k; c++ {
+			tags = append(tags, (i0+c)%x)
+		}
+	case core.Disjoint:
+		for c := 0; c < k; c++ {
+			tags = append(tags, (i0+core.DisjointOffset(t, h, c))%x)
+		}
+	case core.UMulti:
+		for c := 0; c < x; c++ {
+			tags = append(tags, c)
+		}
+	case core.RandomK:
+		seen := make(map[int]struct{}, k)
+		for len(tags) < k {
+			v := rng.Intn(x)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			tags = append(tags, v)
+		}
+	default:
+		return nil, fmt.Errorf("lid: scheme %q is source-dependent and cannot be realized with destination-based forwarding tables", sel.Name())
+	}
+	return tags, nil
+}
+
+// Fabric holds the synthesized linear forwarding tables: for every
+// switch, the output port of every assigned LID.
+type Fabric struct {
+	plan *Plan
+	sel  core.Selector
+	// tables[switchIndex][lid] is the output port, or 0xFF for LIDs a
+	// switch never sees valid traffic for (unassigned space).
+	tables [][]uint8
+	// tags[d] are the full-height path tags of destination d.
+	tags [][]int
+}
+
+const noRoute = 0xFF
+
+// BuildFabric computes the LFTs a subnet manager would install to
+// realize K-path routing under the scheme. seed drives randomized
+// schemes.
+func BuildFabric(p *Plan, sel core.Selector, seed int64) (*Fabric, error) {
+	t := p.topo
+
+	f := &Fabric{
+		plan:   p,
+		sel:    sel,
+		tables: make([][]uint8, t.NumSwitches()),
+		tags:   make([][]int, t.NumProcessors()),
+	}
+	tableLen := p.LIDsPerNode*(t.NumProcessors()+1) + t.NumSwitches()
+	for i := range f.tables {
+		f.tables[i] = make([]uint8, tableLen)
+		for j := range f.tables[i] {
+			f.tables[i][j] = noRoute
+		}
+	}
+	for d := 0; d < t.NumProcessors(); d++ {
+		tags, err := DestinationTags(t, sel, d, p.K, stats.Stream(seed, int64(d)))
+		if err != nil {
+			return nil, err
+		}
+		f.tags[d] = tags
+	}
+	// Fill every switch's table. A switch at level l forwards LID
+	// (d, slot) down when d lies in its subtree (digits above l all
+	// match), and otherwise up through the tag's level-(l+1) digit.
+	numProc := t.NumProcessors()
+	for s := 0; s < t.NumSwitches(); s++ {
+		node := topology.NodeID(numProc + s)
+		lvl, _ := t.LevelIndex(node)
+		lb := t.LabelOf(node)
+		for d := 0; d < numProc; d++ {
+			port, down := f.portFor(lvl, lb, d, 0)
+			for slot := 0; slot < p.LIDsPerNode; slot++ {
+				eff := slot
+				if eff >= len(f.tags[d]) {
+					eff = 0
+				}
+				if !down {
+					port, _ = f.portFor(lvl, lb, d, f.tags[d][eff])
+				}
+				f.tables[s][p.LID(d, slot)] = uint8(port)
+			}
+		}
+	}
+	return f, nil
+}
+
+// portFor computes the forwarding decision of a switch (level lvl,
+// label lb) for destination d under full-height tag: the down port
+// toward d when d is in the subtree, else the up port given by the
+// tag's digit at this level.
+func (f *Fabric) portFor(lvl int, lb topology.Label, d, tag int) (port int, down bool) {
+	t := f.plan.topo
+	// d's mixed-radix digits over m_1..m_h, a_1 least significant.
+	rest := d
+	inSubtree := true
+	var dDigit int
+	for i := 1; i <= t.H(); i++ {
+		digit := rest % t.M(i)
+		rest /= t.M(i)
+		if i == lvl {
+			dDigit = digit
+		}
+		if i > lvl && digit != lb.Digit(i) {
+			inSubtree = false
+		}
+	}
+	if inSubtree {
+		if lvl == t.H() {
+			return dDigit, true
+		}
+		return t.W(lvl+1) + dDigit, true
+	}
+	// Up: digit at level lvl+1 of the tag (u_1 most significant).
+	var up [17]int
+	core.DecodePathIndex(t, t.H(), tag, up[:0])
+	return up[lvl], false
+}
+
+// Plan returns the fabric's LID plan.
+func (f *Fabric) Plan() *Plan { return f.plan }
+
+// Tags returns the full-height path tags of destination d.
+func (f *Fabric) Tags(d int) []int { return f.tags[d] }
+
+// Forward returns the output port switch `sw` (a switch NodeID) uses
+// for the given LID, or -1 when the LID has no route.
+func (f *Fabric) Forward(sw topology.NodeID, lid int) int {
+	t := f.plan.topo
+	idx := int(sw) - t.NumProcessors()
+	if idx < 0 || idx >= t.NumSwitches() {
+		panic(fmt.Sprintf("lid: node %d is not a switch", sw))
+	}
+	if lid < 0 || lid >= len(f.tables[idx]) {
+		return -1
+	}
+	p := f.tables[idx][lid]
+	if p == noRoute {
+		return -1
+	}
+	return int(p)
+}
+
+// Walk follows the forwarding tables from processing node src toward
+// LID (dst, slot) and returns the nodes visited, ending at dst. On a
+// built fabric the first hop uses the source's up port from the tag,
+// as the source's channel adapter would be configured; on a parsed
+// fabric (no tags) each up port is tried in order and the first that
+// delivers wins. It fails if forwarding loops or dead-ends.
+func (f *Fabric) Walk(src, dst, slot int) ([]topology.NodeID, error) {
+	t := f.plan.topo
+	if src == dst {
+		return []topology.NodeID{t.Processor(src)}, nil
+	}
+	lid := f.plan.LID(dst, slot)
+	source := t.Processor(src)
+	if f.tags != nil {
+		eff := slot
+		if eff >= len(f.tags[dst]) {
+			eff = 0
+		}
+		var up [17]int
+		core.DecodePathIndex(t, t.H(), f.tags[dst][eff], up[:0])
+		return f.walkFrom(source, t.Parent(source, up[0]), dst, lid, slot)
+	}
+	var lastErr error
+	for p := 0; p < t.NumParents(source); p++ {
+		path, err := f.walkFrom(source, t.Parent(source, p), dst, lid, slot)
+		if err == nil {
+			return path, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("lid: no up port of node %d delivers lid %d: %w", src, lid, lastErr)
+}
+
+// walkFrom follows tables from the given first switch.
+func (f *Fabric) walkFrom(source, first topology.NodeID, dst, lid, slot int) ([]topology.NodeID, error) {
+	t := f.plan.topo
+	node := first
+	path := []topology.NodeID{source, node}
+	for hops := 1; ; hops++ {
+		if hops > 2*t.H()+1 {
+			return path, fmt.Errorf("lid: forwarding loop for dst=%d slot=%d", dst, slot)
+		}
+		lvl, _ := t.LevelIndex(node)
+		if lvl == 0 {
+			if t.ProcessorID(node) != dst {
+				return path, fmt.Errorf("lid: misdelivered to %d, want %d", t.ProcessorID(node), dst)
+			}
+			return path, nil
+		}
+		port := f.Forward(node, lid)
+		if port < 0 {
+			return path, fmt.Errorf("lid: no route at switch %v for lid %d", t.LabelOf(node), lid)
+		}
+		node = t.PortPeer(node, port)
+		path = append(path, node)
+	}
+}
+
+// EffectivePaths returns the number of distinct physical paths the
+// fabric offers from src to dst: tags whose truncation to the pair's
+// NCA subtree differ. Shift-1 loses diversity for nearby pairs because
+// consecutive tags differ at the top of the tree; disjoint retains it.
+// On a parsed fabric (no tags) the paths are recovered by walking the
+// tables for every slot.
+func (f *Fabric) EffectivePaths(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	t := f.plan.topo
+	distinct := make(map[string]struct{})
+	if f.tags == nil {
+		for slot := 0; slot < f.plan.LIDsPerNode; slot++ {
+			path, err := f.Walk(src, dst, slot)
+			if err != nil {
+				continue
+			}
+			distinct[fmt.Sprint(path)] = struct{}{}
+		}
+		return len(distinct)
+	}
+	k := t.NCALevel(src, dst)
+	var up [17]int
+	for _, tag := range f.tags[dst] {
+		u := core.DecodePathIndex(t, t.H(), tag, up[:0])
+		key := fmt.Sprint(u[:k])
+		distinct[key] = struct{}{}
+	}
+	return len(distinct)
+}

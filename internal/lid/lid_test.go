@@ -1,0 +1,334 @@
+package lid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+)
+
+func table1Topo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+}
+
+func TestPlanBasics(t *testing.T) {
+	tp := table1Topo(t)
+	p, err := NewPlan(tp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 3 || p.LMC != 2 || p.LIDsPerNode != 4 {
+		t.Fatalf("plan %+v", p)
+	}
+	if want := 128*4 + tp.NumSwitches(); p.TotalLIDs != want {
+		t.Fatalf("TotalLIDs=%d want %d", p.TotalLIDs, want)
+	}
+	// Blocks are aligned and disjoint; decode inverts (within the K
+	// live slots — higher slots alias slot 0).
+	seen := make(map[int]bool)
+	for d := 0; d < tp.NumProcessors(); d++ {
+		base := p.BaseLID(d)
+		if base%p.LIDsPerNode != 0 {
+			t.Fatalf("unaligned base %d", base)
+		}
+		for slot := 0; slot < p.K; slot++ {
+			lid := p.LID(d, slot)
+			if lid == 0 || seen[lid] {
+				t.Fatalf("lid %d reserved or reused", lid)
+			}
+			seen[lid] = true
+			dd, ss, ok := p.Decode(lid)
+			if !ok || dd != d || ss != slot {
+				t.Fatalf("Decode(%d) = (%d,%d,%v) want (%d,%d)", lid, dd, ss, ok, d, slot)
+			}
+		}
+	}
+	// Slots beyond K alias slot 0.
+	if p.LID(5, 3) != p.LID(5, 0) {
+		t.Fatal("slot aliasing wrong: slot 3 (>= K=3) must alias slot 0")
+	}
+	// Switch LIDs sit above all node blocks and stay in range.
+	for i := 0; i < tp.NumSwitches(); i++ {
+		l := p.SwitchLID(i)
+		if _, _, ok := p.Decode(l); ok {
+			t.Fatalf("switch lid %d decodes as node", l)
+		}
+		if l > MaxUnicastLIDs {
+			t.Fatalf("switch lid %d out of space", l)
+		}
+	}
+	if _, _, ok := p.Decode(0); ok {
+		t.Fatal("LID 0 must not decode")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	tp := table1Topo(t)
+	if _, err := NewPlan(tp, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	// K beyond MaxPaths clamps.
+	p, err := NewPlan(tp, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != tp.MaxPaths() {
+		t.Fatalf("K=%d want %d", p.K, tp.MaxPaths())
+	}
+	// LMC cap: a tree with > 128 paths cannot request them all.
+	big := topology.MustNew(3, []int{12, 12, 24}, []int{1, 12, 12}) // X=144
+	if _, err := NewPlan(big, 144); err == nil {
+		t.Error("K=144 (LMC 8) accepted")
+	}
+}
+
+// TestRangerScaleWall reproduces the paper's motivating numbers: on
+// the 24-port 3-tree (TACC Ranger scale) unlimited multi-path routing
+// cannot be addressed, while small K fits comfortably.
+func TestRangerScaleWall(t *testing.T) {
+	tp := topology.MustNew(3, []int{12, 12, 24}, []int{1, 12, 12})
+	if tp.NumProcessors() != 3456 || tp.MaxPaths() != 144 {
+		t.Fatal("unexpected Ranger-scale topology")
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		if _, err := NewPlan(tp, k); err != nil {
+			t.Errorf("K=%d should fit: %v", k, err)
+		}
+	}
+	for _, k := range []int{16, 64, 128} {
+		if _, err := NewPlan(tp, k); err == nil {
+			t.Errorf("K=%d should exceed the LID space", k)
+		}
+	}
+	maxK := MaxRealizableK(tp)
+	if maxK < 8 || maxK >= 16 {
+		t.Fatalf("MaxRealizableK=%d, want in [8,16)", maxK)
+	}
+}
+
+func TestDestinationTags(t *testing.T) {
+	tp := table1Topo(t)
+	rng := rand.New(rand.NewSource(1))
+	x := tp.MaxPaths()
+	for _, sel := range []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}, core.UMulti{}} {
+		for _, k := range []int{1, 2, 5, x} {
+			for dst := 0; dst < tp.NumProcessors(); dst += 17 {
+				tags, err := DestinationTags(tp, sel, dst, k, rng)
+				if err != nil {
+					t.Fatalf("%s: %v", sel.Name(), err)
+				}
+				seen := make(map[int]bool)
+				for _, tag := range tags {
+					if tag < 0 || tag >= x || seen[tag] {
+						t.Fatalf("%s: bad tag %d in %v", sel.Name(), tag, tags)
+					}
+					seen[tag] = true
+				}
+				switch sel.(type) {
+				case core.DModK:
+					if len(tags) != 1 || tags[0] != core.DModKIndex(tp, dst, tp.H()) {
+						t.Fatalf("d-mod-k tags %v", tags)
+					}
+				case core.UMulti:
+					if len(tags) != x {
+						t.Fatalf("umulti %d tags", len(tags))
+					}
+				default:
+					if len(tags) != k {
+						t.Fatalf("%s: %d tags want %d", sel.Name(), len(tags), k)
+					}
+				}
+			}
+		}
+	}
+	for _, sel := range []core.Selector{core.SModK{}, core.RandomSingle{}} {
+		if _, err := DestinationTags(tp, sel, 0, 2, rng); err == nil {
+			t.Errorf("%s should not be LFT-realizable", sel.Name())
+		}
+	}
+}
+
+// TestFabricWalkReachesDestination: forwarding from every source to
+// every (destination, slot) must deliver along a valid shortest path.
+func TestFabricWalkReachesDestination(t *testing.T) {
+	trees := []*topology.Topology{
+		topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2}),
+		topology.MustNew(2, []int{4, 8}, []int{1, 4}),
+	}
+	for _, tp := range trees {
+		for _, sel := range []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}} {
+			p, err := NewPlan(tp, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := BuildFabric(p, sel, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tp.NumProcessors()
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					for slot := 0; slot < p.LIDsPerNode; slot++ {
+						path, err := f.Walk(src, dst, slot)
+						if err != nil {
+							t.Fatalf("%s %s: walk(%d,%d,%d): %v", tp, sel.Name(), src, dst, slot, err)
+						}
+						if src == dst {
+							continue
+						}
+						k := tp.NCALevel(src, dst)
+						if len(path) != 2*k+1 {
+							t.Fatalf("%s %s: walk(%d,%d,%d) took %d nodes, want %d (shortest)",
+								tp, sel.Name(), src, dst, slot, len(path), 2*k+1)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFabricMatchesSelectorAtFullHeight: for SD pairs whose NCA is the
+// root level, the LFT walk must realize exactly the selector's paths.
+func TestFabricMatchesSelectorAtFullHeight(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	k := 4 // == MaxPaths
+	p, err := NewPlan(tp, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []core.Selector{core.Shift1{}, core.Disjoint{}} {
+		f, err := BuildFabric(p, sel, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tp.NumProcessors()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if tp.NCALevel(src, dst) != tp.H() {
+					continue
+				}
+				want := sel.Select(tp, src, dst, k, nil, nil)
+				for slot, idx := range want {
+					up := core.DecodePathIndex(tp, tp.H(), idx, nil)
+					wantPath := tp.PathNodes(src, dst, up)
+					got, err := f.Walk(src, dst, slot)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, wantPath) {
+						t.Fatalf("%s (%d,%d,slot %d): walk %v != selector path %v",
+							sel.Name(), src, dst, slot, got, wantPath)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEffectivePathDiversity: disjoint retains full diversity for
+// nearby pairs under LID truncation while shift-1 collapses — the
+// ablation described in the package comment.
+func TestEffectivePathDiversity(t *testing.T) {
+	tp := table1Topo(t) // w=(1,4,4), X=16
+	p, err := NewPlan(tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := BuildFabric(p, core.Disjoint{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildFabric(p, core.Shift1{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A level-2 pair (same 16-node subtree, different leaf switches)
+	// has 4 physical paths. Disjoint's first 4 tags differ in u_1..u_2
+	// -> 4 effective paths; shift-1's consecutive tags differ in u_3
+	// (above the NCA) -> 1 effective path when the tag block doesn't
+	// carry out of u_3 (dst=1 has u_3 = 0, so tags 4..7 share u_2).
+	src, dst := 5, 1
+	if k := tp.NCALevel(src, dst); k != 2 {
+		t.Fatalf("NCA(%d,%d)=%d, want 2", src, dst, k)
+	}
+	if got := dj.EffectivePaths(src, dst); got != 4 {
+		t.Fatalf("disjoint effective paths = %d, want 4", got)
+	}
+	if got := sh.EffectivePaths(src, dst); got != 1 {
+		t.Fatalf("shift-1 effective paths = %d, want 1", got)
+	}
+	// Far pairs keep all K paths under both schemes.
+	far := tp.NumProcessors() - 1
+	if dj.EffectivePaths(0, far) != 4 || sh.EffectivePaths(0, far) != 4 {
+		t.Fatal("far pair should keep 4 effective paths")
+	}
+	if dj.EffectivePaths(3, 3) != 0 {
+		t.Fatal("self pair effective paths")
+	}
+}
+
+func TestFabricAccessors(t *testing.T) {
+	tp := topology.MustNew(2, []int{2, 4}, []int{1, 2})
+	p, err := NewPlan(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildFabric(p, core.Disjoint{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Plan() != p {
+		t.Fatal("Plan accessor")
+	}
+	if len(f.Tags(0)) != 2 {
+		t.Fatal("Tags accessor")
+	}
+	// Unrouted LIDs return -1; switch queries validated.
+	sw := tp.NodeAt(1, 0)
+	if f.Forward(sw, 0) != -1 {
+		t.Fatal("LID 0 should have no route")
+	}
+	if f.Forward(sw, 1<<20) != -1 {
+		t.Fatal("out-of-range LID should have no route")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Forward on a processing node should panic")
+			}
+		}()
+		f.Forward(tp.Processor(0), 4)
+	}()
+	if _, err := BuildFabric(p, core.SModK{}, 0); err == nil {
+		t.Error("source-dependent scheme accepted")
+	}
+}
+
+func TestPlanPanics(t *testing.T) {
+	tp := topology.MustNew(2, []int{2, 4}, []int{1, 2})
+	p, err := NewPlan(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []func(){
+		func() { p.BaseLID(-1) },
+		func() { p.BaseLID(tp.NumProcessors()) },
+		func() { p.LID(0, -1) },
+		func() { p.LID(0, p.LIDsPerNode) },
+		func() { p.SwitchLID(-1) },
+		func() { p.SwitchLID(tp.NumSwitches()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,211 @@
+package lid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xgftsim/internal/topology"
+)
+
+// Forwarding-table serialization in the spirit of OpenSM's
+// `dump_lfts` output: one block per switch listing LID -> port
+// mappings. The format round-trips through ParseFabric, so fabrics can
+// be diffed, archived, or fed to external tooling.
+//
+//	# xgftsim LFT dump
+//	# topology XGFT(3; 4,4,8; 1,4,4) scheme disjoint K 4 lmc 2
+//	switch 128 level 1
+//	0x0004 1
+//	0x0005 2
+//	...
+//
+// LIDs print in hex as OpenSM does; ports are decimal.
+
+// WriteTo serializes the fabric's forwarding tables.
+func (f *Fabric) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	t := f.plan.topo
+	if err := count(fmt.Fprintf(bw, "# xgftsim LFT dump\n# topology %s scheme %s K %d lmc %d\n",
+		t, f.sel.Name(), f.plan.K, f.plan.LMC)); err != nil {
+		return n, err
+	}
+	numProc := t.NumProcessors()
+	for s := range f.tables {
+		node := topology.NodeID(numProc + s)
+		lvl, _ := t.LevelIndex(node)
+		if err := count(fmt.Fprintf(bw, "switch %d level %d\n", int(node), lvl)); err != nil {
+			return n, err
+		}
+		for lid, port := range f.tables[s] {
+			if port == noRoute {
+				continue
+			}
+			if err := count(fmt.Fprintf(bw, "0x%04x %d\n", lid, port)); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ParseFabric reads a dump produced by WriteTo back into forwarding
+// tables over the given plan. The scheme recorded in the header is
+// resolved by name for bookkeeping; table contents come entirely from
+// the dump. Tags are not reconstructed, so Walk on a parsed fabric
+// resolves the first hop from the first switch's table instead; use
+// ForwardingEqual to compare fabrics.
+func ParseFabric(p *Plan, r io.Reader) (*Fabric, error) {
+	t := p.topo
+	f := &Fabric{
+		plan:   p,
+		tables: make([][]uint8, t.NumSwitches()),
+	}
+	tableLen := p.LIDsPerNode*(t.NumProcessors()+1) + t.NumSwitches()
+	for i := range f.tables {
+		f.tables[i] = make([]uint8, tableLen)
+		for j := range f.tables[i] {
+			f.tables[i][j] = noRoute
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	cur := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, "switch "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) < 1 {
+				return nil, fmt.Errorf("lid: line %d: bad switch header %q", line, text)
+			}
+			node, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("lid: line %d: bad switch id: %v", line, err)
+			}
+			cur = node - t.NumProcessors()
+			if cur < 0 || cur >= t.NumSwitches() {
+				return nil, fmt.Errorf("lid: line %d: node %d is not a switch", line, node)
+			}
+			continue
+		}
+		if cur < 0 {
+			return nil, fmt.Errorf("lid: line %d: entry before any switch header", line)
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("lid: line %d: want \"lid port\", got %q", line, text)
+		}
+		lid, err := strconv.ParseUint(strings.TrimPrefix(fields[0], "0x"), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("lid: line %d: bad lid: %v", line, err)
+		}
+		port, err := strconv.Atoi(fields[1])
+		if err != nil || port < 0 || port >= noRoute {
+			return nil, fmt.Errorf("lid: line %d: bad port %q", line, fields[1])
+		}
+		if int(lid) >= tableLen {
+			return nil, fmt.Errorf("lid: line %d: lid 0x%04x outside the plan's %d-entry tables", line, lid, tableLen)
+		}
+		f.tables[cur][lid] = uint8(port)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ForwardingEqual reports whether two fabrics install identical
+// forwarding tables (ignoring tag bookkeeping).
+func ForwardingEqual(a, b *Fabric) bool {
+	if len(a.tables) != len(b.tables) {
+		return false
+	}
+	for i := range a.tables {
+		if len(a.tables[i]) != len(b.tables[i]) {
+			return false
+		}
+		for j := range a.tables[i] {
+			if a.tables[i][j] != b.tables[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TableStats summarizes a fabric's forwarding state: per-switch entry
+// counts and the total table footprint in entries.
+type TableStats struct {
+	Switches     int
+	EntriesTotal int
+	EntriesMin   int
+	EntriesMax   int
+}
+
+// Stats computes the fabric's table statistics.
+func (f *Fabric) Stats() TableStats {
+	st := TableStats{Switches: len(f.tables), EntriesMin: -1}
+	for _, tbl := range f.tables {
+		n := 0
+		for _, p := range tbl {
+			if p != noRoute {
+				n++
+			}
+		}
+		st.EntriesTotal += n
+		if st.EntriesMin < 0 || n < st.EntriesMin {
+			st.EntriesMin = n
+		}
+		if n > st.EntriesMax {
+			st.EntriesMax = n
+		}
+	}
+	if st.EntriesMin < 0 {
+		st.EntriesMin = 0
+	}
+	return st
+}
+
+// PortHistogram returns, for one switch, how many LIDs map to each
+// output port — the load-spreading signature of the installed routing.
+func (f *Fabric) PortHistogram(sw topology.NodeID) map[int]int {
+	t := f.plan.topo
+	idx := int(sw) - t.NumProcessors()
+	if idx < 0 || idx >= t.NumSwitches() {
+		panic(fmt.Sprintf("lid: node %d is not a switch", sw))
+	}
+	hist := make(map[int]int)
+	for _, p := range f.tables[idx] {
+		if p != noRoute {
+			hist[int(p)]++
+		}
+	}
+	return hist
+}
+
+// SortedPorts lists a histogram's ports in ascending order (helper for
+// stable textual reports).
+func SortedPorts(hist map[int]int) []int {
+	ports := make([]int, 0, len(hist))
+	for p := range hist {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	return ports
+}

@@ -1,0 +1,190 @@
+package lid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+)
+
+func buildTestFabric(t *testing.T) (*Plan, *Fabric) {
+	t.Helper()
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	p, err := NewPlan(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildFabric(p, core.Disjoint{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, f
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	p, f := buildTestFabric(t)
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if !strings.Contains(buf.String(), "# topology XGFT(3; 2,2,4; 1,2,2) scheme disjoint K 2 lmc 1") {
+		t.Fatalf("header missing:\n%s", buf.String()[:120])
+	}
+	back, err := ParseFabric(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ForwardingEqual(f, back) {
+		t.Fatal("round trip changed forwarding tables")
+	}
+}
+
+func TestForwardingEqualDetectsDifference(t *testing.T) {
+	p, f := buildTestFabric(t)
+	g, err := BuildFabric(p, core.Shift1{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ForwardingEqual(f, g) {
+		t.Fatal("disjoint and shift-1 fabrics should differ")
+	}
+	h, err := BuildFabric(p, core.Disjoint{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ForwardingEqual(f, h) {
+		t.Fatal("identical builds should be equal")
+	}
+}
+
+func TestParseFabricErrors(t *testing.T) {
+	p, _ := buildTestFabric(t)
+	cases := []string{
+		"0x0004 1\n",                      // entry before header
+		"switch abc\n",                    // bad switch id
+		"switch 1 level 0\n",              // a processing node
+		"switch 16 level 1\nzz\n",         // malformed entry
+		"switch 16 level 1\n0xzz 1\n",     // bad lid
+		"switch 16 level 1\n0x0004 -1\n",  // bad port
+		"switch 16 level 1\n0x0004 255\n", // reserved port value
+		"switch 16 level 1\n0xffff 1\n",   // lid outside tables
+	}
+	for i, in := range cases {
+		if _, err := ParseFabric(p, strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, in)
+		}
+	}
+	// Comments and blank lines are fine.
+	if _, err := ParseFabric(p, strings.NewReader("# hi\n\nswitch 16 level 1\n0x0004 1\n")); err != nil {
+		t.Errorf("benign input rejected: %v", err)
+	}
+}
+
+func TestStatsAndHistogram(t *testing.T) {
+	p, f := buildTestFabric(t)
+	st := f.Stats()
+	tp := p.Topology()
+	if st.Switches != tp.NumSwitches() {
+		t.Fatalf("switches %d", st.Switches)
+	}
+	// Every switch routes every (node, slot) LID: 2^LMC per node.
+	want := tp.NumProcessors() * p.LIDsPerNode
+	if st.EntriesMin != want || st.EntriesMax != want {
+		t.Fatalf("entries min/max %d/%d, want %d", st.EntriesMin, st.EntriesMax, want)
+	}
+	if st.EntriesTotal != want*st.Switches {
+		t.Fatalf("total %d", st.EntriesTotal)
+	}
+	// Port histogram of a top switch: down ports only, all entries
+	// accounted for.
+	top := tp.NodeAt(tp.H(), 0)
+	hist := f.PortHistogram(top)
+	sum := 0
+	for _, port := range SortedPorts(hist) {
+		if port < 0 || port >= tp.NumPorts(top) {
+			t.Fatalf("port %d out of range", port)
+		}
+		sum += hist[port]
+	}
+	if sum != want {
+		t.Fatalf("histogram sum %d, want %d", sum, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PortHistogram on a processor should panic")
+			}
+		}()
+		f.PortHistogram(tp.Processor(0))
+	}()
+}
+
+// TestParsedFabricForwards: a parsed fabric forwards identically at
+// every switch for sampled LIDs.
+func TestParsedFabricForwards(t *testing.T) {
+	p, f := buildTestFabric(t)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFabric(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.Topology()
+	for s := 0; s < tp.NumSwitches(); s++ {
+		sw := topology.NodeID(tp.NumProcessors() + s)
+		for d := 0; d < tp.NumProcessors(); d++ {
+			for slot := 0; slot < p.LIDsPerNode; slot++ {
+				lid := p.LID(d, slot)
+				if f.Forward(sw, lid) != back.Forward(sw, lid) {
+					t.Fatalf("switch %d lid %d: %d vs %d", sw, lid, f.Forward(sw, lid), back.Forward(sw, lid))
+				}
+			}
+		}
+	}
+}
+
+// TestParsedFabricWalkAndDiversity: a parsed fabric (no tags) still
+// supports Walk (trying the source's up ports) and EffectivePaths
+// (recovered from table walks), matching the built fabric.
+func TestParsedFabricWalkAndDiversity(t *testing.T) {
+	p, f := buildTestFabric(t)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFabric(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.Topology()
+	n := tp.NumProcessors()
+	for src := 0; src < n; src += 3 {
+		for dst := 0; dst < n; dst += 5 {
+			if src == dst {
+				continue
+			}
+			for slot := 0; slot < p.LIDsPerNode; slot++ {
+				a, errA := f.Walk(src, dst, slot)
+				b, errB := back.Walk(src, dst, slot)
+				if errA != nil || errB != nil {
+					t.Fatalf("walk errors: %v / %v", errA, errB)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("(%d,%d,%d): built %d hops, parsed %d", src, dst, slot, len(a)-1, len(b)-1)
+				}
+			}
+			if f.EffectivePaths(src, dst) != back.EffectivePaths(src, dst) {
+				t.Fatalf("(%d,%d): diversity %d vs %d", src, dst,
+					f.EffectivePaths(src, dst), back.EffectivePaths(src, dst))
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import "math/rand"
+
+// Stream derives a deterministic, well-mixed RNG for the given
+// (seed, stream) pair. Distinct stream indices yield independent
+// sequences even for adjacent seeds, which lets parallel sample workers
+// draw reproducible randomness regardless of goroutine scheduling.
+func Stream(seed int64, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Mix64(uint64(seed) ^ Mix64(uint64(stream)+0x9e3779b97f4a7c15)))))
+}
+
+// Mix64 is the SplitMix64 finalizer: a bijective mixing function over
+// 64-bit integers with excellent avalanche behaviour.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Histogram is a fixed-width bucket histogram over [0, BucketWidth*len)
+// with an overflow bucket, used for message-latency distributions.
+type Histogram struct {
+	BucketWidth float64
+	Counts      []int64
+	Overflow    int64
+	total       int64
+	sum         float64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	if n <= 0 || width <= 0 {
+		panic("stats: NewHistogram requires positive bucket count and width")
+	}
+	return &Histogram{BucketWidth: width, Counts: make([]int64, n)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	h.sum += x
+	i := int(x / h.BucketWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of all observed values (exact, not bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Percentile returns an upper bound for the p-th percentile (0<p<=100)
+// using bucket boundaries. Overflowed observations report the histogram
+// range upper edge.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(p / 100 * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.BucketWidth
+		}
+	}
+	return float64(len(h.Counts)) * h.BucketWidth
+}

@@ -1,0 +1,282 @@
+// Package stats provides the statistical machinery used by the
+// simulation experiments: running mean/variance accumulators,
+// Student-t confidence intervals, the paper's adaptive permutation
+// sampling protocol (sample until the 99% confidence interval is
+// smaller than a fraction of the mean), histograms for latency
+// distributions, and deterministic per-stream random number sources.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator maintains running statistics over a stream of float64
+// observations using Welford's numerically stable algorithm. The zero
+// value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.sum += x
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll records every observation in xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations recorded so far.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 if no observations were recorded.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Sum returns the sum of all observations.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Min returns the smallest observation, or 0 if none were recorded.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 if none were recorded.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+// It returns 0 when fewer than two observations were recorded.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// ConfidenceHalfWidth returns the half-width of the confidence interval
+// for the mean at the given confidence level (e.g. 0.99), using the
+// Student-t distribution with n-1 degrees of freedom. It returns +Inf
+// when fewer than two observations were recorded.
+func (a *Accumulator) ConfidenceHalfWidth(level float64) float64 {
+	if a.n < 2 {
+		return math.Inf(1)
+	}
+	t := StudentTQuantile(1-(1-level)/2, a.n-1)
+	return t * a.StdErr()
+}
+
+// RelativeCI returns ConfidenceHalfWidth(level) / |Mean|, the relative
+// precision of the estimate. It returns +Inf for a zero mean or fewer
+// than two observations.
+func (a *Accumulator) RelativeCI(level float64) float64 {
+	m := math.Abs(a.Mean())
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return a.ConfidenceHalfWidth(level) / m
+}
+
+// String summarizes the accumulator for debugging output.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		a.n, a.Mean(), a.StdDev(), a.min, a.max)
+}
+
+// Merge folds the observations summarized by b into a, as if every
+// observation recorded in b had been recorded in a (Chan et al.
+// parallel variance combination).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+	a.sum += b.sum
+}
+
+// StudentTQuantile returns the p-quantile (0 < p < 1) of the Student-t
+// distribution with df degrees of freedom. It inverts the regularized
+// incomplete beta function by bisection on the CDF, which is plenty
+// accurate (and fast) for confidence-interval use.
+func StudentTQuantile(p float64, df int) float64 {
+	if df <= 0 {
+		panic("stats: StudentTQuantile requires df >= 1")
+	}
+	if p <= 0 || p >= 1 {
+		panic("stats: StudentTQuantile requires 0 < p < 1")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Symmetry: solve for p > 0.5 and negate as needed.
+	if p < 0.5 {
+		return -StudentTQuantile(1-p, df)
+	}
+	lo, hi := 0.0, 1.0
+	for studentTCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e8 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if studentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// studentTCDF returns P(T <= t) for the Student-t distribution with df
+// degrees of freedom, via the regularized incomplete beta function.
+func studentTCDF(t float64, df int) float64 {
+	if t == 0 {
+		return 0.5
+	}
+	v := float64(df)
+	x := v / (v + t*t)
+	ib := regIncBeta(v/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes
+// style, Lentz's method).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	if x > (a+1)/(a+b+2) {
+		// Use the symmetry relation for faster convergence.
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	const eps = 1e-14
+	const tiny = 1e-300
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		m := i / 2
+		var num float64
+		switch {
+		case i == 0:
+			num = 1
+		case i%2 == 0:
+			num = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			num = -(a + float64(m)) * (a + b + float64(m)) * x / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted; the
+// slice is not modified. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

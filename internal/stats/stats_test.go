@@ -1,0 +1,324 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatal("zero value not clean")
+	}
+	if !math.IsInf(a.ConfidenceHalfWidth(0.99), 1) {
+		t.Fatal("CI of empty accumulator should be +Inf")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	a.AddAll(xs)
+	if a.N() != 8 {
+		t.Fatalf("N=%d", a.N())
+	}
+	if got := a.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean=%g want 5", got)
+	}
+	// Sample variance of this classic data set is 32/7.
+	if got := a.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Variance=%g want %g", got, 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 || a.Sum() != 40 {
+		t.Fatalf("min/max/sum wrong: %v %v %v", a.Min(), a.Max(), a.Sum())
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// TestAccumulatorMatchesNaive cross-checks Welford against the naive
+// two-pass formulas on random data.
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 2
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 100
+			a.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-v) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeEquivalence: merging two accumulators must equal
+// accumulating the concatenated stream.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, all Accumulator
+		na, nb := rng.Intn(50), rng.Intn(50)
+		for i := 0; i < na; i++ {
+			x := rng.Float64() * 100
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := rng.Float64()*100 - 50
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-7 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStudentTQuantile checks against standard table values.
+func TestStudentTQuantile(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 10, 2.228},
+		{0.995, 10, 3.169},
+		{0.995, 30, 2.750},
+		{0.975, 120, 1.980},
+		{0.995, 1000, 2.581}, // ~normal 2.576
+		{0.95, 5, 2.015},
+	}
+	for _, c := range cases {
+		got := StudentTQuantile(c.p, c.df)
+		if math.Abs(got-c.want) > 0.01*c.want {
+			t.Errorf("t(%.3f, df=%d) = %.4f want %.4f", c.p, c.df, got, c.want)
+		}
+		// Symmetry.
+		if neg := StudentTQuantile(1-c.p, c.df); math.Abs(neg+got) > 1e-6 {
+			t.Errorf("quantile not symmetric: %g vs %g", neg, got)
+		}
+	}
+	if StudentTQuantile(0.5, 7) != 0 {
+		t.Error("median should be 0")
+	}
+	for _, f := range []func(){
+		func() { StudentTQuantile(0, 5) },
+		func() { StudentTQuantile(1, 5) },
+		func() { StudentTQuantile(0.9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestConfidenceCoverage: the 95% CI should cover the true mean about
+// 95% of the time (loose bounds to keep the test robust).
+func TestConfidenceCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const trials = 400
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		var a Accumulator
+		for i := 0; i < 25; i++ {
+			a.Add(rng.NormFloat64()*3 + 10)
+		}
+		hw := a.ConfidenceHalfWidth(0.95)
+		if math.Abs(a.Mean()-10) <= hw {
+			covered++
+		}
+	}
+	if covered < trials*88/100 || covered > trials*99/100 {
+		t.Fatalf("95%% CI covered %d/%d", covered, trials)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median %g", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q1 %g", got)
+	}
+	if got := Quantile(xs, 0.125); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("interpolated %g", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty Quantile should panic")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean=%g", got)
+	}
+}
+
+func TestSampleAdaptiveConverges(t *testing.T) {
+	// Low-variance distribution: should converge quickly.
+	res := SampleAdaptive(AdaptiveConfig{InitialSamples: 20, MaxSamples: 10000, RelPrecision: 0.05}, func(i int) float64 {
+		rng := Stream(1, int64(i))
+		return 100 + rng.Float64()
+	})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.Acc.Mean()-100.5) > 0.5 {
+		t.Fatalf("mean %g", res.Acc.Mean())
+	}
+	if res.Acc.N() > 200 {
+		t.Fatalf("used %d samples for an easy target", res.Acc.N())
+	}
+}
+
+func TestSampleAdaptiveHitsCap(t *testing.T) {
+	// Unbounded-variance-ish target with a tiny cap: must stop at cap.
+	res := SampleAdaptive(AdaptiveConfig{InitialSamples: 10, MaxSamples: 40, RelPrecision: 1e-9}, func(i int) float64 {
+		rng := Stream(2, int64(i))
+		return rng.Float64() * 1000
+	})
+	if res.Converged {
+		t.Fatal("should not converge")
+	}
+	if res.Acc.N() != 40 {
+		t.Fatalf("sampled %d want 40", res.Acc.N())
+	}
+}
+
+// TestSampleAdaptiveDeterministic: results must not depend on the
+// parallelism level when samples derive their randomness from the
+// index.
+func TestSampleAdaptiveDeterministic(t *testing.T) {
+	sample := func(i int) float64 {
+		rng := Stream(7, int64(i))
+		return rng.NormFloat64()*5 + 50
+	}
+	cfg1 := AdaptiveConfig{InitialSamples: 64, MaxSamples: 256, RelPrecision: 1e-9, Parallelism: 1}
+	cfg8 := cfg1
+	cfg8.Parallelism = 8
+	r1 := SampleAdaptive(cfg1, sample)
+	r8 := SampleAdaptive(cfg8, sample)
+	if r1.Acc.N() != r8.Acc.N() || math.Abs(r1.Acc.Mean()-r8.Acc.Mean()) > 1e-12 {
+		t.Fatalf("parallelism changed the result: %v vs %v", r1.Acc, r8.Acc)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := Stream(1, 0)
+	b := Stream(1, 1)
+	c := Stream(1, 0)
+	sameAC := true
+	diffAB := false
+	for i := 0; i < 16; i++ {
+		va, vb, vc := a.Int63(), b.Int63(), c.Int63()
+		if va != vc {
+			sameAC = false
+		}
+		if va != vb {
+			diffAB = true
+		}
+	}
+	if !sameAC {
+		t.Fatal("same (seed,stream) diverged")
+	}
+	if !diffAB {
+		t.Fatal("different streams identical")
+	}
+}
+
+func TestMix64Bijectivity(t *testing.T) {
+	// Spot-check avalanche: flipping one input bit changes many output
+	// bits, and no collisions among a small dense range.
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 4096; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatal("collision in Mix64 over dense range")
+		}
+		seen[h] = true
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5) // buckets [0,5), [5,10) ... [45,50)
+	for _, v := range []float64{1, 2, 7, 12, 49, 60, -1} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total=%d", h.Total())
+	}
+	if h.Counts[0] != 3 { // 1, 2, and clamped -1
+		t.Fatalf("bucket0=%d", h.Counts[0])
+	}
+	if h.Overflow != 1 {
+		t.Fatalf("overflow=%d", h.Overflow)
+	}
+	if got := h.Mean(); math.Abs(got-130.0/7) > 1e-12 {
+		t.Fatalf("Mean=%g", got)
+	}
+	if p := h.Percentile(50); p <= 0 || p > 50 {
+		t.Fatalf("p50=%g", p)
+	}
+	if p := h.Percentile(100); p != 50 {
+		t.Fatalf("p100=%g want 50 (overflow reports range edge)", p)
+	}
+	var empty Histogram
+	empty.BucketWidth = 1
+	empty.Counts = make([]int64, 1)
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram percentile/mean")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewHistogram(0,1) should panic")
+			}
+		}()
+		NewHistogram(0, 1)
+	}()
+}

@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Draw renders the topology level by level in the style of the paper's
+// Figures 1-3: top switches first, processing nodes last, each node
+// printed with its tuple label and, for switches, the port-ordered list
+// of neighbours. Intended for small illustration trees; larger levels
+// are elided after maxPerLevel nodes.
+func (t *Topology) Draw(w io.Writer, maxPerLevel int) {
+	if maxPerLevel <= 0 {
+		maxPerLevel = 16
+	}
+	fmt.Fprintf(w, "%s — %d processing nodes, %d switches\n", t, t.NumProcessors(), t.NumSwitches())
+	for l := t.h; l >= 0; l-- {
+		kind := "switches"
+		switch {
+		case l == 0:
+			kind = "processing nodes"
+		case l == t.h:
+			kind = "top switches"
+		}
+		fmt.Fprintf(w, "level %d (%d %s):\n", l, t.levelCount[l], kind)
+		shown := t.levelCount[l]
+		if shown > maxPerLevel {
+			shown = maxPerLevel
+		}
+		for i := 0; i < shown; i++ {
+			n := t.NodeAt(l, i)
+			fmt.Fprintf(w, "  %-14s", t.LabelOf(n).String())
+			if l > 0 {
+				var ports []string
+				for p := 0; p < t.NumPorts(n); p++ {
+					ports = append(ports, t.LabelOf(t.PortPeer(n, p)).String())
+				}
+				fmt.Fprintf(w, " ports-> %s", strings.Join(ports, " "))
+			} else if t.NumParents(n) > 0 {
+				var ups []string
+				for p := 0; p < t.NumParents(n); p++ {
+					ups = append(ups, t.LabelOf(t.Parent(n, p)).String())
+				}
+				fmt.Fprintf(w, " up-> %s", strings.Join(ups, " "))
+			}
+			fmt.Fprintln(w)
+		}
+		if t.levelCount[l] > shown {
+			fmt.Fprintf(w, "  ... %d more\n", t.levelCount[l]-shown)
+		}
+	}
+}
+
+// DrawPath renders one shortest path (by up-port choices) as an
+// indented hop list, for illustrating the paper's Path enumeration
+// examples.
+func (t *Topology) DrawPath(w io.Writer, src, dst int, up []int) {
+	nodes := t.PathNodes(src, dst, up)
+	fmt.Fprintf(w, "path %d -> %d via up ports %v:\n", src, dst, up)
+	for i, n := range nodes {
+		l, _ := t.LevelIndex(n)
+		fmt.Fprintf(w, "  %s%s (level %d)\n", strings.Repeat("  ", levelIndent(i, len(nodes))), t.LabelOf(n), l)
+	}
+}
+
+// levelIndent makes the hop list rise and fall with the path.
+func levelIndent(i, total int) int {
+	peak := total / 2
+	if i <= peak {
+		return i
+	}
+	return total - 1 - i
+}

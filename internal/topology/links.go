@@ -1,0 +1,112 @@
+package topology
+
+import "fmt"
+
+// Links are identified by the undirected edge they run along plus a
+// direction. An edge is named by its lower endpoint (the child) and the
+// child's up-port number; edges between levels l and l+1 are numbered
+// densely after all edges below them.
+
+// NumLinks returns the number of directed links in the topology
+// (twice the cable count).
+func (t *Topology) NumLinks() int { return 2 * t.numEdges }
+
+// NumCables returns the number of undirected child-parent connections.
+func (t *Topology) NumCables() int { return t.numEdges }
+
+// UpLink returns the directed link from child upward through its up
+// port p.
+func (t *Topology) UpLink(child NodeID, p int) LinkID {
+	return LinkID(2 * t.edgeIndex(child, p))
+}
+
+// DownLink returns the directed link from the parent reached through
+// child's up port p down to child.
+func (t *Topology) DownLink(child NodeID, p int) LinkID {
+	return LinkID(2*t.edgeIndex(child, p) + 1)
+}
+
+func (t *Topology) edgeIndex(child NodeID, p int) int {
+	l, idx := t.levelIndex(child)
+	if l == t.h {
+		panic(fmt.Sprintf("topology: node %d is a top switch and has no up links", child))
+	}
+	if p < 0 || p >= t.w[l+1] {
+		panic(fmt.Sprintf("topology: up port %d out of range [0,%d)", p, t.w[l+1]))
+	}
+	return t.edgeOffset[l] + idx*t.w[l+1] + p
+}
+
+// LinkEndpoints returns the origin and destination nodes of a directed
+// link.
+func (t *Topology) LinkEndpoints(link LinkID) (from, to NodeID) {
+	child, parent, up := t.linkParts(link)
+	if up {
+		return child, parent
+	}
+	return parent, child
+}
+
+// LinkIsUp reports whether the link points from a child to a parent.
+func (t *Topology) LinkIsUp(link LinkID) bool {
+	return int(link)%2 == 0
+}
+
+// LinkTier returns the level of the link's lower endpoint: links
+// between levels l and l+1 have tier l. Tier 0 links touch processing
+// nodes.
+func (t *Topology) LinkTier(link LinkID) int {
+	edge := int(link) / 2
+	t.checkEdge(edge)
+	for l := t.h - 1; l >= 0; l-- {
+		if edge >= t.edgeOffset[l] {
+			return l
+		}
+	}
+	panic("unreachable")
+}
+
+func (t *Topology) checkEdge(edge int) {
+	if edge < 0 || edge >= t.numEdges {
+		panic(fmt.Sprintf("topology: edge %d out of range [0,%d)", edge, t.numEdges))
+	}
+}
+
+func (t *Topology) linkParts(link LinkID) (child, parent NodeID, up bool) {
+	if link < 0 || int(link) >= 2*t.numEdges {
+		panic(fmt.Sprintf("topology: link %d out of range [0,%d)", link, 2*t.numEdges))
+	}
+	edge := int(link) / 2
+	up = int(link)%2 == 0
+	l := t.h - 1
+	for ; l >= 0; l-- {
+		if edge >= t.edgeOffset[l] {
+			break
+		}
+	}
+	rel := edge - t.edgeOffset[l]
+	idx := rel / t.w[l+1]
+	p := rel % t.w[l+1]
+	child = NodeID(t.levelOffset[l] + idx)
+	parent = t.Parent(child, p)
+	return child, parent, up
+}
+
+// CablesAtTier returns the number of undirected cables between levels
+// l and l+1 (0 <= l < h).
+func (t *Topology) CablesAtTier(l int) int {
+	if l < 0 || l >= t.h {
+		panic(fmt.Sprintf("topology: tier %d out of range [0,%d)", l, t.h))
+	}
+	return t.levelCount[l] * t.w[l+1]
+}
+
+// LinkString renders a link as "up(child->parent)" or
+// "down(parent->child)" with tuple labels, for debugging.
+func (t *Topology) LinkString(link LinkID) string {
+	child, parent, up := t.linkParts(link)
+	if up {
+		return fmt.Sprintf("up(%s->%s)", t.LabelOf(child), t.LabelOf(parent))
+	}
+	return fmt.Sprintf("down(%s->%s)", t.LabelOf(parent), t.LabelOf(child))
+}

@@ -1,0 +1,98 @@
+package topology
+
+// Network-level metrics used when sizing and comparing fat-tree
+// configurations.
+
+// Diameter returns the longest shortest-path hop count between two
+// processing nodes: 2h, up to a top switch and back down.
+func (t *Topology) Diameter() int { return 2 * t.h }
+
+// AvgShortestPathLen returns the average shortest-path length over all
+// ordered pairs of distinct processing nodes. Pairs whose NCA sits at
+// level k contribute 2k hops; counting pairs per level is pure
+// arithmetic.
+func (t *Topology) AvgShortestPathLen() float64 {
+	n := t.NumProcessors()
+	if n < 2 {
+		return 0
+	}
+	// Nodes sharing a height-k subtree but not a height-(k-1) one:
+	// perK(k) = nodesPer(k) - nodesPer(k-1) partners per node.
+	total := 0.0
+	for k := 1; k <= t.h; k++ {
+		perK := t.ProcessorsPerSubtree(k) - t.ProcessorsPerSubtree(k-1)
+		total += float64(n) * float64(perK) * float64(2*k)
+	}
+	return total / (float64(n) * float64(n-1))
+}
+
+// Oversubscription returns the oversubscription ratio at level l
+// (1 <= l <= h): the processing nodes below a height-l subtree divided
+// by its up links, Π_{i<=l} m_i / Π_{i<=l+1} w_i. A ratio of 1 at
+// every level means the tree has full bisection bandwidth; the ratio
+// at level l bounds achievable uniform throughput by its reciprocal.
+// Level h has no up links and reports 0.
+func (t *Topology) Oversubscription(l int) float64 {
+	t.checkLevel(l)
+	if l == t.h {
+		return 0
+	}
+	return float64(t.ProcessorsPerSubtree(l)) / float64(t.TL(l))
+}
+
+// MaxOversubscription returns the worst oversubscription ratio across
+// levels 0..h-1 (level 0 covers the node-to-leaf-switch links).
+func (t *Topology) MaxOversubscription() float64 {
+	worst := 0.0
+	for l := 0; l < t.h; l++ {
+		if r := t.Oversubscription(l); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// IdealUniformThroughput returns the per-node throughput (as a
+// fraction of injection bandwidth w_1) that a perfectly balanced
+// routing sustains under all-to-all uniform traffic, limited by the
+// most oversubscribed cut: for each level, a node's uniform traffic
+// crosses the cut with probability (N - below)/N.
+func (t *Topology) IdealUniformThroughput() float64 {
+	n := float64(t.NumProcessors())
+	best := 1.0
+	for l := 0; l < t.h; l++ {
+		below := float64(t.ProcessorsPerSubtree(l))
+		crossFrac := (n - below) / n // traffic share leaving the subtree
+		if crossFrac <= 0 {
+			continue
+		}
+		// Per node capacity across the cut, normalized by w_1.
+		cap := float64(t.TL(l)) / (below * float64(t.w[1]))
+		if v := cap / crossFrac; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CostSummary aggregates the component counts procurement cares about.
+type CostSummary struct {
+	Switches    int
+	Cables      int
+	SwitchPorts int
+}
+
+// Cost returns the topology's component counts. SwitchPorts counts
+// ports on switches only (processing-node ports are NICs).
+func (t *Topology) Cost() CostSummary {
+	c := CostSummary{Switches: t.NumSwitches(), Cables: t.NumCables()}
+	for l := 1; l <= t.h; l++ {
+		nodes := t.NodesAtLevel(l)
+		ports := t.m[l]
+		if l < t.h {
+			ports += t.w[l+1]
+		}
+		c.SwitchPorts += nodes * ports
+	}
+	return c
+}

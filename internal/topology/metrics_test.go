@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiameter(t *testing.T) {
+	if d := MustNew(3, []int{4, 4, 8}, []int{1, 4, 4}).Diameter(); d != 6 {
+		t.Fatalf("diameter %d", d)
+	}
+	if d := MustNew(1, []int{4}, []int{1}).Diameter(); d != 2 {
+		t.Fatalf("diameter %d", d)
+	}
+}
+
+// TestAvgShortestPathLenBruteForce cross-checks the closed form
+// against direct enumeration.
+func TestAvgShortestPathLenBruteForce(t *testing.T) {
+	trees := []*Topology{
+		MustNew(2, []int{4, 8}, []int{1, 4}),
+		MustNew(3, []int{2, 3, 2}, []int{2, 2, 3}),
+		MustNew(1, []int{5}, []int{2}),
+	}
+	for _, tp := range trees {
+		n := tp.NumProcessors()
+		sum, cnt := 0, 0
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				sum += tp.PathLen(s, d)
+				cnt++
+			}
+		}
+		want := float64(sum) / float64(cnt)
+		if got := tp.AvgShortestPathLen(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: avg path len %g want %g", tp, got, want)
+		}
+	}
+	if MustNew(1, []int{1}, []int{1}).AvgShortestPathLen() != 0 {
+		t.Error("single node average should be 0")
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	// m-port n-trees have full bisection: ratio 1 at every level.
+	full := MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	for l := 0; l < full.H(); l++ {
+		if r := full.Oversubscription(l); r != 1 {
+			t.Errorf("level %d ratio %g, want 1", l, r)
+		}
+	}
+	if full.MaxOversubscription() != 1 {
+		t.Error("max ratio should be 1")
+	}
+	if full.Oversubscription(full.H()) != 0 {
+		t.Error("top level should report 0")
+	}
+	// A 2:1 tapered top level.
+	tapered := MustNew(2, []int{4, 8}, []int{1, 2})
+	if r := tapered.Oversubscription(1); r != 2 {
+		t.Errorf("tapered ratio %g, want 2", r)
+	}
+	if tapered.MaxOversubscription() != 2 {
+		t.Error("max should pick the tapered cut")
+	}
+}
+
+func TestIdealUniformThroughput(t *testing.T) {
+	// Full-bisection tree: uniform throughput 1.
+	full := MustNew(2, []int{4, 8}, []int{1, 4})
+	if v := full.IdealUniformThroughput(); v != 1 {
+		t.Errorf("full bisection throughput %g", v)
+	}
+	// 2:1 tapered: uniform traffic crossing the top is (N-4)/N = 7/8
+	// per node, capacity 2/4 = 0.5 -> bound 0.5/(7/8) ~ 0.571.
+	tapered := MustNew(2, []int{4, 8}, []int{1, 2})
+	want := 0.5 / (28.0 / 32.0)
+	if v := tapered.IdealUniformThroughput(); math.Abs(v-want) > 1e-12 {
+		t.Errorf("tapered throughput %g want %g", v, want)
+	}
+}
+
+func TestCost(t *testing.T) {
+	tp := MustNew(2, []int{4, 8}, []int{1, 4}) // 8 leaf switches, 4 tops
+	c := tp.Cost()
+	if c.Switches != 12 {
+		t.Fatalf("switches %d", c.Switches)
+	}
+	if c.Cables != tp.NumCables() {
+		t.Fatalf("cables %d", c.Cables)
+	}
+	// Leaf switches: 4 down + 4 up = 8 ports x 8 switches; tops: 8
+	// ports x 4 switches.
+	if c.SwitchPorts != 8*8+8*4 {
+		t.Fatalf("ports %d", c.SwitchPorts)
+	}
+}
+
+func TestDraw(t *testing.T) {
+	var buf strings.Builder
+	tp := MustNew(2, []int{2, 2}, []int{1, 2})
+	tp.Draw(&buf, 0)
+	out := buf.String()
+	for _, want := range []string{
+		"XGFT(2; 2,2; 1,2)",
+		"level 2 (2 top switches)",
+		"level 0 (4 processing nodes)",
+		"ports->",
+		"up->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Draw output missing %q:\n%s", want, out)
+		}
+	}
+	// Eliding kicks in for wide levels.
+	buf.Reset()
+	MustNew(2, []int{8, 16}, []int{1, 8}).Draw(&buf, 4)
+	if !strings.Contains(buf.String(), "more") {
+		t.Error("elision marker missing")
+	}
+	// DrawPath renders every hop.
+	buf.Reset()
+	tp.DrawPath(&buf, 0, 3, []int{0, 1})
+	if got := strings.Count(buf.String(), "level"); got != 5 {
+		t.Errorf("DrawPath hops: %d lines with level, want 5\n%s", got, buf.String())
+	}
+}

@@ -1,0 +1,288 @@
+package topology
+
+import "fmt"
+
+// Label is the paper's h+1 digit tuple (l, a_h, ..., a_1) identifying a
+// node. Digit(i) for i > Level ranges over [0, m_i) (which copy of the
+// height-(i-1) sub-XGFT the node sits in); Digit(i) for i <= Level
+// ranges over [0, w_i) (which switch within the level group).
+type Label struct {
+	Level  int
+	digits []int // digits[i-1] holds a_i, i in 1..h
+}
+
+// Digit returns a_i for 1 <= i <= h.
+func (lb Label) Digit(i int) int { return lb.digits[i-1] }
+
+// Digits returns a copy of (a_1, ..., a_h) in ascending digit order.
+func (lb Label) Digits() []int {
+	out := make([]int, len(lb.digits))
+	copy(out, lb.digits)
+	return out
+}
+
+// String renders the label in the paper's tuple notation
+// (l, a_h, ..., a_1).
+func (lb Label) String() string {
+	s := fmt.Sprintf("(%d", lb.Level)
+	for i := len(lb.digits) - 1; i >= 0; i-- {
+		s += fmt.Sprintf(",%d", lb.digits[i])
+	}
+	return s + ")"
+}
+
+// Level returns the level of node n (0 = processing nodes, h = top
+// switches).
+func (t *Topology) Level(n NodeID) int {
+	l, _ := t.levelIndex(n)
+	return l
+}
+
+// LevelIndex splits a NodeID into its level and its dense index within
+// that level.
+func (t *Topology) LevelIndex(n NodeID) (level, index int) {
+	return t.levelIndex(n)
+}
+
+func (t *Topology) levelIndex(n NodeID) (int, int) {
+	if n < 0 || int(n) >= t.numNodes {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.numNodes))
+	}
+	// h is at most a handful; a linear scan beats binary search here.
+	for l := t.h; l >= 0; l-- {
+		if int(n) >= t.levelOffset[l] {
+			return l, int(n) - t.levelOffset[l]
+		}
+	}
+	panic("unreachable")
+}
+
+// NodeAt returns the NodeID of the index-th node at the given level.
+func (t *Topology) NodeAt(level, index int) NodeID {
+	t.checkLevel(level)
+	if index < 0 || index >= t.levelCount[level] {
+		panic(fmt.Sprintf("topology: index %d out of range [0,%d) at level %d", index, t.levelCount[level], level))
+	}
+	return NodeID(t.levelOffset[level] + index)
+}
+
+// Processor returns the NodeID of processing node id (0-based).
+// Processing-node IDs coincide with NodeIDs at level 0, so this is a
+// checked conversion.
+func (t *Topology) Processor(id int) NodeID {
+	if id < 0 || id >= t.mprod[0] {
+		panic(fmt.Sprintf("topology: processor %d out of range [0,%d)", id, t.mprod[0]))
+	}
+	return NodeID(id)
+}
+
+// ProcessorID converts a level-0 NodeID back to its processing-node
+// number. It panics if n is a switch.
+func (t *Topology) ProcessorID(n NodeID) int {
+	l, idx := t.levelIndex(n)
+	if l != 0 {
+		panic(fmt.Sprintf("topology: node %d is at level %d, not a processing node", n, l))
+	}
+	return idx
+}
+
+// LabelOf decodes a NodeID into its tuple label. The within-level index
+// is the mixed-radix number over digits a_h (most significant) down to
+// a_1, with base m_i above the node's level and w_i at or below it.
+func (t *Topology) LabelOf(n NodeID) Label {
+	l, idx := t.levelIndex(n)
+	digits := make([]int, t.h)
+	for i := 1; i <= t.h; i++ {
+		base := t.digitBase(l, i)
+		digits[i-1] = idx % base
+		idx /= base
+	}
+	return Label{Level: l, digits: digits}
+}
+
+// NodeOf encodes a tuple label back into a NodeID. It panics if any
+// digit is out of range for the label's level.
+func (t *Topology) NodeOf(lb Label) NodeID {
+	t.checkLevel(lb.Level)
+	if len(lb.digits) != t.h {
+		panic(fmt.Sprintf("topology: label has %d digits, want %d", len(lb.digits), t.h))
+	}
+	idx := 0
+	for i := t.h; i >= 1; i-- {
+		base := t.digitBase(lb.Level, i)
+		d := lb.digits[i-1]
+		if d < 0 || d >= base {
+			panic(fmt.Sprintf("topology: digit a_%d=%d out of range [0,%d) for level %d", i, d, base, lb.Level))
+		}
+		idx = idx*base + d
+	}
+	return NodeID(t.levelOffset[lb.Level] + idx)
+}
+
+// digitBase returns the radix of digit a_i for a node at the given
+// level: m_i above the level, w_i at or below it.
+func (t *Topology) digitBase(level, i int) int {
+	if i > level {
+		return t.m[i]
+	}
+	return t.w[i]
+}
+
+// NumParents returns the number of parents of node n: w_{l+1} for
+// l < h, 0 for top switches.
+func (t *Topology) NumParents(n NodeID) int {
+	l, _ := t.levelIndex(n)
+	if l == t.h {
+		return 0
+	}
+	return t.w[l+1]
+}
+
+// NumChildren returns the number of children of node n: m_l for l >= 1,
+// 0 for processing nodes.
+func (t *Topology) NumChildren(n NodeID) int {
+	l, _ := t.levelIndex(n)
+	if l == 0 {
+		return 0
+	}
+	return t.m[l]
+}
+
+// NumPorts returns the total port count of node n per the paper's
+// numbering: parents plus children.
+func (t *Topology) NumPorts(n NodeID) int {
+	return t.NumParents(n) + t.NumChildren(n)
+}
+
+// Parent returns the node reached from n through up port p
+// (0 <= p < NumParents(n)): the level-(l+1) node whose label matches n
+// at every digit except a_{l+1}, which becomes p.
+func (t *Topology) Parent(n NodeID, p int) NodeID {
+	l, idx := t.levelIndex(n)
+	if l == t.h {
+		panic(fmt.Sprintf("topology: node %d is a top switch and has no parents", n))
+	}
+	if p < 0 || p >= t.w[l+1] {
+		panic(fmt.Sprintf("topology: up port %d out of range [0,%d)", p, t.w[l+1]))
+	}
+	// Replace digit a_{l+1}: at level l its base is m_{l+1} (stride
+	// below it uses bases for level l); at level l+1 the digit becomes
+	// p with base w_{l+1}. Recompute the within-level index directly.
+	// Digits a_1..a_l have the same bases (w_i) at both levels, and
+	// digits a_{l+2}..a_h have the same bases (m_i); only position
+	// l+1 changes base and value, so:
+	//   idx = high·(base_{l+1})·low' + a_{l+1}·low' + lowBits
+	// where low' = Π_{i<=l} base_i is identical at both levels.
+	low := 1
+	for i := 1; i <= l; i++ {
+		low *= t.w[i]
+	}
+	lowBits := idx % low
+	rest := idx / low
+	rest /= t.m[l+1] // drop a_{l+1}
+	newIdx := (rest*t.w[l+1]+p)*low + lowBits
+	return NodeID(t.levelOffset[l+1] + newIdx)
+}
+
+// Child returns the c-th child of node n (0 <= c < NumChildren(n)): the
+// level-(l-1) node whose label matches n at every digit except a_l,
+// which becomes c.
+func (t *Topology) Child(n NodeID, c int) NodeID {
+	l, idx := t.levelIndex(n)
+	if l == 0 {
+		panic(fmt.Sprintf("topology: node %d is a processing node and has no children", n))
+	}
+	if c < 0 || c >= t.m[l] {
+		panic(fmt.Sprintf("topology: child %d out of range [0,%d)", c, t.m[l]))
+	}
+	low := 1
+	for i := 1; i < l; i++ {
+		low *= t.w[i]
+	}
+	lowBits := idx % low
+	rest := idx / low
+	rest /= t.w[l] // drop a_l (base w_l at level l)
+	newIdx := (rest*t.m[l]+c)*low + lowBits
+	return NodeID(t.levelOffset[l-1] + newIdx)
+}
+
+// UpPortOf returns which up port of child leads to parent. It panics
+// if parent is not actually a parent of child.
+func (t *Topology) UpPortOf(child, parent NodeID) int {
+	l, _ := t.levelIndex(child)
+	lb := t.LabelOf(parent)
+	if lb.Level != l+1 {
+		panic(fmt.Sprintf("topology: node %d (level %d) cannot be a parent of node %d (level %d)", parent, lb.Level, child, l))
+	}
+	p := lb.Digit(l + 1)
+	if t.Parent(child, p) != parent {
+		panic(fmt.Sprintf("topology: node %d is not a parent of node %d", parent, child))
+	}
+	return p
+}
+
+// DownPortTo returns the port number on parent that leads down to its
+// c-th child, per the paper's numbering: w_{l+1}+c at levels below h,
+// and just c at the top level.
+func (t *Topology) DownPortTo(parent NodeID, c int) int {
+	l, _ := t.levelIndex(parent)
+	if l == 0 {
+		panic("topology: processing nodes have no down ports")
+	}
+	if c < 0 || c >= t.m[l] {
+		panic(fmt.Sprintf("topology: child %d out of range [0,%d)", c, t.m[l]))
+	}
+	if l == t.h {
+		return c
+	}
+	return t.w[l+1] + c
+}
+
+// PortPeer resolves a port number on node n to the neighbouring node,
+// following the paper's port layout (up ports first, then down ports;
+// top switches have only down ports).
+func (t *Topology) PortPeer(n NodeID, port int) NodeID {
+	l, _ := t.levelIndex(n)
+	up := 0
+	if l < t.h {
+		up = t.w[l+1]
+	}
+	switch {
+	case port < 0 || port >= t.NumPorts(n):
+		panic(fmt.Sprintf("topology: port %d out of range [0,%d) on node %d", port, t.NumPorts(n), n))
+	case port < up:
+		return t.Parent(n, port)
+	default:
+		return t.Child(n, port-up)
+	}
+}
+
+// NCALevel returns the level of the nearest common ancestors of
+// processing nodes src and dst: the highest digit position at which
+// their labels differ, or 0 when src == dst.
+func (t *Topology) NCALevel(src, dst int) int {
+	if src < 0 || src >= t.mprod[0] || dst < 0 || dst >= t.mprod[0] {
+		panic(fmt.Sprintf("topology: processors (%d,%d) out of range [0,%d)", src, dst, t.mprod[0]))
+	}
+	if src == dst {
+		return 0
+	}
+	// Processing-node labels are mixed-radix over m_1..m_h with a_1
+	// least significant. Strip equal low digits.
+	k := 0
+	for i := 1; i <= t.h; i++ {
+		if src%t.m[i] != dst%t.m[i] {
+			k = i
+		}
+		src /= t.m[i]
+		dst /= t.m[i]
+	}
+	return k
+}
+
+// NumPathsBetween returns the number of distinct shortest paths between
+// processing nodes src and dst: Π_{i=1..k} w_i with k the NCA level
+// (Property 1). For src == dst it returns 1 (the empty path).
+func (t *Topology) NumPathsBetween(src, dst int) int {
+	return t.wprod[t.NCALevel(src, dst)]
+}

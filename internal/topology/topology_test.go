@@ -1,0 +1,529 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testTrees(t *testing.T) []*Topology {
+	t.Helper()
+	var out []*Topology
+	for _, name := range PaperTopologies() {
+		tp, err := FromPaper(name)
+		if err != nil {
+			t.Fatalf("FromPaper(%s): %v", name, err)
+		}
+		out = append(out, tp)
+	}
+	// A few irregular trees to exercise non-uniform arities.
+	out = append(out,
+		MustNew(1, []int{5}, []int{3}),
+		MustNew(2, []int{3, 2}, []int{2, 3}),
+		MustNew(3, []int{2, 3, 2}, []int{2, 1, 3}),
+		MustNew(4, []int{2, 2, 2, 2}, []int{1, 2, 2, 2}),
+	)
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		h    int
+		m, w []int
+	}{
+		{0, nil, nil},
+		{2, []int{2}, []int{1, 1}},
+		{2, []int{2, 2}, []int{1}},
+		{1, []int{0}, []int{1}},
+		{1, []int{2}, []int{0}},
+		{1, []int{-3}, []int{1}},
+		{17, make([]int, 17), make([]int, 17)},
+	}
+	for _, c := range cases {
+		if _, err := New(c.h, c.m, c.w); err == nil {
+			t.Errorf("New(%d,%v,%v) should fail", c.h, c.m, c.w)
+		}
+	}
+}
+
+func TestPaperCounts(t *testing.T) {
+	cases := []struct {
+		name           PaperTopology
+		n, top, maxPth int
+	}{
+		{Paper8Port2Tree, 32, 4, 4},
+		{Paper16Port2Tree, 128, 8, 8},
+		{Paper24Port2Tree, 288, 12, 12},
+		{Paper8Port3Tree, 128, 16, 16},
+		{Paper16Port3Tree, 1024, 64, 64},
+		{Paper24Port3Tree, 3456, 144, 144},
+		{PaperFigure3Tree, 64, 8, 8},
+	}
+	for _, c := range cases {
+		tp, err := FromPaper(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tp.NumProcessors(); got != c.n {
+			t.Errorf("%s: NumProcessors=%d want %d", c.name, got, c.n)
+		}
+		if got := tp.NumTopSwitches(); got != c.top {
+			t.Errorf("%s: NumTopSwitches=%d want %d", c.name, got, c.top)
+		}
+		if got := tp.MaxPaths(); got != c.maxPth {
+			t.Errorf("%s: MaxPaths=%d want %d", c.name, got, c.maxPth)
+		}
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	tp := MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	want := "XGFT(3; 4,4,8; 1,4,4)"
+	if got := tp.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLevelCountsFormula(t *testing.T) {
+	for _, tp := range testTrees(t) {
+		total := 0
+		for l := 0; l <= tp.H(); l++ {
+			mp := 1
+			for i := l + 1; i <= tp.H(); i++ {
+				mp *= tp.M(i)
+			}
+			wp := 1
+			for i := 1; i <= l; i++ {
+				wp *= tp.W(i)
+			}
+			if got := tp.NodesAtLevel(l); got != mp*wp {
+				t.Errorf("%s level %d: NodesAtLevel=%d want %d", tp, l, got, mp*wp)
+			}
+			total += mp * wp
+		}
+		if tp.NumNodes() != total {
+			t.Errorf("%s: NumNodes=%d want %d", tp, tp.NumNodes(), total)
+		}
+		if tp.NumProcessors()+tp.NumSwitches() != total {
+			t.Errorf("%s: processors+switches != nodes", tp)
+		}
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	for _, tp := range testTrees(t) {
+		for n := NodeID(0); int(n) < tp.NumNodes(); n++ {
+			lb := tp.LabelOf(n)
+			if back := tp.NodeOf(lb); back != n {
+				t.Fatalf("%s: NodeOf(LabelOf(%d)) = %d (label %s)", tp, n, back, lb)
+			}
+			l, idx := tp.LevelIndex(n)
+			if lb.Level != l {
+				t.Fatalf("%s: label level %d != %d", tp, lb.Level, l)
+			}
+			if tp.NodeAt(l, idx) != n {
+				t.Fatalf("%s: NodeAt(LevelIndex(%d)) mismatch", tp, n)
+			}
+		}
+	}
+}
+
+// TestAdjacencyConsistency checks the paper's connection rule: A at
+// level l connects to B at level l+1 iff their labels match at all
+// digits except position l+1.
+func TestAdjacencyConsistency(t *testing.T) {
+	for _, tp := range testTrees(t) {
+		if tp.NumNodes() > 2000 {
+			continue // keep exhaustive check cheap
+		}
+		for n := NodeID(0); int(n) < tp.NumNodes(); n++ {
+			l, _ := tp.LevelIndex(n)
+			lbn := tp.LabelOf(n)
+			if l < tp.H() {
+				for p := 0; p < tp.NumParents(n); p++ {
+					par := tp.Parent(n, p)
+					lbp := tp.LabelOf(par)
+					if lbp.Level != l+1 {
+						t.Fatalf("%s: parent level %d want %d", tp, lbp.Level, l+1)
+					}
+					for i := 1; i <= tp.H(); i++ {
+						if i == l+1 {
+							if lbp.Digit(i) != p {
+								t.Fatalf("%s: parent digit a_%d=%d want port %d", tp, i, lbp.Digit(i), p)
+							}
+						} else if lbp.Digit(i) != lbn.Digit(i) {
+							t.Fatalf("%s: parent digit a_%d differs: %s vs %s", tp, i, lbn, lbp)
+						}
+					}
+					// Parent/Child must be inverses.
+					if back := tp.Child(par, lbn.Digit(l+1)); back != n {
+						t.Fatalf("%s: Child(Parent(%d,%d)) = %d", tp, n, p, back)
+					}
+					if tp.UpPortOf(n, par) != p {
+						t.Fatalf("%s: UpPortOf mismatch", tp)
+					}
+				}
+			}
+			if l > 0 {
+				for c := 0; c < tp.NumChildren(n); c++ {
+					ch := tp.Child(n, c)
+					lc, _ := tp.LevelIndex(ch)
+					if lc != l-1 {
+						t.Fatalf("%s: child level %d want %d", tp, lc, l-1)
+					}
+					if back := tp.Parent(ch, lbn.Digit(l)); back != n {
+						t.Fatalf("%s: Parent(Child(%d,%d)) = %d want %d", tp, n, c, back, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPortNumbering(t *testing.T) {
+	tp := MustNew(3, []int{3, 2, 2}, []int{1, 2, 3})
+	for n := NodeID(0); int(n) < tp.NumNodes(); n++ {
+		l, _ := tp.LevelIndex(n)
+		wantUp, wantDown := 0, 0
+		if l < tp.H() {
+			wantUp = tp.W(l + 1)
+		}
+		if l > 0 {
+			wantDown = tp.M(l)
+		}
+		if tp.NumParents(n) != wantUp || tp.NumChildren(n) != wantDown {
+			t.Fatalf("node %d level %d: parents=%d children=%d want %d,%d",
+				n, l, tp.NumParents(n), tp.NumChildren(n), wantUp, wantDown)
+		}
+		if tp.NumPorts(n) != wantUp+wantDown {
+			t.Fatalf("node %d: NumPorts=%d", n, tp.NumPorts(n))
+		}
+		// PortPeer must agree with Parent/Child for every port.
+		for p := 0; p < tp.NumPorts(n); p++ {
+			peer := tp.PortPeer(n, p)
+			if p < wantUp {
+				if peer != tp.Parent(n, p) {
+					t.Fatalf("node %d port %d: peer mismatch (up)", n, p)
+				}
+			} else if peer != tp.Child(n, p-wantUp) {
+				t.Fatalf("node %d port %d: peer mismatch (down)", n, p)
+			}
+		}
+		// Down port numbering per paper: top level starts at 0,
+		// others after the up ports.
+		if l > 0 {
+			base := wantUp
+			for c := 0; c < wantDown; c++ {
+				if got := tp.DownPortTo(n, c); got != base+c {
+					t.Fatalf("node %d: DownPortTo(%d)=%d want %d", n, c, got, base+c)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkIdentities(t *testing.T) {
+	for _, tp := range testTrees(t) {
+		if tp.NumNodes() > 2000 {
+			continue
+		}
+		// Count cables per tier and validate the dense link space.
+		wantCables := 0
+		for l := 0; l < tp.H(); l++ {
+			wantCables += tp.NodesAtLevel(l) * tp.W(l+1)
+			if tp.CablesAtTier(l) != tp.NodesAtLevel(l)*tp.W(l+1) {
+				t.Fatalf("%s: CablesAtTier(%d)", tp, l)
+			}
+		}
+		if tp.NumCables() != wantCables || tp.NumLinks() != 2*wantCables {
+			t.Fatalf("%s: cables=%d links=%d want %d/%d", tp, tp.NumCables(), tp.NumLinks(), wantCables, 2*wantCables)
+		}
+		seen := make(map[LinkID]bool)
+		for n := NodeID(0); int(n) < tp.NumNodes(); n++ {
+			l, _ := tp.LevelIndex(n)
+			if l == tp.H() {
+				continue
+			}
+			for p := 0; p < tp.NumParents(n); p++ {
+				upL := tp.UpLink(n, p)
+				dnL := tp.DownLink(n, p)
+				if seen[upL] || seen[dnL] {
+					t.Fatalf("%s: duplicate link id", tp)
+				}
+				seen[upL], seen[dnL] = true, true
+				if !tp.LinkIsUp(upL) || tp.LinkIsUp(dnL) {
+					t.Fatalf("%s: direction flags wrong", tp)
+				}
+				if tp.LinkTier(upL) != l || tp.LinkTier(dnL) != l {
+					t.Fatalf("%s: LinkTier wrong: %d want %d", tp, tp.LinkTier(upL), l)
+				}
+				from, to := tp.LinkEndpoints(upL)
+				if from != n || to != tp.Parent(n, p) {
+					t.Fatalf("%s: up endpoints wrong", tp)
+				}
+				from, to = tp.LinkEndpoints(dnL)
+				if to != n || from != tp.Parent(n, p) {
+					t.Fatalf("%s: down endpoints wrong", tp)
+				}
+			}
+		}
+		if len(seen) != tp.NumLinks() {
+			t.Fatalf("%s: enumerated %d links, want %d", tp, len(seen), tp.NumLinks())
+		}
+	}
+}
+
+func TestNCALevel(t *testing.T) {
+	for _, tp := range testTrees(t) {
+		n := tp.NumProcessors()
+		if n > 300 {
+			n = 300
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				k := tp.NCALevel(s, d)
+				if (s == d) != (k == 0) {
+					t.Fatalf("%s: NCALevel(%d,%d)=%d", tp, s, d, k)
+				}
+				if k != tp.NCALevel(d, s) {
+					t.Fatalf("%s: NCALevel not symmetric", tp)
+				}
+				// Cross-check with label digits.
+				ls, ld := tp.LabelOf(tp.Processor(s)), tp.LabelOf(tp.Processor(d))
+				want := 0
+				for i := 1; i <= tp.H(); i++ {
+					if ls.Digit(i) != ld.Digit(i) {
+						want = i
+					}
+				}
+				if k != want {
+					t.Fatalf("%s: NCALevel(%d,%d)=%d want %d", tp, s, d, k, want)
+				}
+				if tp.NumPathsBetween(s, d) != tp.WProd(k) {
+					t.Fatalf("%s: NumPathsBetween(%d,%d) != WProd(%d)", tp, s, d, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPathRealization validates PathNodes/PathLinks against each other
+// and against Parent/Child traversal for every up-digit combination on
+// small trees.
+func TestPathRealization(t *testing.T) {
+	for _, tp := range testTrees(t) {
+		n := tp.NumProcessors()
+		if n > 72 {
+			n = 72
+		}
+		var buf []LinkID
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				k := tp.NCALevel(s, d)
+				up := make([]int, k)
+				for {
+					nodes := tp.PathNodes(s, d, up)
+					if len(nodes) != 2*k+1 {
+						t.Fatalf("%s: path node count %d want %d", tp, len(nodes), 2*k+1)
+					}
+					if tp.ProcessorID(nodes[0]) != s || tp.ProcessorID(nodes[len(nodes)-1]) != d {
+						t.Fatalf("%s: path endpoints wrong", tp)
+					}
+					buf = tp.AppendPathLinks(buf[:0], s, d, up)
+					if len(buf) != 2*k {
+						t.Fatalf("%s: path link count %d want %d", tp, len(buf), 2*k)
+					}
+					for i, link := range buf {
+						from, to := tp.LinkEndpoints(link)
+						if from != nodes[i] || to != nodes[i+1] {
+							t.Fatalf("%s (%d->%d up=%v): link %d is %s, want %v->%v",
+								tp, s, d, up, i, tp.LinkString(link), nodes[i], nodes[i+1])
+						}
+						if up := tp.LinkIsUp(link); up != (i < k) {
+							t.Fatalf("%s: link %d direction wrong", tp, i)
+						}
+					}
+					// Advance mixed-radix odometer over up digits.
+					j := 0
+					for ; j < k; j++ {
+						up[j]++
+						if up[j] < tp.W(j+1) {
+							break
+						}
+						up[j] = 0
+					}
+					if j == k {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubtreeHelpers(t *testing.T) {
+	tp := MustNew(3, []int{4, 4, 4}, []int{1, 4, 2})
+	if tp.TL(0) != 1 || tp.TL(1) != 4 || tp.TL(2) != 8 {
+		t.Fatalf("TL wrong: %d %d %d", tp.TL(0), tp.TL(1), tp.TL(2))
+	}
+	for p := 0; p < tp.NumProcessors(); p++ {
+		if tp.SubtreeOfProcessor(p, 0) != p {
+			t.Fatal("height-0 subtree should be the processor itself")
+		}
+		if tp.SubtreeOfProcessor(p, tp.H()) != 0 {
+			t.Fatal("height-h subtree should be 0")
+		}
+		if tp.SubtreeOfProcessor(p, 1) != p/4 {
+			t.Fatal("height-1 subtree wrong")
+		}
+	}
+	if tp.ProcessorsPerSubtree(1) != 4 || tp.ProcessorsPerSubtree(2) != 16 {
+		t.Fatal("ProcessorsPerSubtree wrong")
+	}
+	// NCA level k means same height-k subtree but different height-(k-1)
+	// subtrees.
+	for s := 0; s < tp.NumProcessors(); s++ {
+		for d := 0; d < tp.NumProcessors(); d++ {
+			if s == d {
+				continue
+			}
+			k := tp.NCALevel(s, d)
+			if tp.SubtreeOfProcessor(s, k) != tp.SubtreeOfProcessor(d, k) {
+				t.Fatalf("NCA(%d,%d)=%d but different height-%d subtrees", s, d, k, k)
+			}
+			if tp.SubtreeOfProcessor(s, k-1) == tp.SubtreeOfProcessor(d, k-1) {
+				t.Fatalf("NCA(%d,%d)=%d but same height-%d subtrees", s, d, k, k-1)
+			}
+		}
+	}
+}
+
+func TestVariantEquivalences(t *testing.T) {
+	// k-ary n-tree with k=2,n=3 has 8 processors and 4 top switches.
+	tp, err := KAryNTree(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumProcessors() != 8 || tp.NumTopSwitches() != 4 {
+		t.Fatalf("2-ary 3-tree: %d procs %d tops", tp.NumProcessors(), tp.NumTopSwitches())
+	}
+	// GFT(2;3,2): 9 processors, 4 top switches.
+	g, err := GFT(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumProcessors() != 9 || g.NumTopSwitches() != 4 {
+		t.Fatalf("GFT(2;3,2): %d procs %d tops", g.NumProcessors(), g.NumTopSwitches())
+	}
+	if _, err := MPortNTree(7, 2); err == nil {
+		t.Error("odd m must be rejected")
+	}
+	if _, err := MPortNTree(8, 0); err == nil {
+		t.Error("n=0 must be rejected")
+	}
+	if _, err := KAryNTree(0, 2); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, err := FromPaper("nope"); err == nil {
+		t.Error("unknown paper topology must be rejected")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustNew(2, []int{4, 8}, []int{1, 4})
+	b := MustNew(2, []int{4, 8}, []int{1, 4})
+	c := MustNew(2, []int{4, 8}, []int{1, 3})
+	d := MustNew(1, []int{4}, []int{1})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	tp := MustNew(2, []int{3, 2}, []int{1, 2})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Level range", func() { tp.Level(NodeID(tp.NumNodes())) })
+	mustPanic("Level negative", func() { tp.Level(-1) })
+	mustPanic("Processor range", func() { tp.Processor(tp.NumProcessors()) })
+	mustPanic("ProcessorID switch", func() { tp.ProcessorID(tp.NodeAt(1, 0)) })
+	mustPanic("Parent of top", func() { tp.Parent(tp.NodeAt(2, 0), 0) })
+	mustPanic("Parent port range", func() { tp.Parent(tp.Processor(0), 1) })
+	mustPanic("Child of processor", func() { tp.Child(tp.Processor(0), 0) })
+	mustPanic("Child range", func() { tp.Child(tp.NodeAt(1, 0), 3) })
+	mustPanic("M range", func() { tp.M(0) })
+	mustPanic("W range", func() { tp.W(3) })
+	mustPanic("NodeAt range", func() { tp.NodeAt(0, 6) })
+	mustPanic("TL range", func() { tp.TL(2) })
+	mustPanic("bad up choices", func() { tp.PathLinks(0, 5, []int{0}) })
+	mustPanic("up choice range", func() { tp.PathLinks(0, 5, []int{0, 2}) })
+	mustPanic("DownPortTo on processor", func() { tp.DownPortTo(tp.Processor(0), 0) })
+	mustPanic("PortPeer range", func() { tp.PortPeer(tp.Processor(0), 5) })
+	mustPanic("NCALevel range", func() { tp.NCALevel(0, 99) })
+	mustPanic("UpPortOf non-parent", func() { tp.UpPortOf(tp.Processor(0), tp.NodeAt(2, 0)) })
+}
+
+// TestRandomTreesQuick: property-based check over random arities —
+// label round trips, parent/child inversion and path realization hold
+// on arbitrary small XGFTs, not just the paper's.
+func TestRandomTreesQuick(t *testing.T) {
+	f := func(h8, m1, m2, m3, w1, w2, w3 uint8, sd uint16) bool {
+		h := int(h8)%3 + 1
+		ms := []int{int(m1)%3 + 1, int(m2)%3 + 1, int(m3)%3 + 1}[:h]
+		ws := []int{int(w1)%3 + 1, int(w2)%3 + 1, int(w3)%3 + 1}[:h]
+		tp, err := New(h, ms, ws)
+		if err != nil {
+			return true
+		}
+		// Label round trip on a sampled node.
+		n := NodeID(int(sd) % tp.NumNodes())
+		if tp.NodeOf(tp.LabelOf(n)) != n {
+			return false
+		}
+		// Parent/child inversion.
+		l, _ := tp.LevelIndex(n)
+		if l < tp.H() {
+			for p := 0; p < tp.NumParents(n); p++ {
+				par := tp.Parent(n, p)
+				if tp.Child(par, tp.LabelOf(n).Digit(l+1)) != n {
+					return false
+				}
+			}
+		}
+		// Path realization between two sampled processors.
+		np := tp.NumProcessors()
+		src, dst := int(sd)%np, (int(sd)*7+3)%np
+		if src == dst {
+			return true
+		}
+		k := tp.NCALevel(src, dst)
+		up := make([]int, k)
+		for j := 1; j <= k; j++ {
+			up[j-1] = (int(sd) + j) % tp.W(j)
+		}
+		nodes := tp.PathNodes(src, dst, up)
+		links := tp.PathLinks(src, dst, up)
+		if len(nodes) != 2*k+1 || len(links) != 2*k {
+			return false
+		}
+		for i, link := range links {
+			from, to := tp.LinkEndpoints(link)
+			if from != nodes[i] || to != nodes[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

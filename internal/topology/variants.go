@@ -1,0 +1,110 @@
+package topology
+
+import "fmt"
+
+// The XGFT is the most generic fat-tree description: the common
+// variants used in HPC installations are all special cases. These
+// constructors build them with the parameter mappings used in the
+// paper's evaluation section ("topologically equivalent to ...").
+
+// MPortNTree constructs the XGFT equivalent of an m-port n-tree
+// (Lin et al.): XGFT(n; m/2, ..., m/2, m; 1, m/2, ..., m/2). Leaf
+// switches use half their m ports down to processing nodes and half up;
+// the top level uses all m ports down. m must be even and >= 2, n >= 1.
+//
+// Examples from the paper: the 8-port 3-tree is XGFT(3;4,4,8;1,4,4)
+// with 128 processing nodes; the 24-port 3-tree (TACC Ranger scale) is
+// XGFT(3;12,12,24;1,12,12) with 3456 processing nodes and 144 shortest
+// paths between far-apart pairs.
+func MPortNTree(m, n int) (*Topology, error) {
+	if m < 2 || m%2 != 0 {
+		return nil, fmt.Errorf("topology: m-port n-tree needs even m >= 2, got m=%d", m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: m-port n-tree needs n >= 1, got n=%d", n)
+	}
+	ms := make([]int, n)
+	ws := make([]int, n)
+	for i := 0; i < n; i++ {
+		ms[i] = m / 2
+		ws[i] = m / 2
+	}
+	ms[n-1] = m
+	ws[0] = 1
+	return New(n, ms, ws)
+}
+
+// KAryNTree constructs the XGFT equivalent of a k-ary n-tree (Petrini &
+// Vanneschi): XGFT(n; k, ..., k; 1, k, ..., k). Every switch has k
+// ports down and k up except the k-port top level.
+func KAryNTree(k, n int) (*Topology, error) {
+	if k < 1 || n < 1 {
+		return nil, fmt.Errorf("topology: k-ary n-tree needs k,n >= 1, got k=%d n=%d", k, n)
+	}
+	ms := make([]int, n)
+	ws := make([]int, n)
+	for i := 0; i < n; i++ {
+		ms[i] = k
+		ws[i] = k
+	}
+	ws[0] = 1
+	return New(n, ms, ws)
+}
+
+// GFT constructs the generalized fat-tree GFT(h; m, w) of Ohring et
+// al.: the XGFT with uniform arities, XGFT(h; m,...,m; w,...,w).
+func GFT(h, m, w int) (*Topology, error) {
+	ms := make([]int, h)
+	ws := make([]int, h)
+	for i := 0; i < h; i++ {
+		ms[i] = m
+		ws[i] = w
+	}
+	return New(h, ms, ws)
+}
+
+// PaperTopology names one of the six evaluation topologies from the
+// paper (see DESIGN.md §4) plus the Figure 3 illustration tree.
+type PaperTopology string
+
+// The evaluation topologies used in the paper's Section 5 and the
+// Figure 3 example.
+const (
+	Paper8Port2Tree  PaperTopology = "8-port-2-tree"  // XGFT(2;4,8;1,4), N=32
+	Paper16Port2Tree PaperTopology = "16-port-2-tree" // XGFT(2;8,16;1,8), N=128 (Fig 4a)
+	Paper24Port2Tree PaperTopology = "24-port-2-tree" // XGFT(2;12,24;1,12), N=288 (Fig 4c)
+	Paper8Port3Tree  PaperTopology = "8-port-3-tree"  // XGFT(3;4,4,8;1,4,4), N=128 (Table 1, Fig 5)
+	Paper16Port3Tree PaperTopology = "16-port-3-tree" // XGFT(3;8,8,16;1,8,8), N=1024 (Fig 4b)
+	Paper24Port3Tree PaperTopology = "24-port-3-tree" // XGFT(3;12,12,24;1,12,12), N=3456 (Fig 4d)
+	PaperFigure3Tree PaperTopology = "figure-3"       // XGFT(3;4,4,4;1,4,2), N=64, X=8
+)
+
+// FromPaper constructs one of the named paper topologies.
+func FromPaper(name PaperTopology) (*Topology, error) {
+	switch name {
+	case Paper8Port2Tree:
+		return MPortNTree(8, 2)
+	case Paper16Port2Tree:
+		return MPortNTree(16, 2)
+	case Paper24Port2Tree:
+		return MPortNTree(24, 2)
+	case Paper8Port3Tree:
+		return MPortNTree(8, 3)
+	case Paper16Port3Tree:
+		return MPortNTree(16, 3)
+	case Paper24Port3Tree:
+		return MPortNTree(24, 3)
+	case PaperFigure3Tree:
+		return New(3, []int{4, 4, 4}, []int{1, 4, 2})
+	}
+	return nil, fmt.Errorf("topology: unknown paper topology %q", name)
+}
+
+// PaperTopologies lists the named topologies in presentation order.
+func PaperTopologies() []PaperTopology {
+	return []PaperTopology{
+		Paper8Port2Tree, Paper16Port2Tree, Paper24Port2Tree,
+		Paper8Port3Tree, Paper16Port3Tree, Paper24Port3Tree,
+		PaperFigure3Tree,
+	}
+}

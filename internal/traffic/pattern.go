@@ -1,0 +1,79 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern draws message destinations for the flit-level simulator.
+// Implementations must be safe for concurrent use through distinct rng
+// instances.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Dest returns the destination for a message sourced at src. The
+	// result is never src itself: self-messages bypass the network.
+	Dest(src int, rng *rand.Rand) int
+}
+
+// UniformPattern is the paper's flit-level workload: each message picks
+// a destination uniformly at random among all other nodes.
+type UniformPattern struct {
+	N int
+}
+
+// Name implements Pattern.
+func (u UniformPattern) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u UniformPattern) Dest(src int, rng *rand.Rand) int {
+	d := rng.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// PermutationPattern sends every message from src to a fixed
+// destination perm[src]. Sources with perm[src] == src generate no
+// network traffic; the simulator skips them.
+type PermutationPattern struct {
+	Perm []int
+	name string
+}
+
+// NewPermutationPattern wraps a permutation with a display name.
+func NewPermutationPattern(name string, perm []int) *PermutationPattern {
+	for i, d := range perm {
+		if d < 0 || d >= len(perm) {
+			panic(fmt.Sprintf("traffic: permutation entry %d -> %d out of range", i, d))
+		}
+	}
+	return &PermutationPattern{Perm: perm, name: name}
+}
+
+// Name implements Pattern.
+func (p *PermutationPattern) Name() string { return p.name }
+
+// Dest implements Pattern.
+func (p *PermutationPattern) Dest(src int, _ *rand.Rand) int { return p.Perm[src] }
+
+// HotspotPattern sends a fraction of traffic to a hot node and the rest
+// uniformly.
+type HotspotPattern struct {
+	N        int
+	Hot      int
+	Fraction float64 // probability a message targets Hot
+}
+
+// Name implements Pattern.
+func (h HotspotPattern) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (h HotspotPattern) Dest(src int, rng *rand.Rand) int {
+	if src != h.Hot && rng.Float64() < h.Fraction {
+		return h.Hot
+	}
+	u := UniformPattern{N: h.N}
+	return u.Dest(src, rng)
+}

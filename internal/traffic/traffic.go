@@ -1,0 +1,313 @@
+// Package traffic models traffic demands for fat-tree routing studies:
+// sparse traffic matrices (the paper's TM), generators for the workload
+// families used in the evaluation (random permutations for the
+// flow-level study, uniform random for the flit-level study), classic
+// structured permutations, and the adversarial pattern from the
+// paper's Theorem 2 that drives d-mod-k to its worst case.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"xgftsim/internal/topology"
+)
+
+// Flow is one demand entry: Amount units of traffic from Src to Dst.
+type Flow struct {
+	Src, Dst int
+	Amount   float64
+}
+
+// Matrix is a sparse traffic matrix over N processing nodes. The zero
+// value with N set is an empty demand. Entries with Src == Dst never
+// touch the network and are rejected on Add.
+type Matrix struct {
+	N     int
+	flows []Flow
+}
+
+// NewMatrix creates an empty traffic matrix over n processing nodes.
+func NewMatrix(n int) *Matrix {
+	if n < 1 {
+		panic(fmt.Sprintf("traffic: matrix needs n >= 1, got %d", n))
+	}
+	return &Matrix{N: n}
+}
+
+// Add records a demand of amount units from src to dst. Self-traffic
+// and non-positive amounts are rejected with a panic: they indicate a
+// generator bug.
+func (m *Matrix) Add(src, dst int, amount float64) {
+	if src < 0 || src >= m.N || dst < 0 || dst >= m.N {
+		panic(fmt.Sprintf("traffic: flow (%d,%d) out of range [0,%d)", src, dst, m.N))
+	}
+	if src == dst {
+		panic(fmt.Sprintf("traffic: self flow at node %d", src))
+	}
+	if amount <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive amount %g", amount))
+	}
+	m.flows = append(m.flows, Flow{Src: src, Dst: dst, Amount: amount})
+}
+
+// Flows returns the demand entries. The slice is owned by the matrix;
+// callers must not modify it.
+func (m *Matrix) Flows() []Flow { return m.flows }
+
+// NumFlows returns the number of demand entries.
+func (m *Matrix) NumFlows() int { return len(m.flows) }
+
+// Total returns the sum of all demands.
+func (m *Matrix) Total() float64 {
+	s := 0.0
+	for _, f := range m.flows {
+		s += f.Amount
+	}
+	return s
+}
+
+// Scale multiplies every demand by c (> 0).
+func (m *Matrix) Scale(c float64) {
+	if c <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive scale %g", c))
+	}
+	for i := range m.flows {
+		m.flows[i].Amount *= c
+	}
+}
+
+// Canonical returns the flows sorted by (src, dst), merging duplicate
+// pairs; useful for comparisons in tests.
+func (m *Matrix) Canonical() []Flow {
+	out := append([]Flow(nil), m.flows...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	merged := out[:0]
+	for _, f := range out {
+		if n := len(merged); n > 0 && merged[n-1].Src == f.Src && merged[n-1].Dst == f.Dst {
+			merged[n-1].Amount += f.Amount
+			continue
+		}
+		merged = append(merged, f)
+	}
+	return merged
+}
+
+// FromPermutation builds the unit-demand matrix of a permutation:
+// node i sends one unit to perm[i]. Fixed points (perm[i] == i) are
+// skipped — such traffic never enters the network.
+func FromPermutation(perm []int) *Matrix {
+	m := NewMatrix(len(perm))
+	for src, dst := range perm {
+		if dst == src {
+			continue
+		}
+		m.Add(src, dst, 1)
+	}
+	return m
+}
+
+// RandomPermutation draws a uniform random permutation of n nodes, the
+// paper's flow-level workload ("each processing node sends messages to
+// another processing node, possibly itself").
+func RandomPermutation(n int, rng *rand.Rand) []int {
+	return rng.Perm(n)
+}
+
+// RandomDerangementish draws a random permutation and then swaps away
+// fixed points, producing a permutation where every node sends to a
+// different node. Useful when full network load is wanted.
+func RandomDerangementish(n int, rng *rand.Rand) []int {
+	p := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		if p[i] == i {
+			j := (i + 1 + rng.Intn(n-1)) % n
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	return p
+}
+
+// ShiftPermutation maps src to (src + s) mod n: the pattern behind
+// all-to-all phases (Zahavi et al.).
+func ShiftPermutation(n, s int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = (i + s) % n
+	}
+	return p
+}
+
+// BitComplement maps each node to its bitwise complement; n must be a
+// power of two.
+func BitComplement(n int) ([]int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("traffic: bit-complement needs a power-of-two size, got %d", n)
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = (n - 1) ^ i
+	}
+	return p, nil
+}
+
+// BitReversal maps each node to the reversal of its bits; n must be a
+// power of two.
+func BitReversal(n int) ([]int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two size, got %d", n)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	p := make([]int, n)
+	for i := range p {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		p[i] = r
+	}
+	return p, nil
+}
+
+// Transpose views node ids as (row, col) over a square grid and maps
+// (r,c) to (c,r); n must be a perfect square.
+func Transpose(n int) ([]int, error) {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return nil, fmt.Errorf("traffic: transpose needs a square size, got %d", n)
+	}
+	p := make([]int, n)
+	for i := range p {
+		r, c := i/side, i%side
+		p[i] = c*side + r
+	}
+	return p, nil
+}
+
+// Tornado maps src to (src + n/2 - 1) mod n, the classic worst case for
+// minimal routing on rings; on fat-trees it is simply a far shift.
+func Tornado(n int) []int {
+	return ShiftPermutation(n, n/2-1)
+}
+
+// NeighborExchange pairs adjacent nodes: even i sends to i+1 and odd i
+// to i-1 (the halo-exchange inner step). n must be even.
+func NeighborExchange(n int) ([]int, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("traffic: neighbor exchange needs an even size, got %d", n)
+	}
+	p := make([]int, n)
+	for i := 0; i < n; i += 2 {
+		p[i], p[i+1] = i+1, i
+	}
+	return p, nil
+}
+
+// Butterfly maps each node to the value with its lowest and highest
+// bits swapped (FFT communication stage); n must be a power of two.
+func Butterfly(n int) ([]int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("traffic: butterfly needs a power-of-two size, got %d", n)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	hi := bits - 1
+	p := make([]int, n)
+	for i := range p {
+		lo := i & 1
+		top := (i >> hi) & 1
+		v := i &^ (1 | 1<<hi)
+		p[i] = v | lo<<hi | top
+	}
+	return p, nil
+}
+
+// Uniform builds the dense uniform demand: every ordered pair (i,j),
+// i != j, carries 1/(n-1) units so each node sources one unit total.
+// Intended for small n; the matrix has n(n-1) entries.
+func Uniform(n int) *Matrix {
+	m := NewMatrix(n)
+	if n == 1 {
+		return m
+	}
+	amt := 1.0 / float64(n-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Add(i, j, amt)
+			}
+		}
+	}
+	return m
+}
+
+// Hotspot sends one unit from every node to a single hot node (plus an
+// optional background uniform component with weight bg in [0,1)).
+func Hotspot(n, hot int, bg float64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		if i == hot {
+			continue
+		}
+		m.Add(i, hot, 1-bg)
+		if bg > 0 {
+			for j := 0; j < n; j++ {
+				if j != i {
+					m.Add(i, j, bg/float64(n-1))
+				}
+			}
+		}
+	}
+	return m
+}
+
+// AdversarialDModK constructs the Theorem 2 traffic pattern that
+// concentrates all of a subtree's outbound d-mod-k traffic on a single
+// up link: every processing node j in the first height-(h-1) subtree
+// sends one unit to destination (A+j)·W, where W = Π_{i=1..h} w_i and A
+// is the smallest integer with A·W >= M, M = Π_{i=1..h-1} m_i being the
+// subtree's node count. All destinations are multiples of W, so d-mod-k
+// assigns them up port 0 at every level. The construction requires the
+// destinations to exist and to land in M distinct height-(h-1) subtrees
+// (W >= M and (A+M-1)·W < N); an error describes the violated
+// condition otherwise. The realized performance ratio of d-mod-k on
+// the pattern is min(M·w_1, W): the theorem's full Πw_i bound needs
+// M·w_1 >= W, which the topology chosen in the theorem's proof
+// satisfies by construction.
+func AdversarialDModK(t *topology.Topology) (*Matrix, error) {
+	h := t.H()
+	w := t.WProd(h)                      // W
+	sub := t.ProcessorsPerSubtree(h - 1) // M
+	a := (sub + w - 1) / w
+	if a == 0 {
+		a = 1
+	}
+	n := t.NumProcessors()
+	if last := (a + sub - 1) * w; last >= n {
+		return nil, fmt.Errorf("traffic: %s too small for Theorem 2 pattern: need destination %d < %d", t, last, n)
+	}
+	if w < sub {
+		return nil, fmt.Errorf("traffic: %s needs W=Πw_i (%d) >= per-subtree nodes (%d) for distinct destination subtrees", t, w, sub)
+	}
+	m := NewMatrix(n)
+	for j := 0; j < sub; j++ {
+		m.Add(j, (a+j)*w, 1)
+	}
+	return m, nil
+}

@@ -1,0 +1,314 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xgftsim/internal/topology"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(8)
+	if m.NumFlows() != 0 || m.Total() != 0 {
+		t.Fatal("empty matrix not empty")
+	}
+	m.Add(0, 1, 2)
+	m.Add(0, 1, 1)
+	m.Add(3, 2, 5)
+	if m.NumFlows() != 3 || m.Total() != 8 {
+		t.Fatalf("flows=%d total=%g", m.NumFlows(), m.Total())
+	}
+	m.Scale(0.5)
+	if m.Total() != 4 {
+		t.Fatalf("after scale total=%g", m.Total())
+	}
+	can := m.Canonical()
+	if len(can) != 2 || can[0] != (Flow{0, 1, 1.5}) || can[1] != (Flow{3, 2, 2.5}) {
+		t.Fatalf("canonical=%v", can)
+	}
+	for _, f := range []func(){
+		func() { NewMatrix(0) },
+		func() { m.Add(0, 0, 1) },
+		func() { m.Add(-1, 2, 1) },
+		func() { m.Add(0, 8, 1) },
+		func() { m.Add(0, 1, 0) },
+		func() { m.Add(0, 1, -2) },
+		func() { m.Scale(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromPermutationSkipsFixedPoints(t *testing.T) {
+	m := FromPermutation([]int{0, 2, 1, 3})
+	if m.NumFlows() != 2 {
+		t.Fatalf("flows=%d want 2", m.NumFlows())
+	}
+	if m.Total() != 2 {
+		t.Fatalf("total=%g", m.Total())
+	}
+}
+
+func isPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestPermutationGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 2; n <= 64; n *= 2 {
+		if !isPerm(RandomPermutation(n, rng)) {
+			t.Fatal("RandomPermutation not a permutation")
+		}
+		d := RandomDerangementish(n, rng)
+		if !isPerm(d) {
+			t.Fatal("derangement not a permutation")
+		}
+		for i, v := range d {
+			if v == i {
+				t.Fatalf("derangement has fixed point at %d", i)
+			}
+		}
+		for s := 0; s < n; s++ {
+			p := ShiftPermutation(n, s)
+			if !isPerm(p) || p[0] != s {
+				t.Fatalf("shift(%d,%d) wrong", n, s)
+			}
+		}
+		bc, err := BitComplement(n)
+		if err != nil || !isPerm(bc) {
+			t.Fatalf("bit-complement: %v", err)
+		}
+		for i, v := range bc {
+			if i&v != 0 || i|v != n-1 {
+				t.Fatalf("complement of %d is %d", i, v)
+			}
+		}
+		br, err := BitReversal(n)
+		if err != nil || !isPerm(br) {
+			t.Fatalf("bit-reversal: %v", err)
+		}
+		// Reversal is an involution.
+		for i := range br {
+			if br[br[i]] != i {
+				t.Fatal("bit-reversal not an involution")
+			}
+		}
+		if !isPerm(Tornado(n)) {
+			t.Fatal("tornado not a permutation")
+		}
+	}
+	if _, err := BitComplement(12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := BitReversal(12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	tr, err := Transpose(16)
+	if err != nil || !isPerm(tr) {
+		t.Fatalf("transpose: %v", err)
+	}
+	if tr[1] != 4 || tr[4] != 1 { // (0,1) <-> (1,0) on a 4x4 grid
+		t.Fatalf("transpose mapping wrong: %v", tr[:6])
+	}
+	if _, err := Transpose(12); err == nil {
+		t.Error("non-square size accepted")
+	}
+}
+
+func TestUniformMatrix(t *testing.T) {
+	m := Uniform(5)
+	if m.NumFlows() != 20 {
+		t.Fatalf("flows=%d", m.NumFlows())
+	}
+	if math.Abs(m.Total()-5) > 1e-12 {
+		t.Fatalf("total=%g want 5 (one unit per source)", m.Total())
+	}
+	if Uniform(1).NumFlows() != 0 {
+		t.Fatal("Uniform(1) should be empty")
+	}
+}
+
+func TestHotspotMatrix(t *testing.T) {
+	m := Hotspot(6, 2, 0)
+	if m.NumFlows() != 5 {
+		t.Fatalf("flows=%d", m.NumFlows())
+	}
+	for _, f := range m.Flows() {
+		if f.Dst != 2 {
+			t.Fatal("non-hotspot destination")
+		}
+	}
+	// With background, every non-hot node still sources exactly one
+	// unit, split between the hot node and the rest.
+	bg := Hotspot(4, 0, 0.5)
+	if math.Abs(bg.Total()-3) > 1e-12 {
+		t.Fatalf("total=%g want 3", bg.Total())
+	}
+	hasBackground := false
+	for _, f := range bg.Flows() {
+		if f.Dst != 0 {
+			hasBackground = true
+		}
+	}
+	if !hasBackground {
+		t.Fatal("background traffic missing")
+	}
+}
+
+func TestAdversarialDModK(t *testing.T) {
+	// XGFT(2; 4, 32; 1, 8): W=8, M=4, A=1; destinations 8,16,24,32.
+	tp := topology.MustNew(2, []int{4, 32}, []int{1, 8})
+	m, err := AdversarialDModK(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFlows() != 4 {
+		t.Fatalf("flows=%d want 4", m.NumFlows())
+	}
+	w := tp.WProd(tp.H())
+	subSize := tp.ProcessorsPerSubtree(tp.H() - 1)
+	seenSub := make(map[int]bool)
+	for _, f := range m.Flows() {
+		if f.Dst%w != 0 {
+			t.Fatalf("destination %d not a multiple of W=%d", f.Dst, w)
+		}
+		if f.Src/subSize != 0 {
+			t.Fatalf("source %d outside first subtree", f.Src)
+		}
+		ds := f.Dst / subSize
+		if ds == 0 || seenSub[ds] {
+			t.Fatalf("destination subtree %d invalid or repeated", ds)
+		}
+		seenSub[ds] = true
+	}
+	// Too-small trees must be rejected with a clear error.
+	if _, err := AdversarialDModK(topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})); err == nil {
+		t.Error("8-port 3-tree should not satisfy the Theorem 2 conditions")
+	}
+}
+
+func TestUniformPattern(t *testing.T) {
+	p := UniformPattern{N: 16}
+	if p.Name() != "uniform" {
+		t.Fatal("name")
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 16)
+	const draws = 16000
+	for i := 0; i < draws; i++ {
+		d := p.Dest(3, rng)
+		if d == 3 || d < 0 || d >= 16 {
+			t.Fatalf("bad destination %d", d)
+		}
+		counts[d]++
+	}
+	for d, c := range counts {
+		if d == 3 {
+			continue
+		}
+		want := draws / 15
+		if c < want-250 || c > want+250 {
+			t.Fatalf("destination %d drawn %d times, want ~%d", d, c, want)
+		}
+	}
+}
+
+func TestUniformPatternQuickNoSelf(t *testing.T) {
+	f := func(seed int64, src uint8, n uint8) bool {
+		nn := int(n)%30 + 2
+		s := int(src) % nn
+		p := UniformPattern{N: nn}
+		rng := rand.New(rand.NewSource(seed))
+		d := p.Dest(s, rng)
+		return d != s && d >= 0 && d < nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationPattern(t *testing.T) {
+	p := NewPermutationPattern("shift", []int{1, 2, 0})
+	if p.Name() != "shift" || p.Dest(0, nil) != 1 || p.Dest(2, nil) != 0 {
+		t.Fatal("permutation pattern wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad permutation accepted")
+			}
+		}()
+		NewPermutationPattern("bad", []int{0, 5})
+	}()
+}
+
+func TestHotspotPattern(t *testing.T) {
+	p := HotspotPattern{N: 8, Hot: 1, Fraction: 1}
+	rng := rand.New(rand.NewSource(2))
+	for src := 0; src < 8; src++ {
+		d := p.Dest(src, rng)
+		if src != 1 && d != 1 {
+			t.Fatalf("src %d went to %d", src, d)
+		}
+		if src == 1 && d == 1 {
+			t.Fatal("hot node sent to itself")
+		}
+	}
+	if p.Name() != "hotspot" {
+		t.Fatal("name")
+	}
+}
+
+func TestNeighborExchange(t *testing.T) {
+	p, err := NeighborExchange(8)
+	if err != nil || !isPerm(p) {
+		t.Fatalf("%v %v", p, err)
+	}
+	for i, v := range p {
+		if p[v] != i {
+			t.Fatal("not an involution")
+		}
+		if v/2 != i/2 {
+			t.Fatal("partner outside the pair")
+		}
+	}
+	if _, err := NeighborExchange(7); err == nil {
+		t.Error("odd size accepted")
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	p, err := Butterfly(16)
+	if err != nil || !isPerm(p) {
+		t.Fatalf("%v %v", p, err)
+	}
+	// Swapping lowest and highest bit is an involution; 0 and n-1 are
+	// fixed points, 1 maps to 8.
+	for i, v := range p {
+		if p[v] != i {
+			t.Fatal("not an involution")
+		}
+	}
+	if p[0] != 0 || p[15] != 15 || p[1] != 8 || p[8] != 1 {
+		t.Fatalf("mapping wrong: %v", p[:9])
+	}
+	if _, err := Butterfly(12); err == nil {
+		t.Error("non power of two accepted")
+	}
+}

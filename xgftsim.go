@@ -1,0 +1,255 @@
+package xgftsim
+
+import (
+	"math/rand"
+
+	"xgftsim/internal/adversary"
+	"xgftsim/internal/core"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/lid"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// Topology types (see internal/topology).
+type (
+	// Topology is an immutable extended generalized fat-tree.
+	Topology = topology.Topology
+	// NodeID identifies a node; processing nodes come first.
+	NodeID = topology.NodeID
+	// LinkID identifies a directed link.
+	LinkID = topology.LinkID
+	// Label is the paper's (l, a_h..a_1) tuple naming a node.
+	Label = topology.Label
+	// PaperTopology names one of the paper's evaluation topologies.
+	PaperTopology = topology.PaperTopology
+)
+
+// NewXGFT constructs XGFT(h; m...; w...); m[i-1] and w[i-1] hold the
+// paper's m_i and w_i.
+func NewXGFT(h int, m, w []int) (*Topology, error) { return topology.New(h, m, w) }
+
+// MPortNTree constructs the XGFT equivalent of an m-port n-tree.
+func MPortNTree(m, n int) (*Topology, error) { return topology.MPortNTree(m, n) }
+
+// KAryNTree constructs the XGFT equivalent of a k-ary n-tree.
+func KAryNTree(k, n int) (*Topology, error) { return topology.KAryNTree(k, n) }
+
+// GFT constructs the generalized fat-tree GFT(h; m, w).
+func GFT(h, m, w int) (*Topology, error) { return topology.GFT(h, m, w) }
+
+// FromPaperTopology builds one of the paper's named topologies.
+func FromPaperTopology(name PaperTopology) (*Topology, error) { return topology.FromPaper(name) }
+
+// Routing schemes (see internal/core).
+type (
+	// Selector is a path-selection scheme.
+	Selector = core.Selector
+	// Routing binds a topology, scheme and path limit K.
+	Routing = core.Routing
+	// PathSet is the materialized multi-path route of one SD pair.
+	PathSet = core.PathSet
+
+	// DModK is destination-mod-k single-path routing.
+	DModK = core.DModK
+	// SModK is source-mod-k single-path routing.
+	SModK = core.SModK
+	// RandomSingle picks one random shortest path per pair.
+	RandomSingle = core.RandomSingle
+	// Shift1 is the paper's shift-1 limited multi-path heuristic.
+	Shift1 = core.Shift1
+	// Disjoint is the paper's disjoint limited multi-path heuristic.
+	Disjoint = core.Disjoint
+	// RandomK is the paper's random limited multi-path heuristic.
+	RandomK = core.RandomK
+	// UMulti is unlimited multi-path routing (optimal, Theorem 1).
+	UMulti = core.UMulti
+)
+
+// NewRouting creates a routing over t using scheme sel with path limit
+// limK (<= 0 = unlimited); seed drives randomized schemes.
+func NewRouting(t *Topology, sel Selector, limK int, seed int64) *Routing {
+	return core.NewRouting(t, sel, limK, seed)
+}
+
+// SelectorByName resolves a scheme identifier such as "disjoint".
+func SelectorByName(name string) (Selector, error) { return core.SelectorByName(name) }
+
+// SelectorNames lists the canonical scheme identifiers.
+func SelectorNames() []string { return core.SelectorNames() }
+
+// DecodePathIndex expands a canonical path index into up-port digits.
+func DecodePathIndex(t *Topology, k, idx int, buf []int) []int {
+	return core.DecodePathIndex(t, k, idx, buf)
+}
+
+// EncodePathIndex packs up-port digits into the canonical path index.
+func EncodePathIndex(t *Topology, up []int) int { return core.EncodePathIndex(t, up) }
+
+// DModKIndex returns the d-mod-k path index for a destination at NCA
+// level k.
+func DModKIndex(t *Topology, dst, k int) int { return core.DModKIndex(t, dst, k) }
+
+// PortRoute returns the output-port sequence realizing a path index.
+func PortRoute(t *Topology, src, dst, idx int) []int { return core.PortRoute(t, src, dst, idx) }
+
+// Traffic (see internal/traffic).
+type (
+	// TrafficMatrix is a sparse demand matrix.
+	TrafficMatrix = traffic.Matrix
+	// Flow is one demand entry.
+	Flow = traffic.Flow
+	// Pattern draws message destinations for the flit simulator.
+	Pattern = traffic.Pattern
+	// UniformPattern draws a fresh uniform destination per message.
+	UniformPattern = traffic.UniformPattern
+	// PermutationPattern fixes each source's destination.
+	PermutationPattern = traffic.PermutationPattern
+	// HotspotPattern skews a fraction of traffic to one node.
+	HotspotPattern = traffic.HotspotPattern
+)
+
+// NewTrafficMatrix creates an empty demand over n processing nodes.
+func NewTrafficMatrix(n int) *TrafficMatrix { return traffic.NewMatrix(n) }
+
+// FromPermutation builds the unit-demand matrix of a permutation.
+func FromPermutation(perm []int) *TrafficMatrix { return traffic.FromPermutation(perm) }
+
+// RandomPermutation draws a uniform random permutation.
+func RandomPermutation(n int, rng *rand.Rand) []int { return traffic.RandomPermutation(n, rng) }
+
+// RandomDerangementish draws a random permutation without fixed points.
+func RandomDerangementish(n int, rng *rand.Rand) []int {
+	return traffic.RandomDerangementish(n, rng)
+}
+
+// ShiftPermutation maps src to (src+s) mod n.
+func ShiftPermutation(n, s int) []int { return traffic.ShiftPermutation(n, s) }
+
+// BitComplement, BitReversal, Transpose and Tornado build the classic
+// structured permutations.
+func BitComplement(n int) ([]int, error) { return traffic.BitComplement(n) }
+
+// BitReversal maps each node to the reversal of its bits.
+func BitReversal(n int) ([]int, error) { return traffic.BitReversal(n) }
+
+// Transpose maps (r,c) to (c,r) over a square grid of nodes.
+func Transpose(n int) ([]int, error) { return traffic.Transpose(n) }
+
+// Tornado maps src to (src + n/2 - 1) mod n.
+func Tornado(n int) []int { return traffic.Tornado(n) }
+
+// NeighborExchange pairs adjacent nodes (halo-exchange step).
+func NeighborExchange(n int) ([]int, error) { return traffic.NeighborExchange(n) }
+
+// Butterfly swaps each node's lowest and highest address bits.
+func Butterfly(n int) ([]int, error) { return traffic.Butterfly(n) }
+
+// Uniform builds the dense uniform demand (one unit per source).
+func Uniform(n int) *TrafficMatrix { return traffic.Uniform(n) }
+
+// Hotspot concentrates demand on one node.
+func Hotspot(n, hot int, bg float64) *TrafficMatrix { return traffic.Hotspot(n, hot, bg) }
+
+// AdversarialDModK builds the Theorem 2 worst-case pattern for d-mod-k.
+func AdversarialDModK(t *Topology) (*TrafficMatrix, error) { return traffic.AdversarialDModK(t) }
+
+// NewPermutationPattern wraps a fixed assignment as a flit workload.
+func NewPermutationPattern(name string, perm []int) *PermutationPattern {
+	return traffic.NewPermutationPattern(name, perm)
+}
+
+// Flow-level evaluation (see internal/flow).
+type (
+	// Evaluator computes link loads for one routing.
+	Evaluator = flow.Evaluator
+	// PermutationExperiment is the paper's flow-level study for one
+	// (topology, scheme, K) cell.
+	PermutationExperiment = flow.Experiment
+)
+
+// NewEvaluator creates a flow-level evaluator for r.
+func NewEvaluator(r *Routing) *Evaluator { return flow.NewEvaluator(r) }
+
+// OptimalLoad computes OLOAD(TM) exactly via the subtree-cut bound.
+func OptimalLoad(t *Topology, tm *TrafficMatrix) float64 { return flow.OptimalLoad(t, tm) }
+
+// PerformanceRatio computes PERF(r, TM) = MLOAD / OLOAD.
+func PerformanceRatio(r *Routing, tm *TrafficMatrix) float64 { return flow.PerformanceRatio(r, tm) }
+
+// Flit-level simulation (see internal/flit).
+type (
+	// FlitConfig parameterizes one flit-level run.
+	FlitConfig = flit.Config
+	// FlitResult reports one flit-level run.
+	FlitResult = flit.Result
+	// FlitSweepConfig describes a load sweep.
+	FlitSweepConfig = flit.SweepConfig
+	// PathPolicy selects per-message path choice.
+	PathPolicy = flit.PathPolicy
+)
+
+// Per-message path selection policies.
+const (
+	RoundRobinPath = flit.RoundRobin
+	RandomPathPick = flit.RandomPath
+)
+
+// RunFlit executes one flit-level simulation.
+func RunFlit(cfg FlitConfig) (FlitResult, error) { return flit.Run(cfg) }
+
+// FlitSweep runs a configuration across offered loads.
+func FlitSweep(sc FlitSweepConfig) ([]FlitResult, error) { return flit.Sweep(sc) }
+
+// MaxThroughput extracts the paper's Table 1 metric from a sweep.
+func MaxThroughput(results []FlitResult) float64 { return flit.MaxThroughput(results) }
+
+// InfiniBand realization (see internal/lid).
+type (
+	// LIDPlan assigns LID blocks for K-path routing.
+	LIDPlan = lid.Plan
+	// Fabric holds synthesized linear forwarding tables.
+	Fabric = lid.Fabric
+)
+
+// MaxUnicastLIDs is the InfiniBand unicast address-space size.
+const MaxUnicastLIDs = lid.MaxUnicastLIDs
+
+// NewLIDPlan computes the LID assignment for K-path routing.
+func NewLIDPlan(t *Topology, k int) (*LIDPlan, error) { return lid.NewPlan(t, k) }
+
+// MaxRealizableK returns the largest addressable K on t.
+func MaxRealizableK(t *Topology) int { return lid.MaxRealizableK(t) }
+
+// BuildFabric synthesizes the forwarding tables realizing a scheme.
+func BuildFabric(p *LIDPlan, sel Selector, seed int64) (*Fabric, error) {
+	return lid.BuildFabric(p, sel, seed)
+}
+
+// Statistics (see internal/stats).
+type (
+	// Accumulator keeps running mean/variance statistics.
+	Accumulator = stats.Accumulator
+	// AdaptiveConfig tunes the paper's adaptive sampling protocol.
+	AdaptiveConfig = stats.AdaptiveConfig
+)
+
+// RNGStream derives a deterministic RNG for a (seed, stream) pair.
+func RNGStream(seed, stream int64) *rand.Rand { return stats.Stream(seed, stream) }
+
+// Worst-case search (see internal/adversary).
+type (
+	// WorstCaseConfig tunes the annealing search for adversarial
+	// permutations.
+	WorstCaseConfig = adversary.Config
+	// WorstCaseResult reports the worst permutation found.
+	WorstCaseResult = adversary.Result
+)
+
+// WorstPermutation searches for the permutation maximizing
+// PERF(r, TM), lower-bounding r's oblivious performance ratio.
+func WorstPermutation(r *Routing, cfg WorstCaseConfig) WorstCaseResult {
+	return adversary.WorstPermutation(r, cfg)
+}

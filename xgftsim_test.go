@@ -1,0 +1,207 @@
+package xgftsim_test
+
+// Integration tests of the public facade: the API surface downstream
+// users (and the examples) build against, exercised end to end across
+// all subsystems.
+
+import (
+	"math"
+	"testing"
+
+	"xgftsim"
+)
+
+func TestFacadeTopologyConstruction(t *testing.T) {
+	topo, err := xgftsim.NewXGFT(3, []int{4, 4, 8}, []int{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVariant, err := xgftsim.MPortNTree(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Equal(viaVariant) {
+		t.Fatal("MPortNTree(8,3) != XGFT(3;4,4,8;1,4,4)")
+	}
+	if _, err := xgftsim.KAryNTree(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xgftsim.GFT(2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xgftsim.FromPaperTopology("figure-3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xgftsim.NewXGFT(0, nil, nil); err == nil {
+		t.Fatal("invalid tree accepted")
+	}
+}
+
+// TestFacadeEndToEndFlow runs the doc.go code path: topology, routing,
+// traffic, flow evaluation.
+func TestFacadeEndToEndFlow(t *testing.T) {
+	topo, err := xgftsim.MPortNTree(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xgftsim.NewRouting(topo, xgftsim.Disjoint{}, 4, 0)
+	tm := xgftsim.FromPermutation(xgftsim.ShiftPermutation(topo.NumProcessors(), 1))
+	load := xgftsim.NewEvaluator(r).MaxLoad(tm)
+	opt := xgftsim.OptimalLoad(topo, tm)
+	if opt <= 0 || load < opt {
+		t.Fatalf("load %g, optimal %g", load, opt)
+	}
+	if ratio := xgftsim.PerformanceRatio(r, tm); math.Abs(ratio-load/opt) > 1e-12 {
+		t.Fatalf("PerformanceRatio %g != %g", ratio, load/opt)
+	}
+}
+
+func TestFacadeSelectors(t *testing.T) {
+	for _, name := range xgftsim.SelectorNames() {
+		sel, err := xgftsim.SelectorByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sel.Name() != name {
+			t.Fatalf("round trip %s -> %s", name, sel.Name())
+		}
+	}
+	topo, _ := xgftsim.FromPaperTopology("figure-3")
+	if idx := xgftsim.DModKIndex(topo, 63, 3); idx != 7 {
+		t.Fatalf("paper example index %d, want 7", idx)
+	}
+	up := xgftsim.DecodePathIndex(topo, 3, 7, nil)
+	if xgftsim.EncodePathIndex(topo, up) != 7 {
+		t.Fatal("encode/decode mismatch")
+	}
+	if ports := xgftsim.PortRoute(topo, 0, 63, 7); len(ports) != 6 {
+		t.Fatalf("port route %v", ports)
+	}
+}
+
+func TestFacadeTrafficGenerators(t *testing.T) {
+	if _, err := xgftsim.BitComplement(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xgftsim.BitReversal(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xgftsim.Transpose(16); err != nil {
+		t.Fatal(err)
+	}
+	if p := xgftsim.Tornado(8); p[0] != 3 {
+		t.Fatalf("tornado %v", p)
+	}
+	if m := xgftsim.Uniform(4); m.NumFlows() != 12 {
+		t.Fatal("uniform")
+	}
+	if m := xgftsim.Hotspot(4, 0, 0); m.NumFlows() != 3 {
+		t.Fatal("hotspot")
+	}
+	rng := xgftsim.RNGStream(1, 2)
+	if p := xgftsim.RandomDerangementish(10, rng); len(p) != 10 {
+		t.Fatal("derangement")
+	}
+	m := xgftsim.NewTrafficMatrix(4)
+	m.Add(0, 1, 2)
+	if m.Total() != 2 {
+		t.Fatal("matrix")
+	}
+	topo, _ := xgftsim.NewXGFT(2, []int{8, 64}, []int{1, 8})
+	if _, err := xgftsim.AdversarialDModK(topo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeFlit runs a small flit-level sweep through the facade.
+func TestFacadeFlit(t *testing.T) {
+	topo, err := xgftsim.MPortNTree(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := xgftsim.NewPermutationPattern("assignment",
+		xgftsim.RandomDerangementish(topo.NumProcessors(), xgftsim.RNGStream(5, 0)))
+	res, err := xgftsim.RunFlit(xgftsim.FlitConfig{
+		Routing:       xgftsim.NewRouting(topo, xgftsim.Disjoint{}, 2, 0),
+		Pattern:       pattern,
+		OfferedLoad:   0.3,
+		WarmupCycles:  1000,
+		MeasureCycles: 4000,
+		PathPolicy:    xgftsim.RoundRobinPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-0.3) > 0.05 {
+		t.Fatalf("throughput %g at load 0.3", res.Throughput)
+	}
+	sweep, err := xgftsim.FlitSweep(xgftsim.FlitSweepConfig{
+		Base: xgftsim.FlitConfig{
+			Routing:       xgftsim.NewRouting(topo, xgftsim.DModK{}, 1, 0),
+			Pattern:       pattern,
+			WarmupCycles:  500,
+			MeasureCycles: 2000,
+			PathPolicy:    xgftsim.RandomPathPick,
+		},
+		Loads: []float64{0.2, 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xgftsim.MaxThroughput(sweep) <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestFacadeLID(t *testing.T) {
+	topo, err := xgftsim.FromPaperTopology("24-port-3-tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xgftsim.NewLIDPlan(topo, 64); err == nil {
+		t.Fatal("K=64 should not fit on the Ranger-scale tree")
+	}
+	if k := xgftsim.MaxRealizableK(topo); k < 1 || k >= 64 {
+		t.Fatalf("MaxRealizableK = %d", k)
+	}
+	small, _ := xgftsim.MPortNTree(8, 2)
+	plan, err := xgftsim.NewLIDPlan(small, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric, err := xgftsim.BuildFabric(plan, xgftsim.Disjoint{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fabric.Walk(0, small.NumProcessors()-1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	var acc xgftsim.Accumulator
+	acc.Add(1)
+	acc.Add(3)
+	if acc.Mean() != 2 {
+		t.Fatal("accumulator")
+	}
+	exp := xgftsim.PermutationExperiment{
+		Topo:     mustTopo(t),
+		Sel:      xgftsim.Disjoint{},
+		K:        2,
+		PermSeed: 1,
+		Sampling: xgftsim.AdaptiveConfig{InitialSamples: 10, MaxSamples: 10, RelPrecision: 1},
+	}
+	if res := exp.Run(); res.Acc.N() != 10 {
+		t.Fatalf("experiment samples %d", res.Acc.N())
+	}
+}
+
+func mustTopo(t *testing.T) *xgftsim.Topology {
+	t.Helper()
+	topo, err := xgftsim.MPortNTree(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
