@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover repro repro-full clean
+.PHONY: all build vet test test-short bench bench-json ci cover repro repro-full clean
 
 all: build vet test
 
@@ -22,6 +22,21 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable flow/routing benchmark record: the paper-artifact
+# sweeps once each plus the hot-path micro-benchmarks, parsed into
+# BENCH_flow.json (see cmd/benchjson).
+bench-json:
+	$(GO) test -run xxx -bench 'Fig4|Table1' -benchmem -benchtime 1x . | tee bench_output.txt
+	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|PathSelection|PathLinks|OptimalLoad' \
+		-benchmem . | tee -a bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json
+	@echo wrote BENCH_flow.json
+
+# What a CI gate should run: static checks plus the race-instrumented
+# short test suite (includes the shared compiled-table race test).
+ci: vet
+	$(GO) test -short -race ./...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -20

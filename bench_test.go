@@ -200,6 +200,40 @@ func BenchmarkFlowEvaluator(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileRouting measures the one-shot CSR table build that
+// Experiment.Run amortizes across all samples of a cell.
+func BenchmarkCompileRouting(b *testing.B) {
+	t := benchTopo()
+	r := core.NewRouting(t, core.Disjoint{}, 4, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := core.CompileRouting(r, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(c.Bytes())
+	}
+}
+
+// BenchmarkLoadsCompiled measures a full permutation load evaluation
+// against the compiled CSR table; the steady state should be
+// allocation-free.
+func BenchmarkLoadsCompiled(b *testing.B) {
+	t := benchTopo()
+	r := core.NewRouting(t, core.Disjoint{}, 4, 0)
+	c, err := core.CompileRouting(r, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := flow.NewCompiledEvaluator(c)
+	tm := traffic.FromPermutation(traffic.RandomPermutation(t.NumProcessors(), rand.New(rand.NewSource(2))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.MaxLoad(tm)
+	}
+}
+
 // BenchmarkOptimalLoad measures the subtree-cut OLOAD computation.
 func BenchmarkOptimalLoad(b *testing.B) {
 	t := benchTopo()

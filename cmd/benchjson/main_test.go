@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const text = `goos: linux
+goarch: amd64
+pkg: xgftsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig4d 	       1	9013777986 ns/op	         1.000 maxload@Kmax	468526880 B/op	 1521868 allocs/op
+BenchmarkLoadsCompiled-8  	  260818	      4953 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPathLinks  	  998877	      1042 ns/op
+PASS
+ok  	xgftsim	9.017s
+`
+	got, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(got))
+	}
+	f := got[0]
+	if f.Name != "BenchmarkFig4d" || f.Iterations != 1 || f.NsPerOp != 9013777986 {
+		t.Fatalf("Fig4d parsed as %+v", f)
+	}
+	if f.BytesPerOp == nil || *f.BytesPerOp != 468526880 || f.AllocsPerOp == nil || *f.AllocsPerOp != 1521868 {
+		t.Fatalf("Fig4d memory columns parsed as %+v", f)
+	}
+	if f.Metrics["maxload@Kmax"] != 1.0 {
+		t.Fatalf("Fig4d custom metric parsed as %v", f.Metrics)
+	}
+	l := got[1]
+	if l.Name != "BenchmarkLoadsCompiled" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", l.Name)
+	}
+	if *l.BytesPerOp != 0 || *l.AllocsPerOp != 0 {
+		t.Fatalf("LoadsCompiled memory columns parsed as %+v", l)
+	}
+	p := got[2]
+	if p.BytesPerOp != nil || p.AllocsPerOp != nil || p.NsPerOp != 1042 {
+		t.Fatalf("PathLinks (no -benchmem) parsed as %+v", p)
+	}
+}

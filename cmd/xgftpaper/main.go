@@ -41,6 +41,7 @@ func main() {
 	out := flag.String("out", "", "directory for CSV output (created if missing)")
 	seed := flag.Int64("seed", 2012, "base seed for sampled workloads")
 	flitSeeds := flag.Int("flit-seeds", 0, "override the scale's flit-level workload seed count")
+	workers := flag.Int("workers", 0, "max concurrent experiment cells (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	scale, err := experiments.ScaleByName(*scaleName)
@@ -50,6 +51,7 @@ func main() {
 	if *flitSeeds > 0 {
 		scale.FlitSeeds = *flitSeeds
 	}
+	scale.Workers = *workers
 	var selected []string
 	if *exp == "all" {
 		selected = order
@@ -67,11 +69,25 @@ func main() {
 			fatal(err)
 		}
 	}
+	var runnerLog *os.File
+	if *out != "" {
+		f, err := os.OpenFile(filepath.Join(*out, "runner.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runnerLog = f
+	}
 	for _, name := range selected {
 		start := time.Now()
 		tbl := run(name, scale, *seed)
+		elapsed := time.Since(start).Seconds()
 		tbl.Render(os.Stdout)
-		fmt.Printf("  [%s, scale=%s, %.1fs]\n\n", name, scale.Name, time.Since(start).Seconds())
+		fmt.Printf("  [%s, scale=%s, %.1fs]\n\n", name, scale.Name, elapsed)
+		if runnerLog != nil {
+			fmt.Fprintf(runnerLog, "%s exp=%s scale=%s workers=%d seed=%d wall=%.1fs\n",
+				time.Now().Format(time.RFC3339), name, scale.Name, scale.Workers, *seed, elapsed)
+		}
 		if *out != "" {
 			path := filepath.Join(*out, name+".csv")
 			f, err := os.Create(path)

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xgftsim/internal/topology"
+)
+
+// CompiledRouting is a Routing materialized into flat CSR arrays: for
+// every ordered SD pair it stores the canonical path indices and the
+// concatenated directed-link lists of all its paths, built once and
+// immutable afterwards. All slices are read-only after Compile returns,
+// so a single table is safe to share across any number of goroutines —
+// the permutation sampler's workers, the flit engines of a load sweep —
+// without locks. Traffic is split uniformly across a pair's paths (the
+// paper's f_{i,j} = 1/K), so the per-pair path count is the only share
+// information needed.
+//
+// Layout: pair p = src·N + dst indexes two offset arrays.
+// pathIdx[pathOff[p]:pathOff[p+1]] are the pair's path indices and
+// links[linkOff[p]:linkOff[p+1]] the 2k directed links of each path in
+// path order. Self pairs are empty. Entries are int32 (a table whose
+// link count overflows int32 would not fit a sane budget anyway);
+// offsets are int64 so size estimation cannot overflow on fabrics that
+// exceed the budget.
+type CompiledRouting struct {
+	r    *Routing
+	topo *topology.Topology
+	n    int
+
+	pathOff []int64
+	pathIdx []int32
+	linkOff []int64
+	links   []int32
+}
+
+// CompiledBytes estimates the memory footprint of CompileRouting(r) in
+// bytes, in closed form (no enumeration): the per-pair path count
+// depends only on the pair's NCA level, and the number of pairs at each
+// level follows from the subtree sizes.
+func CompiledBytes(r *Routing) int64 {
+	t := r.Topology()
+	n := int64(t.NumProcessors())
+	var paths, links int64
+	for k := 1; k <= t.H(); k++ {
+		// Pairs whose NCA is exactly level k: same height-k subtree,
+		// different height-(k-1) subtrees.
+		pairs := n * int64(t.ProcessorsPerSubtree(k)-t.ProcessorsPerSubtree(k-1))
+		np := int64(r.pathCount(k))
+		paths += pairs * np
+		links += pairs * np * int64(2*k)
+	}
+	return 16*(n*n+1) + 4*paths + 4*links
+}
+
+// CompileRouting materializes r into a CompiledRouting, building the
+// pair blocks in parallel across GOMAXPROCS workers. maxBytes bounds
+// the table's estimated footprint; a non-positive value means
+// unlimited. It returns an error when the estimate exceeds the budget
+// (the caller should fall back to the lazy Routing) or when r's
+// selector produces a path count that contradicts its declared scheme.
+func CompileRouting(r *Routing, maxBytes int64) (*CompiledRouting, error) {
+	t := r.Topology()
+	n := t.NumProcessors()
+	if est := CompiledBytes(r); maxBytes > 0 && est > maxBytes {
+		return nil, fmt.Errorf("core: compiled %s table over %s needs ~%d MiB, budget is %d MiB",
+			r, t, est>>20, maxBytes>>20)
+	}
+	c := &CompiledRouting{
+		r:       r,
+		topo:    t,
+		n:       n,
+		pathOff: make([]int64, n*n+1),
+		linkOff: make([]int64, n*n+1),
+	}
+	// Offsets from the predicted per-level path counts. NCA levels are
+	// derived arithmetically: dst shares src's height-k subtree iff
+	// their addresses agree above the k low m-digits.
+	var nPaths, nLinks int64
+	p := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			c.pathOff[p] = nPaths
+			c.linkOff[p] = nLinks
+			if src != dst {
+				k := t.NCALevel(src, dst)
+				np := int64(r.pathCount(k))
+				nPaths += np
+				nLinks += np * int64(2*k)
+			}
+			p++
+		}
+	}
+	c.pathOff[p] = nPaths
+	c.linkOff[p] = nLinks
+	c.pathIdx = make([]int32, nPaths)
+	c.links = make([]int32, nLinks)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := src0(n, workers, w)
+		hi := src0(n, workers, w+1)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = c.fill(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// src0 splits [0, n) into `parts` near-equal contiguous ranges.
+func src0(n, parts, i int) int { return i * n / parts }
+
+// fill materializes the pair blocks for src in [lo, hi). Each worker
+// writes only its own disjoint offset ranges, so no synchronization is
+// needed.
+func (c *CompiledRouting) fill(lo, hi int) error {
+	var pathBuf []int
+	var linkBuf []topology.LinkID
+	ps := NewPathScratch()
+	for src := lo; src < hi; src++ {
+		for dst := 0; dst < c.n; dst++ {
+			if src == dst {
+				continue
+			}
+			p := src*c.n + dst
+			pathBuf = c.r.AppendPathsScratch(ps, pathBuf[:0], src, dst)
+			if got, want := int64(len(pathBuf)), c.pathOff[p+1]-c.pathOff[p]; got != want {
+				return fmt.Errorf("core: selector %s produced %d paths for pair (%d,%d), predicted %d; custom selectors must emit a fixed count per NCA level to be compilable",
+					c.r.Selector().Name(), got, src, dst, want)
+			}
+			po, lp := c.pathOff[p], c.linkOff[p]
+			for i, idx := range pathBuf {
+				c.pathIdx[po+int64(i)] = int32(idx)
+			}
+			linkBuf = AppendPathSetLinks(c.topo, src, dst, pathBuf, linkBuf[:0])
+			if int64(len(linkBuf)) != c.linkOff[p+1]-c.linkOff[p] {
+				return fmt.Errorf("core: pair (%d,%d) expanded to %d links, predicted %d",
+					src, dst, len(linkBuf), c.linkOff[p+1]-c.linkOff[p])
+			}
+			for _, l := range linkBuf {
+				c.links[lp] = int32(l)
+				lp++
+			}
+		}
+	}
+	return nil
+}
+
+// Routing returns the routing the table was compiled from.
+func (c *CompiledRouting) Routing() *Routing { return c.r }
+
+// Topology returns the underlying topology.
+func (c *CompiledRouting) Topology() *topology.Topology { return c.topo }
+
+// Bytes returns the actual memory footprint of the table's arrays.
+func (c *CompiledRouting) Bytes() int64 {
+	return 8*int64(len(c.pathOff)+len(c.linkOff)) + 4*int64(len(c.pathIdx)+len(c.links))
+}
+
+// NumPaths returns the number of paths compiled for the pair (0 for
+// self pairs).
+func (c *CompiledRouting) NumPaths(src, dst int) int {
+	p := src*c.n + dst
+	return int(c.pathOff[p+1] - c.pathOff[p])
+}
+
+// PairLinks returns the pair's concatenated per-path link lists and its
+// path count: each path contributes amount/numPaths load to each of its
+// links, so a flow evaluation is a single scan of the returned slice.
+// The slice aliases the table and must not be modified.
+func (c *CompiledRouting) PairLinks(src, dst int) (links []int32, numPaths int) {
+	p := src*c.n + dst
+	return c.links[c.linkOff[p]:c.linkOff[p+1]], int(c.pathOff[p+1] - c.pathOff[p])
+}
+
+// PathIndices returns the pair's canonical path indices. The slice
+// aliases the table and must not be modified.
+func (c *CompiledRouting) PathIndices(src, dst int) []int32 {
+	p := src*c.n + dst
+	return c.pathIdx[c.pathOff[p]:c.pathOff[p+1]]
+}
+
+// PortRoutes expands the pair's compiled paths into output-port
+// sequences for source routing, equivalent to Routing.PortRoutes but
+// without re-running the selector (or its RNG streams).
+func (c *CompiledRouting) PortRoutes(src, dst int) [][]int {
+	idx := c.PathIndices(src, dst)
+	out := make([][]int, len(idx))
+	for i, id := range idx {
+		out[i] = PortRoute(c.topo, src, dst, int(id))
+	}
+	return out
+}

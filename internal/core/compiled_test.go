@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"xgftsim/internal/topology"
+)
+
+func compiledTestTopos() []*topology.Topology {
+	return []*topology.Topology{
+		topology.MustNew(2, []int{4, 8}, []int{1, 4}),
+		topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4}),
+		topology.MustNew(3, []int{2, 3, 4}, []int{1, 3, 2}), // mixed arities
+	}
+}
+
+// TestCompiledMatchesRouting: every pair's compiled path indices, link
+// lists and port routes must equal what the lazy Routing derives.
+func TestCompiledMatchesRouting(t *testing.T) {
+	for _, tp := range compiledTestTopos() {
+		for _, sel := range allSelectors() {
+			for _, k := range []int{1, 2, 3, tp.MaxPaths()} {
+				for _, seed := range []int64{0, 99} {
+					r := NewRouting(tp, sel, k, seed)
+					c, err := CompileRouting(r, 0)
+					if err != nil {
+						t.Fatalf("%s: compile: %v", r, err)
+					}
+					n := tp.NumProcessors()
+					var linkBuf []topology.LinkID
+					for src := 0; src < n; src++ {
+						for dst := 0; dst < n; dst++ {
+							want := r.Paths(src, dst)
+							got := c.PathIndices(src, dst)
+							if len(got) != len(want) {
+								t.Fatalf("%s pair (%d,%d): %d compiled paths, want %d", r, src, dst, len(got), len(want))
+							}
+							links, np := c.PairLinks(src, dst)
+							if np != len(want) {
+								t.Fatalf("%s pair (%d,%d): NumPaths %d, want %d", r, src, dst, np, len(want))
+							}
+							li := 0
+							for i, idx := range want {
+								if int(got[i]) != idx {
+									t.Fatalf("%s pair (%d,%d): path[%d] = %d, want %d", r, src, dst, i, got[i], idx)
+								}
+								linkBuf = PathLinksForIndex(tp, src, dst, idx, linkBuf[:0])
+								for _, l := range linkBuf {
+									if links[li] != int32(l) {
+										t.Fatalf("%s pair (%d,%d): link[%d] = %d, want %d", r, src, dst, li, links[li], l)
+									}
+									li++
+								}
+							}
+							if li != len(links) {
+								t.Fatalf("%s pair (%d,%d): %d links compiled, want %d", r, src, dst, len(links), li)
+							}
+						}
+					}
+					// Spot-check port-route expansion on a few pairs.
+					for _, pair := range [][2]int{{0, n - 1}, {1, n / 2}, {n - 1, 0}} {
+						if pair[0] == pair[1] {
+							continue
+						}
+						if got, want := c.PortRoutes(pair[0], pair[1]), r.PortRoutes(pair[0], pair[1]); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s pair %v: PortRoutes %v, want %v", r, pair, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledBytesExact: the closed-form estimate must equal the
+// built table's actual footprint (that is what makes the budget check
+// trustworthy without building).
+func TestCompiledBytesExact(t *testing.T) {
+	for _, tp := range compiledTestTopos() {
+		for _, sel := range []Selector{DModK{}, Shift1{}, Disjoint{}, RandomK{}, UMulti{}} {
+			r := NewRouting(tp, sel, 3, 1)
+			c, err := CompileRouting(r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est, got := CompiledBytes(r), c.Bytes(); est != got {
+				t.Fatalf("%s over %s: estimate %d bytes, actual %d", r, tp, est, got)
+			}
+		}
+	}
+}
+
+// TestCompileBudget: a table over budget is refused, an unlimited or
+// sufficient budget succeeds.
+func TestCompileBudget(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	r := NewRouting(tp, Disjoint{}, 2, 0)
+	if _, err := CompileRouting(r, 64); err == nil {
+		t.Fatal("64-byte budget accepted")
+	}
+	if _, err := CompileRouting(r, CompiledBytes(r)); err != nil {
+		t.Fatalf("exact budget refused: %v", err)
+	}
+}

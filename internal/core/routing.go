@@ -56,9 +56,17 @@ func (r *Routing) String() string {
 	return fmt.Sprintf("%s(K=%d)", r.sel.Name(), r.k)
 }
 
-// pairRNG derives the deterministic RNG stream for an SD pair.
+// pairRNG derives the deterministic RNG stream for an SD pair. It uses
+// a splitmix64 source seeded from (seed, src, dst): constructing one is
+// a single multiply-and-xor chain, so randomized schemes pay no
+// per-pair allocation-heavy seeding on the evaluation hot path. This
+// intentionally changed the randomized schemes' concrete path choices
+// relative to earlier revisions (which seeded a default math/rand
+// source per pair); the distributions are identical, results remain
+// deterministic in (seed, src, dst), and TestPairRNGGolden pins the
+// new sequences.
 func (r *Routing) pairRNG(src, dst int) *rand.Rand {
-	return stats.Stream(r.seed, int64(src)*int64(r.topo.NumProcessors())+int64(dst))
+	return stats.CheapStream(r.seed, int64(src)*int64(r.topo.NumProcessors())+int64(dst))
 }
 
 // AppendPaths appends the path indices used for traffic from src to
@@ -78,6 +86,38 @@ func (r *Routing) AppendPaths(buf []int, src, dst int) []int {
 // Paths returns the path indices for the SD pair in a fresh slice.
 func (r *Routing) Paths(src, dst int) []int {
 	return r.AppendPaths(nil, src, dst)
+}
+
+// PathScratch is caller-owned RNG state for AppendPathsScratch: one
+// reusable generator that is reseeded per pair instead of allocated per
+// pair. Each goroutine walking many pairs should hold its own.
+type PathScratch struct {
+	src stats.SplitMix
+	rng *rand.Rand
+}
+
+// NewPathScratch creates scratch RNG state for AppendPathsScratch.
+func NewPathScratch() *PathScratch {
+	ps := &PathScratch{}
+	ps.rng = rand.New(&ps.src)
+	return ps
+}
+
+// AppendPathsScratch is AppendPaths using the caller's scratch RNG. It
+// yields exactly the same path sets (the streams are deterministic in
+// (seed, src, dst) either way) but performs zero allocations, which is
+// what the flow evaluator's sampling loop needs: it visits N pairs per
+// sampled permutation.
+func (r *Routing) AppendPathsScratch(ps *PathScratch, buf []int, src, dst int) []int {
+	if src == dst {
+		return buf
+	}
+	var rng *rand.Rand
+	if _, deterministic := r.sel.(interface{ deterministic() }); !deterministic {
+		ps.src.SeedStream(r.seed, int64(src)*int64(r.topo.NumProcessors())+int64(dst))
+		rng = ps.rng
+	}
+	return r.sel.Select(r.topo, src, dst, r.k, rng, buf)
 }
 
 // PathSet is the materialized multi-path route of one SD pair: the
@@ -121,6 +161,26 @@ func (r *Routing) PortRoutes(src, dst int) [][]int {
 // multi-path routing trades against performance.
 func (r *Routing) MaxPathsUsed() int {
 	x := r.topo.MaxPaths()
+	if !r.sel.MultiPath() {
+		return 1
+	}
+	return clampK(r.k, x)
+}
+
+// pathCount predicts the number of paths Select produces for a pair
+// with NCA level k (k == 0 meaning a self pair). Every scheme in this
+// package emits a fixed count per level: 1 for single-path schemes,
+// min(K, X) for the limited heuristics and all X paths for UMULTI
+// (which ignores K). CompileRouting sizes its flat arrays from this
+// and verifies the prediction while filling them.
+func (r *Routing) pathCount(k int) int {
+	if k == 0 {
+		return 0
+	}
+	x := r.topo.WProd(k)
+	if _, unlimited := r.sel.(UMulti); unlimited {
+		return x
+	}
 	if !r.sel.MultiPath() {
 		return 1
 	}

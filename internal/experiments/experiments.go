@@ -29,6 +29,10 @@ type Scale struct {
 	FlitSeeds int
 	// Loads is the offered-load grid for sweeps.
 	Loads []float64
+	// Workers bounds how many grid cells an experiment measures
+	// concurrently (each cell may itself parallelize its samples);
+	// 0 means GOMAXPROCS. Results are deterministic regardless.
+	Workers int
 }
 
 // QuickScale finishes each experiment in seconds; for smoke runs and

@@ -16,7 +16,12 @@ func Fig4(t *topology.Topology, sc Scale, permSeed int64) *Table {
 }
 
 // Fig4Ks is Fig4 over an explicit K grid (used by the benchmarks to
-// bound runtime on the largest topologies).
+// bound runtime on the largest topologies). Each unique (scheme, K)
+// cell is one flow.Experiment — its routing is compiled (or lazily
+// derived) once and shared by that cell's sampler goroutines — and the
+// cells fan out across at most sc.Workers concurrent slots with
+// deterministic result placement. Single-path baselines ignore K, so
+// they are measured once and replicated across rows.
 func Fig4Ks(t *topology.Topology, ks []int, sc Scale, permSeed int64) *Table {
 	schemes := fig4Schemes()
 	tbl := &Table{
@@ -27,34 +32,54 @@ func Fig4Ks(t *topology.Topology, ks []int, sc Scale, permSeed int64) *Table {
 	for j, s := range schemes {
 		tbl.Columns[j] = s.Name()
 	}
-	// Single-path baselines ignore K: measure them once and replicate
-	// the flat series across rows.
-	flat := make(map[int]Cell)
+	type job struct{ row, col int } // row < 0: flat single-path cell
+	var jobs []job
 	for j, sel := range schemes {
-		if sel.MultiPath() {
-			continue
+		if !sel.MultiPath() {
+			jobs = append(jobs, job{-1, j})
 		}
-		res := flow.Experiment{Topo: t, Sel: sel, K: 1, PermSeed: permSeed, Sampling: sc.Sampling}.Run()
-		flat[j] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
 	}
-	for _, k := range ks {
-		row := make([]Cell, len(schemes))
+	for i := range ks {
 		for j, sel := range schemes {
-			if c, ok := flat[j]; ok {
-				row[j] = c
-				continue
+			if sel.MultiPath() {
+				jobs = append(jobs, job{i, j})
 			}
-			res := flow.Experiment{
-				Topo:     t,
-				Sel:      sel,
-				K:        k,
-				PermSeed: permSeed,
-				Sampling: sc.Sampling,
-			}.Run()
-			row[j] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+		}
+	}
+	flat := make([]Cell, len(schemes))
+	isFlat := make([]bool, len(schemes))
+	cells := make([][]Cell, len(ks))
+	for i := range cells {
+		cells[i] = make([]Cell, len(schemes))
+	}
+	runCells(len(jobs), sc.Workers, func(x int) {
+		jb := jobs[x]
+		k := 1
+		if jb.row >= 0 {
+			k = ks[jb.row]
+		}
+		res := flow.Experiment{
+			Topo:     t,
+			Sel:      schemes[jb.col],
+			K:        k,
+			PermSeed: permSeed,
+			Sampling: sc.Sampling,
+		}.Run()
+		c := Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+		if jb.row < 0 {
+			flat[jb.col], isFlat[jb.col] = c, true
+		} else {
+			cells[jb.row][jb.col] = c
+		}
+	})
+	for i, k := range ks {
+		for j := range schemes {
+			if isFlat[j] {
+				cells[i][j] = flat[j]
+			}
 		}
 		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d", k))
-		tbl.Cells = append(tbl.Cells, row)
+		tbl.Cells = append(tbl.Cells, cells[i])
 	}
 	tbl.Footnote = fmt.Sprintf("adaptive sampling: %.0f%% confidence, %.0f%% precision target",
 		confidencePct(sc), precisionPct(sc))

@@ -57,7 +57,10 @@ func maxThroughput(t *topology.Topology, sel core.Selector, k int, sc Scale) Cel
 
 // Table1 reproduces the paper's Table 1: maximum aggregate throughput
 // (fraction of capacity) on XGFT(3;4,4,8;1,4,4) for K in {1,2,4,8}
-// under each scheme. For d-mod-k the K column is informational only.
+// under each scheme. For d-mod-k the K column is informational only:
+// its single cell is measured once and replicated across rows. Cells
+// run under the bounded parallel scheduler (sc.Workers slots) with
+// deterministic placement.
 func Table1(sc Scale) *Table {
 	t := table1Topology()
 	schemes := []core.Selector{core.DModK{}, core.Shift1{}, core.RandomK{}, core.Disjoint{}}
@@ -70,17 +73,47 @@ func Table1(sc Scale) *Table {
 	for j, s := range schemes {
 		tbl.Columns[j] = s.Name()
 	}
-	for _, k := range ks {
-		row := make([]Cell, len(schemes))
+	type job struct{ row, col int } // row < 0: K-independent single-path cell
+	var jobs []job
+	for j, sel := range schemes {
+		if !sel.MultiPath() {
+			jobs = append(jobs, job{-1, j})
+		}
+	}
+	for i := range ks {
 		for j, sel := range schemes {
-			kEff := k
-			if !sel.MultiPath() {
-				kEff = 1
+			if sel.MultiPath() {
+				jobs = append(jobs, job{i, j})
 			}
-			row[j] = maxThroughput(t, sel, kEff, sc)
+		}
+	}
+	flat := make([]Cell, len(schemes))
+	isFlat := make([]bool, len(schemes))
+	cells := make([][]Cell, len(ks))
+	for i := range cells {
+		cells[i] = make([]Cell, len(schemes))
+	}
+	runCells(len(jobs), sc.Workers, func(x int) {
+		jb := jobs[x]
+		k := 1
+		if jb.row >= 0 {
+			k = ks[jb.row]
+		}
+		c := maxThroughput(t, schemes[jb.col], k, sc)
+		if jb.row < 0 {
+			flat[jb.col], isFlat[jb.col] = c, true
+		} else {
+			cells[jb.row][jb.col] = c
+		}
+	})
+	for i, k := range ks {
+		for j := range schemes {
+			if isFlat[j] {
+				cells[i][j] = flat[j]
+			}
 		}
 		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d", k))
-		tbl.Cells = append(tbl.Cells, row)
+		tbl.Cells = append(tbl.Cells, cells[i])
 	}
 	tbl.Footnote = fmt.Sprintf("%d workload seed(s); packet=8 flits, message=4 packets, buffers=4 packets", sc.FlitSeeds)
 	return tbl

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runCells executes run(0..n-1) with at most `workers` concurrent
+// goroutines (0 or less means GOMAXPROCS). Cells are independent
+// (topology, scheme, K) measurements whose values are deterministic in
+// their inputs, and every cell writes to its own slot, so results are
+// identical to the sequential order regardless of scheduling. A panic
+// in any cell is re-raised in the caller after all cells finish.
+func runCells(n, workers int, run func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first any
+	)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() {
+				<-sem
+				if p := recover(); p != nil {
+					mu.Lock()
+					if first == nil {
+						first = p
+					}
+					mu.Unlock()
+				}
+			}()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
+}

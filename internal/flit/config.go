@@ -89,6 +89,11 @@ type Config struct {
 	Seed int64
 	// PathPolicy selects per-message path choice. Default RoundRobin.
 	PathPolicy PathPolicy
+	// Routes optionally supplies a shared per-pair route cache so
+	// engines of a sweep stop re-expanding the same routing. Nil keeps
+	// an engine-local cache; flit.Sweep installs a shared table
+	// automatically. Ignored under Adaptive routing.
+	Routes *RouteTable
 	// FailedLinks lists directed links that are down for the whole
 	// run: they never transmit. Oblivious routings stall the flows
 	// whose precomputed paths cross them (head-of-line backpressure

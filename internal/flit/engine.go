@@ -277,8 +277,12 @@ func (e *engine) allocPacket(p packet) int32 {
 	return int32(len(e.packets) - 1)
 }
 
-// routesFor lazily builds and caches the port routes of an SD pair.
+// routesFor lazily builds and caches the port routes of an SD pair,
+// consulting the shared sweep-level table when one is configured.
 func (e *engine) routesFor(src, dst int) [][]int {
+	if e.cfg.Routes != nil {
+		return e.cfg.Routes.RoutesFor(src, dst)
+	}
 	key := int64(src)*int64(e.numProc) + int64(dst)
 	if r, ok := e.routes[key]; ok {
 		return r

@@ -1,0 +1,65 @@
+package flit
+
+import (
+	"sync"
+
+	"xgftsim/internal/core"
+)
+
+// RouteTable is a thread-safe cache of per-pair port routes shared
+// across engine instances, so a load sweep (or repeated-seed study)
+// expands each SD pair's paths into source routes once instead of once
+// per engine. When hydrated from a core.CompiledRouting the expansion
+// skips the selector (and its RNG streams) entirely; otherwise routes
+// come from the Routing on first use. Entries are immutable once
+// stored, so readers may hold the returned slices without copying.
+type RouteTable struct {
+	routing  *core.Routing
+	compiled *core.CompiledRouting
+	n        int
+
+	mu     sync.RWMutex
+	routes map[int64][][]int
+}
+
+// NewRouteTable creates a shared route cache for r. compiled may be
+// nil; when set it must have been compiled from a routing over the
+// same topology and is used as the route source.
+func NewRouteTable(r *core.Routing, compiled *core.CompiledRouting) *RouteTable {
+	if compiled != nil && compiled.Topology() != r.Topology() {
+		panic("flit: RouteTable compiled table is over a different topology")
+	}
+	return &RouteTable{
+		routing:  r,
+		compiled: compiled,
+		n:        r.Topology().NumProcessors(),
+		routes:   make(map[int64][][]int),
+	}
+}
+
+// RoutesFor returns the pair's port routes, computing and caching them
+// on first use. Safe for concurrent use.
+func (rt *RouteTable) RoutesFor(src, dst int) [][]int {
+	key := int64(src)*int64(rt.n) + int64(dst)
+	rt.mu.RLock()
+	r, ok := rt.routes[key]
+	rt.mu.RUnlock()
+	if ok {
+		return r
+	}
+	if rt.compiled != nil {
+		r = rt.compiled.PortRoutes(src, dst)
+	} else {
+		r = rt.routing.PortRoutes(src, dst)
+	}
+	rt.mu.Lock()
+	// A concurrent fill may have won; keep the stored value so every
+	// engine sees one canonical slice.
+	if prev, ok := rt.routes[key]; ok {
+		r = prev
+	} else {
+		rt.routes[key] = r
+	}
+	rt.mu.Unlock()
+	return r
+}

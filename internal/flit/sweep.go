@@ -39,6 +39,11 @@ func Sweep(sc SweepConfig) ([]Result, error) {
 			return nil, fmt.Errorf("flit: sweep load %g out of (0,1]", l)
 		}
 	}
+	// All points share one routing, so share one route cache: paths are
+	// expanded once for the whole sweep instead of once per load point.
+	if sc.Base.Routes == nil && !sc.Base.Adaptive && sc.Base.Routing != nil {
+		sc.Base.Routes = NewRouteTable(sc.Base.Routing, nil)
+	}
 	par := sc.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)

@@ -1,0 +1,87 @@
+package flow
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// CompiledEvaluator computes link loads by walking a shared
+// core.CompiledRouting: per flow it scans the pair's precompiled link
+// list and adds the uniform per-path share, with no path selection, no
+// RNG derivation and no per-sample allocation. The compiled table is
+// read-only and may be shared by any number of evaluators; the
+// evaluator itself only owns its scratch load vector and, like
+// Evaluator, is not safe for concurrent use — create one per goroutine.
+type CompiledEvaluator struct {
+	c     *core.CompiledRouting
+	topo  *topology.Topology
+	loads []float64
+	opt   optScratch
+}
+
+// NewCompiledEvaluator creates an evaluator over the shared table c.
+func NewCompiledEvaluator(c *core.CompiledRouting) *CompiledEvaluator {
+	t := c.Topology()
+	return &CompiledEvaluator{c: c, topo: t, loads: make([]float64, t.NumLinks())}
+}
+
+// Compiled returns the shared table under evaluation.
+func (e *CompiledEvaluator) Compiled() *core.CompiledRouting { return e.c }
+
+// Loads computes the load of every directed link under tm, exactly as
+// Evaluator.Loads does for the lazy routing. The returned slice is
+// owned by the evaluator and valid until the next call.
+func (e *CompiledEvaluator) Loads(tm *traffic.Matrix) []float64 {
+	if tm.N != e.topo.NumProcessors() {
+		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, e.topo.NumProcessors()))
+	}
+	for i := range e.loads {
+		e.loads[i] = 0
+	}
+	for _, f := range tm.Flows() {
+		links, np := e.c.PairLinks(f.Src, f.Dst)
+		if np == 0 {
+			continue
+		}
+		share := f.Amount / float64(np)
+		for _, l := range links {
+			e.loads[l] += share
+		}
+	}
+	return e.loads
+}
+
+// MaxLoad computes MLOAD(r, TM) over the compiled table.
+func (e *CompiledEvaluator) MaxLoad(tm *traffic.Matrix) float64 {
+	loads := e.Loads(tm)
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// TierLoads reports per-tier maximum loads of the most recent Loads
+// call; see Evaluator.TierLoads.
+func (e *CompiledEvaluator) TierLoads() [][2]float64 {
+	return tierLoads(e.topo, e.loads)
+}
+
+// OptimalLoad computes OLOAD(TM) reusing evaluator-resident scratch.
+func (e *CompiledEvaluator) OptimalLoad(tm *traffic.Matrix) float64 {
+	return e.opt.optimalLoad(e.topo, tm)
+}
+
+// PerformanceRatio computes PERF = MLOAD/OLOAD without allocating.
+func (e *CompiledEvaluator) PerformanceRatio(tm *traffic.Matrix) float64 {
+	opt := e.OptimalLoad(tm)
+	if opt == 0 {
+		return 1
+	}
+	return e.MaxLoad(tm) / opt
+}

@@ -26,6 +26,8 @@ type Evaluator struct {
 	loads   []float64
 	pathBuf []int
 	linkBuf []topology.LinkID
+	ps      *core.PathScratch
+	opt     optScratch
 }
 
 // NewEvaluator creates an evaluator for routing r.
@@ -35,6 +37,7 @@ func NewEvaluator(r *core.Routing) *Evaluator {
 		r:     r,
 		topo:  t,
 		loads: make([]float64, t.NumLinks()),
+		ps:    core.NewPathScratch(),
 	}
 }
 
@@ -52,16 +55,14 @@ func (e *Evaluator) Loads(tm *traffic.Matrix) []float64 {
 		e.loads[i] = 0
 	}
 	for _, f := range tm.Flows() {
-		e.pathBuf = e.r.AppendPaths(e.pathBuf[:0], f.Src, f.Dst)
+		e.pathBuf = e.r.AppendPathsScratch(e.ps, e.pathBuf[:0], f.Src, f.Dst)
 		if len(e.pathBuf) == 0 {
 			continue
 		}
 		share := f.Amount / float64(len(e.pathBuf))
-		for _, idx := range e.pathBuf {
-			e.linkBuf = core.PathLinksForIndex(e.topo, f.Src, f.Dst, idx, e.linkBuf[:0])
-			for _, link := range e.linkBuf {
-				e.loads[link] += share
-			}
+		e.linkBuf = core.AppendPathSetLinks(e.topo, f.Src, f.Dst, e.pathBuf, e.linkBuf[:0])
+		for _, link := range e.linkBuf {
+			e.loads[link] += share
 		}
 	}
 	return e.loads
@@ -84,15 +85,21 @@ func (e *Evaluator) MaxLoad(tm *traffic.Matrix) float64 {
 // call. Index [l][0] is the up direction, [l][1] the down direction.
 // Used by the ablation study of where each heuristic leaves contention.
 func (e *Evaluator) TierLoads() [][2]float64 {
-	out := make([][2]float64, e.topo.H())
-	for link, l := range e.loads {
+	return tierLoads(e.topo, e.loads)
+}
+
+// tierLoads folds a per-link load vector into per-tier directional
+// maxima; shared by the lazy and compiled evaluators.
+func tierLoads(t *topology.Topology, loads []float64) [][2]float64 {
+	out := make([][2]float64, t.H())
+	for link, l := range loads {
 		if l == 0 {
 			continue
 		}
 		id := topology.LinkID(link)
-		tier := e.topo.LinkTier(id)
+		tier := t.LinkTier(id)
 		dir := 1
-		if e.topo.LinkIsUp(id) {
+		if t.LinkIsUp(id) {
 			dir = 0
 		}
 		if l > out[tier][dir] {
@@ -100,6 +107,23 @@ func (e *Evaluator) TierLoads() [][2]float64 {
 		}
 	}
 	return out
+}
+
+// OptimalLoad computes OLOAD(TM) reusing evaluator-resident scratch,
+// so permutation studies that report PERF ratios allocate nothing per
+// sample.
+func (e *Evaluator) OptimalLoad(tm *traffic.Matrix) float64 {
+	return e.opt.optimalLoad(e.topo, tm)
+}
+
+// PerformanceRatio computes PERF(r, TM) = MLOAD/OLOAD with the
+// evaluator's scratch buffers.
+func (e *Evaluator) PerformanceRatio(tm *traffic.Matrix) float64 {
+	opt := e.OptimalLoad(tm)
+	if opt == 0 {
+		return 1
+	}
+	return e.MaxLoad(tm) / opt
 }
 
 // OptimalLoad computes OLOAD(TM) for a topology: by Lemma 1 every
@@ -111,18 +135,35 @@ func (e *Evaluator) TierLoads() [][2]float64 {
 // where MT is the larger of the traffic entering and leaving subtree
 // st_k and TL(k) = Π_{i=1..k+1} w_i is the subtree's up-link count.
 func OptimalLoad(t *topology.Topology, tm *traffic.Matrix) float64 {
+	var s optScratch
+	return s.optimalLoad(t, tm)
+}
+
+// optScratch holds the per-subtree in/out traffic accumulators of the
+// subtree-cut bound, sized once for the largest level (k = 0, one
+// subtree per processing node) and reused across levels and calls.
+type optScratch struct {
+	in, out []float64
+}
+
+func (s *optScratch) optimalLoad(t *topology.Topology, tm *traffic.Matrix) float64 {
 	if tm.N != t.NumProcessors() {
 		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, t.NumProcessors()))
+	}
+	if n := t.NumProcessors(); cap(s.in) < n {
+		s.in = make([]float64, n)
+		s.out = make([]float64, n)
 	}
 	best := 0.0
 	// k = 0 (single processing nodes) up to h-1; the height-h "subtree"
 	// is the whole network and has no crossing links.
-	in := make([]float64, 0)
-	out := make([]float64, 0)
 	for k := 0; k < t.H(); k++ {
 		nSub := t.MProd(k)
-		in = append(in[:0], make([]float64, nSub)...)
-		out = append(out[:0], make([]float64, nSub)...)
+		in := s.in[:nSub]
+		out := s.out[:nSub]
+		for i := range in {
+			in[i], out[i] = 0, 0
+		}
 		for _, f := range tm.Flows() {
 			ss := t.SubtreeOfProcessor(f.Src, k)
 			ds := t.SubtreeOfProcessor(f.Dst, k)
@@ -148,13 +189,16 @@ func OptimalLoad(t *topology.Topology, tm *traffic.Matrix) float64 {
 
 // PerformanceRatio computes PERF(r, TM) = MLOAD(r, TM) / OLOAD(TM).
 // A ratio of 1 means the routing is optimal for this demand. Demands
-// with zero optimal load (empty matrices) return 1.
+// with zero optimal load (empty matrices) return 1. Loops evaluating
+// many demands should hold one Evaluator and call its
+// PerformanceRatio method instead, which reuses scratch buffers.
 func PerformanceRatio(r *core.Routing, tm *traffic.Matrix) float64 {
-	opt := OptimalLoad(r.Topology(), tm)
-	if opt == 0 {
-		return 1
-	}
-	return NewEvaluator(r).MaxLoad(tm) / opt
+	return NewEvaluator(r).PerformanceRatio(tm)
+}
+
+// maxLoader is the common surface of the lazy and compiled evaluators.
+type maxLoader interface {
+	MaxLoad(tm *traffic.Matrix) float64
 }
 
 // evalPool amortizes evaluator allocation across concurrent samples.
@@ -162,12 +206,12 @@ type evalPool struct {
 	pool sync.Pool
 }
 
-func newEvalPool(r *core.Routing) *evalPool {
-	return &evalPool{pool: sync.Pool{New: func() any { return NewEvaluator(r) }}}
+func newEvalPool(newFn func() maxLoader) *evalPool {
+	return &evalPool{pool: sync.Pool{New: func() any { return newFn() }}}
 }
 
 func (p *evalPool) maxLoad(tm *traffic.Matrix) float64 {
-	e := p.pool.Get().(*Evaluator)
+	e := p.pool.Get().(maxLoader)
 	v := e.MaxLoad(tm)
 	p.pool.Put(e)
 	return v
@@ -191,6 +235,63 @@ type Experiment struct {
 	// Sampling configures the adaptive protocol; the zero value uses
 	// the defaults in stats.AdaptiveConfig.
 	Sampling stats.AdaptiveConfig
+	// Compile selects whether Run precompiles each seed's routing into
+	// a read-only core.CompiledRouting shared by all sampler
+	// goroutines. The default CompileAuto compiles when the table fits
+	// CompileBudget and the sample cap can amortize the one-shot build;
+	// large fabrics whose pair count defeats either bound fall back to
+	// the lazy per-sample path derivation transparently.
+	Compile CompileMode
+	// CompileBudget caps each compiled table's estimated size in
+	// bytes; 0 means DefaultCompileBudget.
+	CompileBudget int64
+}
+
+// CompileMode selects Experiment's use of compiled routing tables.
+type CompileMode int
+
+const (
+	// CompileAuto precompiles when both the memory budget and the
+	// amortization heuristic allow it.
+	CompileAuto CompileMode = iota
+	// CompileNever always uses the lazy evaluator.
+	CompileNever
+	// CompileAlways precompiles whenever the table fits the budget,
+	// regardless of amortization.
+	CompileAlways
+)
+
+// DefaultCompileBudget bounds a compiled table's size when
+// Experiment.CompileBudget is zero.
+const DefaultCompileBudget int64 = 1 << 30
+
+// compiled builds the compiled table for r under the experiment's
+// policy, or returns nil to use the lazy path.
+func (x Experiment) compiled(r *core.Routing) *core.CompiledRouting {
+	if x.Compile == CompileNever {
+		return nil
+	}
+	budget := x.CompileBudget
+	if budget <= 0 {
+		budget = DefaultCompileBudget
+	}
+	if x.Compile == CompileAuto {
+		// Compiling derives all N² pair blocks once; each lazy sample
+		// derives N. Compile only when the sample cap exceeds N, so the
+		// build is amortized even if sampling stops at the cap.
+		ms := x.Sampling.MaxSamples
+		if ms <= 0 {
+			ms = 12800 // stats.AdaptiveConfig's default cap
+		}
+		if x.Topo.NumProcessors() > ms {
+			return nil
+		}
+	}
+	c, err := core.CompileRouting(r, budget)
+	if err != nil {
+		return nil // over budget: lazy fallback
+	}
+	return c
 }
 
 // deterministicSelector reports whether sel ignores its RNG.
@@ -215,7 +316,12 @@ func (x Experiment) Run() stats.AdaptiveResult {
 	}
 	pools := make([]*evalPool, len(seeds))
 	for i, s := range seeds {
-		pools[i] = newEvalPool(core.NewRouting(x.Topo, x.Sel, x.K, s))
+		r := core.NewRouting(x.Topo, x.Sel, x.K, s)
+		if c := x.compiled(r); c != nil {
+			pools[i] = newEvalPool(func() maxLoader { return NewCompiledEvaluator(c) })
+		} else {
+			pools[i] = newEvalPool(func() maxLoader { return NewEvaluator(r) })
+		}
 	}
 	n := x.Topo.NumProcessors()
 	sample := func(i int) float64 {

@@ -64,6 +64,16 @@ func (t *Topology) PathNodes(src, dst int, up []int) []NodeID {
 // down-path node swaps in dst's high digits.
 func (t *Topology) AppendPathLinks(buf []LinkID, src, dst int, up []int) []LinkID {
 	k := t.checkUpChoices(src, dst, up)
+	return t.AppendPathLinksNCA(buf, src, dst, k, up)
+}
+
+// AppendPathLinksNCA is AppendPathLinks for callers that have already
+// established k = NCALevel(src, dst) and that the k digits in up are in
+// range (e.g. by decoding a validated canonical path index). It skips
+// the revalidation, which matters when expanding K paths for each of N
+// pairs per sampled permutation; passing untrusted arguments corrupts
+// the returned link IDs.
+func (t *Topology) AppendPathLinksNCA(buf []LinkID, src, dst, k int, up []int) []LinkID {
 	sHigh, dHigh := src, dst
 	uLow := 0
 	// Up links: tier j-1 edge = edgeOffset[j-1] + idx_{j-1}·w_j + u_j.
