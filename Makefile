@@ -27,16 +27,20 @@ bench:
 # sweeps once each plus the hot-path micro-benchmarks, parsed into
 # BENCH_flow.json (see cmd/benchjson).
 bench-json:
-	$(GO) test -run xxx -bench 'Fig4|Table1' -benchmem -benchtime 1x . | tee bench_output.txt
-	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|PathSelection|PathLinks|OptimalLoad' \
+	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep' -benchmem -benchtime 1x . | tee bench_output.txt
+	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|PathSelection|PathLinks|OptimalLoad' \
 		-benchmem . | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json
 	@echo wrote BENCH_flow.json
 
-# What a CI gate should run: static checks plus the race-instrumented
-# short test suite (includes the shared compiled-table race test).
+# What a CI gate should run: static checks, the race-instrumented
+# short test suite (includes the shared compiled-table race test),
+# targeted race coverage of the repair and watchdog paths, and a
+# quick-scale failure-sweep smoke run of the CLI.
 ci: vet
 	$(GO) test -short -race ./...
+	$(GO) test -race -run 'Repair|Wedge|Drain|Degraded|Failure' ./internal/core ./internal/flit ./internal/flow ./internal/lid
+	$(GO) run ./cmd/xgftpaper -exp failures -scale quick
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -20

@@ -68,6 +68,47 @@ func BenchmarkFig4c(b *testing.B) { benchFig4(b, "c", []int{1, 3, 6, 12}) }
 // the TACC-Ranger-scale tree.
 func BenchmarkFig4d(b *testing.B) { benchFig4(b, "d", []int{1, 4, 16, 144}) }
 
+// BenchmarkFailureSweep regenerates one panel of the failure sweep:
+// avg max link load vs failed cable fraction with repaired routing on
+// XGFT(2;8,16;1,8).
+func BenchmarkFailureSweep(b *testing.B) {
+	topo, err := experiments.Fig4Panel("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	sc.FaultSeeds = 3
+	sc.FaultFractions = []float64{0, 0.05, 0.10}
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.FailureSweep(topo, sc, 2012)
+		b.ReportMetric(lastColumnMean(tbl), "maxload:umulti@10%")
+	}
+}
+
+// BenchmarkCompileRepaired measures the whole-fabric repaired table
+// build — every pair's policy-order liveness filtering plus the CSR
+// compile — on the 3-level topology.
+func BenchmarkCompileRepaired(b *testing.B) {
+	t := benchTopo()
+	r := core.NewRouting(t, core.Disjoint{}, 4, 0)
+	f, err := topology.RandomCableFaults(t, 7, t.NumCables()/20+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr, err := r.Repair(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := core.CompileRepaired(rr, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(c.Bytes())
+	}
+}
+
 // BenchmarkTable1 regenerates Table 1: flit-level saturation
 // throughput on XGFT(3;4,4,8;1,4,4).
 func BenchmarkTable1(b *testing.B) {

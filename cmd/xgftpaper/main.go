@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -29,7 +30,7 @@ import (
 
 var order = []string{
 	"fig4a", "fig4b", "fig4c", "fig4d",
-	"table1", "fig5",
+	"table1", "fig5", "failures",
 	"thm1", "thm2",
 	"tier", "lid", "diversity", "workload",
 	"adaptive", "alltoall", "worstcase", "model", "crossover", "buffers", "vcs",
@@ -80,7 +81,14 @@ func main() {
 	}
 	for _, name := range selected {
 		start := time.Now()
-		tbl := run(name, scale, *seed)
+		tbl, perr := runCaptured(name, scale, *seed)
+		if perr != nil {
+			if runnerLog != nil {
+				fmt.Fprintf(runnerLog, "%s exp=%s scale=%s seed=%d PANIC: %v\n",
+					time.Now().Format(time.RFC3339), name, scale.Name, *seed, perr)
+			}
+			fatal(perr)
+		}
 		elapsed := time.Since(start).Seconds()
 		tbl.Render(os.Stdout)
 		fmt.Printf("  [%s, scale=%s, %.1fs]\n\n", name, scale.Name, elapsed)
@@ -105,6 +113,22 @@ func main() {
 	}
 }
 
+// runCaptured converts a panicking experiment into an error carrying
+// the failing cell's coordinates and stack, so a crashed sweep leaves
+// a diagnosable trail in runner.log instead of a bare crash.
+func runCaptured(name string, scale experiments.Scale, seed int64) (tbl *experiments.Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if cp, ok := p.(*experiments.CellPanic); ok {
+				err = fmt.Errorf("experiment %s: %w", name, cp)
+			} else {
+				err = fmt.Errorf("experiment %s panicked: %v\n%s", name, p, debug.Stack())
+			}
+		}
+	}()
+	return run(name, scale, seed), nil
+}
+
 func run(name string, scale experiments.Scale, seed int64) *experiments.Table {
 	switch name {
 	case "fig4a", "fig4b", "fig4c", "fig4d":
@@ -117,6 +141,8 @@ func run(name string, scale experiments.Scale, seed int64) *experiments.Table {
 		return experiments.Table1(scale)
 	case "fig5":
 		return experiments.Fig5(scale)
+	case "failures":
+		return experiments.Failures(scale, seed)
 	case "thm1":
 		return experiments.Theorem1(scale, seed)
 	case "thm2":

@@ -27,6 +27,7 @@ import (
 // exceed the budget.
 type CompiledRouting struct {
 	r    *Routing
+	rep  *RepairedRouting // non-nil when compiled from a repaired routing
 	topo *topology.Topology
 	n    int
 
@@ -34,6 +35,17 @@ type CompiledRouting struct {
 	pathIdx []int32
 	linkOff []int64
 	links   []int32
+}
+
+// appendPaths derives one pair's path set from the table's source: the
+// repaired routing when compiling a degraded fabric, the healthy
+// routing otherwise. Lazy and compiled evaluation share these exact
+// code paths, which is what keeps them bit-identical.
+func (c *CompiledRouting) appendPaths(ps *PathScratch, buf []int, src, dst int) []int {
+	if c.rep != nil {
+		return c.rep.AppendPathsScratch(ps, buf, src, dst)
+	}
+	return c.r.AppendPathsScratch(ps, buf, src, dst)
 }
 
 // CompiledBytes estimates the memory footprint of CompileRouting(r) in
@@ -98,13 +110,7 @@ func CompileRouting(r *Routing, maxBytes int64) (*CompiledRouting, error) {
 	c.pathIdx = make([]int32, nPaths)
 	c.links = make([]int32, nLinks)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := compileWorkers(n)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -128,6 +134,107 @@ func CompileRouting(r *Routing, maxBytes int64) (*CompiledRouting, error) {
 	return c, nil
 }
 
+// CompileRepaired materializes a repaired routing into the same CSR
+// layout. Unlike the healthy case, the per-pair path count is not a
+// function of the NCA level alone (dead links shrink some pairs' sets,
+// disconnected pairs are empty), so the offsets come from an exact
+// parallel counting pass over the repaired selector instead of the
+// closed-form prediction. The budget check uses CompiledBytes of the
+// base routing, a safe upper bound: repair only ever removes paths.
+// An empty fault set compiles the base routing directly.
+func CompileRepaired(rr *RepairedRouting, maxBytes int64) (*CompiledRouting, error) {
+	if rr.Faults().Empty() {
+		return CompileRouting(rr.Base(), maxBytes)
+	}
+	t := rr.Topology()
+	n := t.NumProcessors()
+	if est := CompiledBytes(rr.Base()); maxBytes > 0 && est > maxBytes {
+		return nil, fmt.Errorf("core: compiled %s table over %s needs up to ~%d MiB, budget is %d MiB",
+			rr, t, est>>20, maxBytes>>20)
+	}
+	c := &CompiledRouting{
+		r:       rr.Base(),
+		rep:     rr,
+		topo:    t,
+		n:       n,
+		pathOff: make([]int64, n*n+1),
+		linkOff: make([]int64, n*n+1),
+	}
+	counts := make([]int32, n*n)
+	workers := compileWorkers(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := src0(n, workers, w), src0(n, workers, w+1)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ps := NewPathScratch()
+			var buf []int
+			for src := lo; src < hi; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					buf = rr.AppendPathsScratch(ps, buf[:0], src, dst)
+					counts[src*n+dst] = int32(len(buf))
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var nPaths, nLinks int64
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			p := src*n + dst
+			c.pathOff[p] = nPaths
+			c.linkOff[p] = nLinks
+			if src != dst {
+				np := int64(counts[p])
+				nPaths += np
+				nLinks += np * int64(2*t.NCALevel(src, dst))
+			}
+		}
+	}
+	c.pathOff[n*n] = nPaths
+	c.linkOff[n*n] = nLinks
+	c.pathIdx = make([]int32, nPaths)
+	c.links = make([]int32, nLinks)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := src0(n, workers, w), src0(n, workers, w+1)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = c.fill(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// compileWorkers bounds the parallel fan-out of a table build.
+func compileWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // src0 splits [0, n) into `parts` near-equal contiguous ranges.
 func src0(n, parts, i int) int { return i * n / parts }
 
@@ -144,7 +251,7 @@ func (c *CompiledRouting) fill(lo, hi int) error {
 				continue
 			}
 			p := src*c.n + dst
-			pathBuf = c.r.AppendPathsScratch(ps, pathBuf[:0], src, dst)
+			pathBuf = c.appendPaths(ps, pathBuf[:0], src, dst)
 			if got, want := int64(len(pathBuf)), c.pathOff[p+1]-c.pathOff[p]; got != want {
 				return fmt.Errorf("core: selector %s produced %d paths for pair (%d,%d), predicted %d; custom selectors must emit a fixed count per NCA level to be compilable",
 					c.r.Selector().Name(), got, src, dst, want)
@@ -167,8 +274,12 @@ func (c *CompiledRouting) fill(lo, hi int) error {
 	return nil
 }
 
-// Routing returns the routing the table was compiled from.
+// Routing returns the (base) routing the table was compiled from.
 func (c *CompiledRouting) Routing() *Routing { return c.r }
+
+// Repaired returns the repaired routing the table was compiled from,
+// or nil when it holds a healthy fabric's paths.
+func (c *CompiledRouting) Repaired() *RepairedRouting { return c.rep }
 
 // Topology returns the underlying topology.
 func (c *CompiledRouting) Topology() *topology.Topology { return c.topo }

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"xgftsim/internal/topology"
+)
+
+// repairSchemes covers every repairable scheme; K is a representative
+// multi-path budget (ignored by single-path schemes).
+func repairSchemes() []Selector {
+	return []Selector{DModK{}, SModK{}, RandomSingle{}, Shift1{}, Disjoint{}, RandomK{}, UMulti{}}
+}
+
+func repairTopologies() []*topology.Topology {
+	return []*topology.Topology{
+		topology.MustNew(2, []int{4, 4}, []int{1, 4}),
+		topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2}),
+	}
+}
+
+// TestRepairProperty is the central repair invariant, property-tested
+// across every scheme, both tree heights and several fault seeds: on a
+// degraded fabric the repaired path set (a) never crosses a failed
+// link, (b) is non-empty exactly when the pair is still connected,
+// (c) never exceeds the scheme's path budget, and (d) is reported as
+// disconnected rather than routed when no shortest path survives.
+func TestRepairProperty(t *testing.T) {
+	for _, tp := range repairTopologies() {
+		for _, sel := range repairSchemes() {
+			for faultSeed := int64(1); faultSeed <= 3; faultSeed++ {
+				f, err := topology.RandomCableFaults(tp, faultSeed, tp.NumCables()/8+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := NewRouting(tp, sel, 2, 42)
+				rr, err := r.Repair(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ps := NewPathScratch()
+				n := tp.NumProcessors()
+				var buf []int
+				var linkBuf []topology.LinkID
+				for src := 0; src < n; src++ {
+					for dst := 0; dst < n; dst++ {
+						if src == dst {
+							continue
+						}
+						buf = rr.AppendPathsScratch(ps, buf[:0], src, dst)
+						connected := f.Connected(src, dst)
+						if connected && len(buf) == 0 {
+							t.Fatalf("%s %s seed=%d: connected pair (%d,%d) got no paths", tp, rr, faultSeed, src, dst)
+						}
+						if !connected {
+							if len(buf) != 0 {
+								t.Fatalf("%s %s seed=%d: disconnected pair (%d,%d) routed over %v", tp, rr, faultSeed, src, dst, buf)
+							}
+							if !rr.Disconnected(src, dst) {
+								t.Fatalf("%s %s seed=%d: pair (%d,%d) not reported disconnected", tp, rr, faultSeed, src, dst)
+							}
+							continue
+						}
+						if want := r.pathCount(tp.NCALevel(src, dst)); len(buf) > want {
+							t.Fatalf("%s %s seed=%d: pair (%d,%d) has %d paths, budget %d", tp, rr, faultSeed, src, dst, len(buf), want)
+						}
+						linkBuf = AppendPathSetLinks(tp, src, dst, buf, linkBuf[:0])
+						for _, l := range linkBuf {
+							if f.LinkDown(l) {
+								t.Fatalf("%s %s seed=%d: pair (%d,%d) path set %v crosses failed link %d",
+									tp, rr, faultSeed, src, dst, buf, l)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRepairDegradesToUMulti: with K at or above the path count, every
+// multi-path scheme's repaired set equals UMULTI over the surviving
+// paths (as a set; preference orders differ).
+func TestRepairDegradesToUMulti(t *testing.T) {
+	for _, tp := range repairTopologies() {
+		f, err := topology.RandomCableFaults(tp, 9, tp.NumCables()/8+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		umulti := NewRouting(tp, UMulti{}, 1, 0).MustRepair(f)
+		n := tp.NumProcessors()
+		for _, sel := range []Selector{Shift1{}, Disjoint{}, RandomK{}} {
+			rr := NewRouting(tp, sel, tp.MaxPaths(), 7).MustRepair(f)
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					got := append([]int(nil), rr.Paths(src, dst)...)
+					want := append([]int(nil), umulti.Paths(src, dst)...)
+					sort.Ints(got)
+					sort.Ints(want)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s pair (%d,%d): %v != surviving set %v", rr, src, dst, got, want)
+					}
+					if len(want) != f.AlivePaths(src, dst) {
+						t.Fatalf("umulti pair (%d,%d): %d paths, %d alive", src, dst, len(want), f.AlivePaths(src, dst))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRepairEmptyFaultsMatchesBase: an empty fault set reproduces the
+// base selection bit-identically (including randomized schemes).
+func TestRepairEmptyFaultsMatchesBase(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	for _, sel := range repairSchemes() {
+		r := NewRouting(tp, sel, 2, 11)
+		rr := r.MustRepair(topology.NewFaultSet(tp))
+		ps, ps2 := NewPathScratch(), NewPathScratch()
+		n := tp.NumProcessors()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				got := rr.AppendPathsScratch(ps, nil, src, dst)
+				want := r.AppendPathsScratch(ps2, nil, src, dst)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s pair (%d,%d): repaired %v != base %v", rr, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRepairDeterministic: repeated evaluation (fresh scratch each
+// time) returns identical path sets, including for randomized schemes
+// whose repair draws from a dedicated substream.
+func TestRepairDeterministic(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	f, err := topology.RandomCableFaults(tp, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []Selector{RandomSingle{}, RandomK{}} {
+		rr := NewRouting(tp, sel, 2, 5).MustRepair(f)
+		n := tp.NumProcessors()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				a := rr.AppendPathsScratch(NewPathScratch(), nil, src, dst)
+				b := rr.AppendPathsScratch(NewPathScratch(), nil, src, dst)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s pair (%d,%d): %v then %v", rr, src, dst, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRepairValidation: nil fault sets, foreign topologies and custom
+// selectors are rejected.
+func TestRepairValidation(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	other := topology.MustNew(2, []int{2, 2}, []int{1, 2})
+	r := NewRouting(tp, Disjoint{}, 2, 0)
+	if _, err := r.Repair(nil); err == nil {
+		t.Error("nil fault set accepted")
+	}
+	if _, err := r.Repair(topology.NewFaultSet(other)); err == nil {
+		t.Error("foreign-topology fault set accepted")
+	}
+	custom := NewRouting(tp, customSelector{}, 2, 0)
+	if _, err := custom.Repair(topology.NewFaultSet(tp)); err == nil {
+		t.Error("custom selector accepted for repair")
+	}
+}
+
+type customSelector struct{ UMulti }
+
+func (customSelector) Name() string { return "custom" }
+
+// TestCompileRepairedMatchesLazy: compiled repaired tables are
+// bit-identical to lazy repaired evaluation — path indices and link
+// expansions — for every scheme on a faulted fabric, including the
+// empty-per-pair blocks of disconnected pairs.
+func TestCompileRepairedMatchesLazy(t *testing.T) {
+	for _, tp := range repairTopologies() {
+		f, err := topology.RandomCableFaults(tp, 5, tp.NumCables()/8+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sel := range repairSchemes() {
+			rr := NewRouting(tp, sel, 2, 21).MustRepair(f)
+			c, err := CompileRepaired(rr, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Repaired() != rr {
+				t.Fatal("compiled table lost its repaired source")
+			}
+			ps := NewPathScratch()
+			n := tp.NumProcessors()
+			var buf []int
+			var linkBuf []topology.LinkID
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					buf = rr.AppendPathsScratch(ps, buf[:0], src, dst)
+					idx := c.PathIndices(src, dst)
+					if len(idx) != len(buf) {
+						t.Fatalf("%s pair (%d,%d): compiled %d paths, lazy %d", rr, src, dst, len(idx), len(buf))
+					}
+					for i, id := range idx {
+						if int(id) != buf[i] {
+							t.Fatalf("%s pair (%d,%d): compiled %v, lazy %v", rr, src, dst, idx, buf)
+						}
+					}
+					links, np := c.PairLinks(src, dst)
+					if np != len(buf) {
+						t.Fatalf("%s pair (%d,%d): PairLinks count %d, lazy %d", rr, src, dst, np, len(buf))
+					}
+					linkBuf = AppendPathSetLinks(tp, src, dst, buf, linkBuf[:0])
+					if len(links) != len(linkBuf) {
+						t.Fatalf("%s pair (%d,%d): compiled %d links, lazy %d", rr, src, dst, len(links), len(linkBuf))
+					}
+					for i, l := range linkBuf {
+						if int32(l) != links[i] {
+							t.Fatalf("%s pair (%d,%d): compiled link %d = %d, lazy %d", rr, src, dst, i, links[i], l)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileRepairedEmptyFaults: an empty fault set compiles through
+// the healthy path (no repaired source recorded).
+func TestCompileRepairedEmptyFaults(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	rr := NewRouting(tp, Disjoint{}, 2, 0).MustRepair(topology.NewFaultSet(tp))
+	c, err := CompileRepaired(rr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Repaired() != nil {
+		t.Fatal("healthy compile recorded a repaired source")
+	}
+}
+
+// TestRepairedDisconnectedPairs: DisconnectedPairs agrees with the
+// fault set's connectivity oracle.
+func TestRepairedDisconnectedPairs(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	f := topology.NewFaultSet(tp)
+	leaf := tp.NodeAt(1, 0)
+	for p := 0; p < tp.NumParents(leaf); p++ {
+		if err := f.FailCable(leaf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr := NewRouting(tp, DModK{}, 1, 0).MustRepair(f)
+	pairs := rr.DisconnectedPairs()
+	n := tp.NumProcessors()
+	want := 2 * 4 * (n - 4) // leaf 0's processors cut off, both directions
+	if len(pairs) != want {
+		t.Fatalf("%d disconnected pairs, want %d", len(pairs), want)
+	}
+	for _, p := range pairs {
+		if f.Connected(p[0], p[1]) {
+			t.Fatalf("pair %v reported disconnected but is connected", p)
+		}
+	}
+}

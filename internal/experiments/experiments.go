@@ -29,6 +29,12 @@ type Scale struct {
 	FlitSeeds int
 	// Loads is the offered-load grid for sweeps.
 	Loads []float64
+	// FaultSeeds is how many random fault placements the failure sweep
+	// averages over (its confidence intervals are across these).
+	FaultSeeds int
+	// FaultFractions is the failed-cable-fraction grid for the failure
+	// sweep.
+	FaultFractions []float64
 	// Workers bounds how many grid cells an experiment measures
 	// concurrently (each cell may itself parallelize its samples);
 	// 0 means GOMAXPROCS. Results are deterministic regardless.
@@ -39,12 +45,14 @@ type Scale struct {
 // benchmarks.
 func QuickScale() Scale {
 	return Scale{
-		Name:        "quick",
-		Sampling:    stats.AdaptiveConfig{InitialSamples: 40, MaxSamples: 160, RelPrecision: 0.03},
-		FlitWarmup:  2000,
-		FlitMeasure: 6000,
-		FlitSeeds:   1,
-		Loads:       []float64{0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Name:           "quick",
+		Sampling:       stats.AdaptiveConfig{InitialSamples: 40, MaxSamples: 160, RelPrecision: 0.03},
+		FlitWarmup:     2000,
+		FlitMeasure:    6000,
+		FlitSeeds:      1,
+		Loads:          []float64{0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		FaultSeeds:     3,
+		FaultFractions: []float64{0, 0.02, 0.05, 0.10},
 	}
 }
 
@@ -56,12 +64,14 @@ func FullScale() Scale {
 		loads = append(loads, l)
 	}
 	return Scale{
-		Name:        "full",
-		Sampling:    stats.AdaptiveConfig{InitialSamples: 100, MaxSamples: 12800, RelPrecision: 0.01},
-		FlitWarmup:  10000,
-		FlitMeasure: 30000,
-		FlitSeeds:   3,
-		Loads:       loads,
+		Name:           "full",
+		Sampling:       stats.AdaptiveConfig{InitialSamples: 100, MaxSamples: 12800, RelPrecision: 0.01},
+		FlitWarmup:     10000,
+		FlitMeasure:    30000,
+		FlitSeeds:      3,
+		Loads:          loads,
+		FaultSeeds:     10,
+		FaultFractions: []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10},
 	}
 }
 
@@ -75,12 +85,14 @@ func PaperScale() Scale {
 		loads = append(loads, l)
 	}
 	return Scale{
-		Name:        "paper",
-		Sampling:    stats.AdaptiveConfig{InitialSamples: 200, MaxSamples: 1600, RelPrecision: 0.015},
-		FlitWarmup:  4000,
-		FlitMeasure: 12000,
-		FlitSeeds:   2,
-		Loads:       loads,
+		Name:           "paper",
+		Sampling:       stats.AdaptiveConfig{InitialSamples: 200, MaxSamples: 1600, RelPrecision: 0.015},
+		FlitWarmup:     4000,
+		FlitMeasure:    12000,
+		FlitSeeds:      2,
+		Loads:          loads,
+		FaultSeeds:     5,
+		FaultFractions: []float64{0, 0.01, 0.02, 0.05, 0.08, 0.10},
 	}
 }
 

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// failureSchemes is the scheme × K grid of the failure sweep: the
+// single-path baseline, each limited multi-path scheme at two budgets,
+// and unlimited multi-path as the graceful-degradation reference.
+func failureSchemes() []struct {
+	sel core.Selector
+	k   int
+} {
+	return []struct {
+		sel core.Selector
+		k   int
+	}{
+		{core.DModK{}, 1},
+		{core.Shift1{}, 2},
+		{core.Shift1{}, 4},
+		{core.Disjoint{}, 2},
+		{core.Disjoint{}, 4},
+		{core.RandomK{}, 2},
+		{core.RandomK{}, 4},
+		{core.UMulti{}, 1},
+	}
+}
+
+// faultSeeds derives the sweep's fault-placement seeds from the base
+// seed; distinct offsets keep the streams decorrelated across seeds.
+func faultSeeds(sc Scale, seed int64) []int64 {
+	n := sc.FaultSeeds
+	if n <= 0 {
+		n = 3
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = seed + int64(i)*1000003
+	}
+	return out
+}
+
+func faultFractions(sc Scale) []float64 {
+	if len(sc.FaultFractions) > 0 {
+		return sc.FaultFractions
+	}
+	return []float64{0, 0.02, 0.05, 0.10}
+}
+
+// Failures runs the failure sweep on the paper's Figure 4 panel a and
+// b topologies: average maximum link load of random permutations
+// versus the fraction of failed cables, per scheme × K, with each
+// routing repaired against every sampled fault placement. Confidence
+// intervals are over the fault placements. The final column reports
+// the fraction of SD pairs left with no surviving shortest path —
+// traffic the repair reports as undeliverable rather than routing over
+// dead links.
+func Failures(sc Scale, seed int64) *Table {
+	type panel struct {
+		label string
+		topo  *topology.Topology
+	}
+	var panels []panel
+	for _, p := range []string{"a", "b"} {
+		t, err := Fig4Panel(p)
+		if err != nil {
+			panic(err)
+		}
+		panels = append(panels, panel{p, t})
+	}
+	schemes := failureSchemes()
+	fracs := faultFractions(sc)
+	fseeds := faultSeeds(sc, seed)
+
+	tbl := &Table{
+		Title:  "Failure sweep: average maximum link load vs failed cable fraction (permutation traffic, repaired routing)",
+		XLabel: "panel frac",
+	}
+	for _, s := range schemes {
+		name := s.sel.Name()
+		if s.sel.MultiPath() {
+			name = fmt.Sprintf("%s K=%d", name, s.k)
+		}
+		tbl.Columns = append(tbl.Columns, name)
+	}
+	tbl.Columns = append(tbl.Columns, "disconn")
+
+	nRows := len(panels) * len(fracs)
+	nCols := len(tbl.Columns)
+	cells := make([][]Cell, nRows)
+	for i := range cells {
+		cells[i] = make([]Cell, nCols)
+	}
+	type job struct{ pi, fi, col int }
+	var jobs []job
+	for pi := range panels {
+		for fi := range fracs {
+			for col := 0; col < nCols; col++ {
+				jobs = append(jobs, job{pi, fi, col})
+			}
+		}
+	}
+	runCells(len(jobs), sc.Workers, func(x int) {
+		jb := jobs[x]
+		row := jb.pi*len(fracs) + jb.fi
+		t, frac := panels[jb.pi].topo, fracs[jb.fi]
+		if jb.col == len(schemes) {
+			cells[row][jb.col] = disconnectedCell(t, frac, fseeds)
+			return
+		}
+		s := schemes[jb.col]
+		res := flow.FailureExperiment{
+			Topo:       t,
+			Sel:        s.sel,
+			K:          s.k,
+			Fraction:   frac,
+			FaultSeeds: fseeds,
+			PermSeed:   seed,
+			Sampling:   sc.Sampling,
+		}.Run()
+		cells[row][jb.col] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+	})
+	for pi, p := range panels {
+		for fi, frac := range fracs {
+			tbl.XValues = append(tbl.XValues, fmt.Sprintf("%s %g%%", p.label, frac*100))
+			tbl.Cells = append(tbl.Cells, cells[pi*len(fracs)+fi])
+		}
+	}
+	tbl.Footnote = fmt.Sprintf("99%% CI over %d fault placements per fraction; disconn = fraction of SD pairs with no surviving shortest path",
+		len(fseeds))
+	return tbl
+}
+
+// FailureSweep is the single-topology failure sweep used by the
+// benchmarks: same cells as one panel of Failures.
+func FailureSweep(t *topology.Topology, sc Scale, seed int64) *Table {
+	schemes := failureSchemes()
+	fracs := faultFractions(sc)
+	fseeds := faultSeeds(sc, seed)
+	tbl := &Table{
+		Title:  fmt.Sprintf("Failure sweep: avg max link load vs failed cable fraction, %s", t),
+		XLabel: "frac",
+	}
+	for _, s := range schemes {
+		name := s.sel.Name()
+		if s.sel.MultiPath() {
+			name = fmt.Sprintf("%s K=%d", name, s.k)
+		}
+		tbl.Columns = append(tbl.Columns, name)
+	}
+	cells := make([][]Cell, len(fracs))
+	for i := range cells {
+		cells[i] = make([]Cell, len(schemes))
+	}
+	runCells(len(fracs)*len(schemes), sc.Workers, func(x int) {
+		fi, col := x/len(schemes), x%len(schemes)
+		s := schemes[col]
+		res := flow.FailureExperiment{
+			Topo:       t,
+			Sel:        s.sel,
+			K:          s.k,
+			Fraction:   fracs[fi],
+			FaultSeeds: fseeds,
+			PermSeed:   seed,
+			Sampling:   sc.Sampling,
+		}.Run()
+		cells[fi][col] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+	})
+	for fi, frac := range fracs {
+		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%g%%", frac*100))
+		tbl.Cells = append(tbl.Cells, cells[fi])
+	}
+	tbl.Footnote = fmt.Sprintf("99%% CI over %d fault placements per fraction", len(fseeds))
+	return tbl
+}
+
+// disconnectedCell measures the disconnected-pair fraction across the
+// sweep's fault placements; pure topology arithmetic, no flow
+// evaluation.
+func disconnectedCell(t *topology.Topology, frac float64, fseeds []int64) Cell {
+	if frac == 0 {
+		return Cell{Samples: 1}
+	}
+	var acc stats.Accumulator
+	for _, fs := range fseeds {
+		f, err := topology.RandomCableFaultFraction(t, fs, frac)
+		if err != nil {
+			panic(err)
+		}
+		acc.Add(f.DisconnectedFraction())
+	}
+	c := Cell{Mean: acc.Mean(), Samples: acc.N()}
+	if acc.N() > 1 {
+		c.HalfWidth = acc.ConfidenceHalfWidth(0.99)
+	}
+	return c
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"xgftsim/internal/topology"
+)
+
+func failScale() Scale {
+	sc := tinyScale()
+	sc.FaultSeeds = 2
+	sc.FaultFractions = []float64{0, 0.05}
+	return sc
+}
+
+// TestRunCellsPanicCapture: a panicking cell is re-raised as a
+// CellPanic carrying the cell index and the goroutine's stack, in both
+// the sequential and the parallel path.
+func TestRunCellsPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				p := recover()
+				cp, ok := p.(*CellPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *CellPanic", workers, p, p)
+				}
+				if cp.Cell != 2 {
+					t.Errorf("workers=%d: cell %d, want 2", workers, cp.Cell)
+				}
+				if cp.Value != "boom" {
+					t.Errorf("workers=%d: value %v", workers, cp.Value)
+				}
+				if !strings.Contains(string(cp.Stack), "runCells") {
+					t.Errorf("workers=%d: stack does not reach runCells:\n%s", workers, cp.Stack)
+				}
+				if !strings.Contains(cp.Error(), "cell 2 panicked: boom") {
+					t.Errorf("workers=%d: error %q", workers, cp.Error())
+				}
+			}()
+			runCells(4, workers, func(i int) {
+				if i == 2 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestRunCellsPanicNested: a CellPanic escaping through an outer
+// runCells keeps the inner coordinates.
+func TestRunCellsPanicNested(t *testing.T) {
+	defer func() {
+		cp, ok := recover().(*CellPanic)
+		if !ok || cp.Cell != 3 || cp.Value != "inner" {
+			t.Fatalf("nested panic mangled: %+v", cp)
+		}
+	}()
+	runCells(2, 1, func(i int) {
+		if i == 1 {
+			runCells(5, 1, func(j int) {
+				if j == 3 {
+					panic("inner")
+				}
+			})
+		}
+	})
+}
+
+// TestFailureSweepShape: the single-topology sweep has one row per
+// fraction and one column per scheme, with healthy (fraction 0) loads
+// positive and at or below the degraded ones for the single-path
+// baseline.
+func TestFailureSweepShape(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	tbl := FailureSweep(tp, failScale(), 3)
+	if len(tbl.Cells) != 2 || len(tbl.Columns) != 8 {
+		t.Fatalf("table shape %dx%d", len(tbl.Cells), len(tbl.Columns))
+	}
+	if tbl.XValues[0] != "0%" || tbl.XValues[1] != "5%" {
+		t.Fatalf("XValues = %v", tbl.XValues)
+	}
+	for j, colName := range tbl.Columns {
+		healthy, degraded := tbl.Cells[0][j], tbl.Cells[1][j]
+		if healthy.Mean <= 0 || degraded.Mean <= 0 {
+			t.Errorf("%s: non-positive load %g / %g", colName, healthy.Mean, degraded.Mean)
+		}
+		if healthy.Samples != 1 {
+			t.Errorf("%s: fraction 0 used %d fault seeds", colName, healthy.Samples)
+		}
+		if degraded.Samples != 2 {
+			t.Errorf("%s: degraded row used %d fault seeds, want 2", colName, degraded.Samples)
+		}
+	}
+}
+
+// TestFailuresShape: the full experiment covers both Fig 4 panels with
+// the disconnected-pair column appended.
+func TestFailuresShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full failure sweep in -short mode")
+	}
+	tbl := Failures(failScale(), 3)
+	if len(tbl.Cells) != 4 || len(tbl.Columns) != 9 {
+		t.Fatalf("table shape %dx%d", len(tbl.Cells), len(tbl.Columns))
+	}
+	if tbl.Columns[8] != "disconn" {
+		t.Fatalf("columns %v", tbl.Columns)
+	}
+	if tbl.XValues[0] != "a 0%" || tbl.XValues[3] != "b 5%" {
+		t.Fatalf("XValues = %v", tbl.XValues)
+	}
+	for i, x := range tbl.XValues {
+		disc := tbl.Cells[i][8]
+		if strings.HasSuffix(x, " 0%") {
+			if disc.Mean != 0 {
+				t.Errorf("%s: disconnected fraction %g on healthy fabric", x, disc.Mean)
+			}
+		} else if disc.Mean < 0 || disc.Mean > 1 {
+			t.Errorf("%s: disconnected fraction %g out of range", x, disc.Mean)
+		}
+	}
+}

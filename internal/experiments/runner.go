@@ -1,16 +1,34 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// CellPanic wraps a panic raised inside a grid cell with the cell's
+// index and the goroutine stack captured at the panic site, so a
+// failed sweep can be traced back to its (topology, scheme, K, ...)
+// coordinates instead of surfacing as a bare value with the
+// runner's stack.
+type CellPanic struct {
+	Cell  int
+	Value any
+	Stack []byte
+}
+
+func (p *CellPanic) Error() string {
+	return fmt.Sprintf("experiments: cell %d panicked: %v\n\ncell goroutine stack:\n%s", p.Cell, p.Value, p.Stack)
+}
 
 // runCells executes run(0..n-1) with at most `workers` concurrent
 // goroutines (0 or less means GOMAXPROCS). Cells are independent
 // (topology, scheme, K) measurements whose values are deterministic in
 // their inputs, and every cell writes to its own slot, so results are
 // identical to the sequential order regardless of scheduling. A panic
-// in any cell is re-raised in the caller after all cells finish.
+// in any cell is re-raised in the caller after all cells finish,
+// wrapped in a *CellPanic carrying the cell index and its stack.
 func runCells(n, workers int, run func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -20,14 +38,14 @@ func runCells(n, workers int, run func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			run(i)
+			runCell(i, run)
 		}
 		return
 	}
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
-		first any
+		first *CellPanic
 	)
 	sem := make(chan struct{}, workers)
 	for i := 0; i < n; i++ {
@@ -38,9 +56,10 @@ func runCells(n, workers int, run func(i int)) {
 			defer func() {
 				<-sem
 				if p := recover(); p != nil {
+					cp := asCellPanic(i, p)
 					mu.Lock()
 					if first == nil {
-						first = p
+						first = cp
 					}
 					mu.Unlock()
 				}
@@ -52,4 +71,25 @@ func runCells(n, workers int, run func(i int)) {
 	if first != nil {
 		panic(first)
 	}
+}
+
+// runCell is the sequential path, with the same panic wrapping as the
+// parallel one.
+func runCell(i int, run func(i int)) {
+	defer func() {
+		if p := recover(); p != nil {
+			panic(asCellPanic(i, p))
+		}
+	}()
+	run(i)
+}
+
+// asCellPanic wraps a recovered value, preserving an existing
+// CellPanic from a nested grid (the inner coordinates are the useful
+// ones).
+func asCellPanic(i int, p any) *CellPanic {
+	if cp, ok := p.(*CellPanic); ok {
+		return cp
+	}
+	return &CellPanic{Cell: i, Value: p, Stack: debug.Stack()}
 }

@@ -100,6 +100,19 @@ type Config struct {
 	// then spreads); adaptive routing steers around failed upward
 	// links, losing only the flows whose forced downward path is cut.
 	FailedLinks []topology.LinkID
+	// Faults optionally supplies a fault set (random or targeted link,
+	// cable and switch failures) merged with FailedLinks: every link it
+	// marks down never transmits. It must be over the Routing's
+	// topology and must not be mutated once the run starts.
+	Faults *topology.FaultSet
+	// RepairRoutes, when true, expands source routes from the Routing
+	// repaired against the combined faults (Faults + FailedLinks)
+	// instead of the healthy path sets: flows are re-selected within
+	// each scheme's policy around dead links, and messages of
+	// disconnected pairs are dropped at injection and counted in
+	// Result.MsgsUnroutable instead of wedging the fabric. Ignored
+	// under Adaptive routing, which already steers around failures.
+	RepairRoutes bool
 	// Adaptive switches from the Routing's oblivious source routing to
 	// minimal adaptive routing (the comparator of Gomez et al., IPDPS
 	// 2007): on the way up every switch sends the packet to its
@@ -118,6 +131,32 @@ type Config struct {
 	// final backlog is exactly zero, which the conservation tests
 	// assert.
 	Drain bool
+
+	// faults and repaired are derived by withDefaults: the validated
+	// merge of Faults + FailedLinks, and (under RepairRoutes) the
+	// Routing bound to it.
+	faults   *topology.FaultSet
+	repaired *core.RepairedRouting
+}
+
+// combinedFaults merges Faults and FailedLinks into one fault set over
+// the routing's topology, validating link ranges (the condition the
+// engine used to panic on).
+func (c Config) combinedFaults() (*topology.FaultSet, error) {
+	t := c.Routing.Topology()
+	if c.Faults != nil && c.Faults.Topology() != t {
+		return nil, fmt.Errorf("flit: fault set is over %s, routing is over %s", c.Faults.Topology(), t)
+	}
+	f := topology.NewFaultSet(t)
+	if c.Faults != nil {
+		if err := f.FailLinks(c.Faults.DownLinks()); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.FailLinks(c.FailedLinks); err != nil {
+		return nil, fmt.Errorf("flit: %w", err)
+	}
+	return f, nil
 }
 
 // withDefaults fills zero fields and validates.
@@ -161,6 +200,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RouterDelay < 0 || c.WarmupCycles < 0 || c.MeasureCycles < 1 {
 		return c, fmt.Errorf("flit: negative timing parameters")
 	}
+	if c.Faults != nil || len(c.FailedLinks) > 0 {
+		faults, err := c.combinedFaults()
+		if err != nil {
+			return c, err
+		}
+		c.faults = faults
+		if c.RepairRoutes && !c.Adaptive {
+			rr, err := c.Routing.Repair(faults)
+			if err != nil {
+				return c, err
+			}
+			c.repaired = rr
+		}
+	}
 	return c, nil
 }
 
@@ -187,6 +240,10 @@ type Result struct {
 	// MsgsGenerated and MsgsCompleted count messages generated during
 	// measurement and message completions attributed to them.
 	MsgsGenerated, MsgsCompleted int64
+	// MsgsUnroutable counts messages (whole run, not just the window)
+	// dropped at injection because repaired routing found their SD pair
+	// disconnected by the fault set.
+	MsgsUnroutable int64
 	// FlitsEjected counts measured ejected flits.
 	FlitsEjected int64
 	// BacklogPackets is the number of packets still queued or in
@@ -203,10 +260,22 @@ type Result struct {
 	Saturated bool
 	// Cycles is the measured window length.
 	Cycles int64
+	// Wedged reports that the no-progress watchdog fired: packets were
+	// in flight but no event could ever fire again (every one of them
+	// permanently blocked, typically behind a failed link), so the run
+	// terminated at WedgedAt instead of spinning to its cycle cap.
+	// WedgeDiagnosis names an exemplar stuck packet.
+	Wedged         bool
+	WedgedAt       int64
+	WedgeDiagnosis string
 }
 
 // String summarizes the result on one line.
 func (r Result) String() string {
-	return fmt.Sprintf("load=%.3f thr=%.4f delay=%.1f msgs=%d/%d sat=%v",
+	s := fmt.Sprintf("load=%.3f thr=%.4f delay=%.1f msgs=%d/%d sat=%v",
 		r.OfferedLoad, r.Throughput, r.AvgDelay, r.MsgsCompleted, r.MsgsGenerated, r.Saturated)
+	if r.Wedged {
+		s += fmt.Sprintf(" WEDGED@%d", r.WedgedAt)
+	}
+	return s
 }

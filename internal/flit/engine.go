@@ -2,6 +2,7 @@ package flit
 
 import (
 	"container/heap"
+	"fmt"
 	"math/rand"
 
 	"xgftsim/internal/stats"
@@ -140,16 +141,22 @@ type engine struct {
 	endTime int64
 
 	// Statistics.
-	warmEnd      int64
-	flitsEjected int64
-	ejectedPer   []int64 // measured ejected flits per destination
-	delay        stats.Accumulator
-	batches      []stats.Accumulator // batch means over the window
-	batchLen     int64
-	hist         *stats.Histogram
-	msgsGen      int64
-	msgsDone     int64
-	pktsInFlight int64
+	warmEnd        int64
+	flitsEjected   int64
+	ejectedPer     []int64 // measured ejected flits per destination
+	delay          stats.Accumulator
+	batches        []stats.Accumulator // batch means over the window
+	batchLen       int64
+	hist           *stats.Histogram
+	msgsGen        int64
+	msgsDone       int64
+	msgsUnroutable int64
+	pktsInFlight   int64
+
+	// Watchdog state (see run).
+	wedged    bool
+	wedgedAt  int64
+	wedgeDiag string
 }
 
 func newEngine(cfg Config) *engine {
@@ -238,12 +245,14 @@ func newEngine(cfg Config) *engine {
 	e.batches = make([]stats.Accumulator, numBatches)
 	e.batchLen = (cfg.MeasureCycles + numBatches - 1) / numBatches
 	e.ejectedPer = make([]int64, e.numProc)
+	// cfg.faults is the validated merge of Faults + FailedLinks
+	// (withDefaults rejects out-of-range links with an error, the
+	// condition this used to panic on).
 	e.failed = make([]bool, nl)
-	for _, l := range cfg.FailedLinks {
-		if l < 0 || int(l) >= nl {
-			panic("flit: failed link out of range")
+	if cfg.faults != nil {
+		for _, l := range cfg.faults.DownLinks() {
+			e.failed[l] = true
 		}
-		e.failed[l] = true
 	}
 	return e
 }
@@ -278,7 +287,10 @@ func (e *engine) allocPacket(p packet) int32 {
 }
 
 // routesFor lazily builds and caches the port routes of an SD pair,
-// consulting the shared sweep-level table when one is configured.
+// consulting the shared sweep-level table when one is configured. The
+// route source is the repaired routing when RepairRoutes derived one,
+// so the expanded routes avoid every failed link; disconnected pairs
+// get an empty route set.
 func (e *engine) routesFor(src, dst int) [][]int {
 	if e.cfg.Routes != nil {
 		return e.cfg.Routes.RoutesFor(src, dst)
@@ -287,14 +299,18 @@ func (e *engine) routesFor(src, dst int) [][]int {
 	if r, ok := e.routes[key]; ok {
 		return r
 	}
-	r := e.cfg.Routing.PortRoutes(src, dst)
+	var r [][]int
+	if e.cfg.repaired != nil {
+		r = e.cfg.repaired.PortRoutes(src, dst)
+	} else {
+		r = e.cfg.Routing.PortRoutes(src, dst)
+	}
 	e.routes[key] = r
 	return r
 }
 
-// pickRoute applies the path policy for a new message.
-func (e *engine) pickRoute(src, dst int) []int {
-	routes := e.routesFor(src, dst)
+// pickRoute applies the path policy to a non-empty route set.
+func (e *engine) pickRoute(routes [][]int, src, dst int) []int {
 	if len(routes) == 1 {
 		return routes[0]
 	}
@@ -332,7 +348,15 @@ func (e *engine) inject(node int, now int64) {
 	}
 	var route []int
 	if !e.cfg.Adaptive {
-		route = e.pickRoute(node, dst)
+		routes := e.routesFor(node, dst)
+		if len(routes) == 0 {
+			// Repaired routing found the pair disconnected: the message
+			// is undeliverable by any minimal route, so drop it at the
+			// source instead of wedging the injection queue.
+			e.msgsUnroutable++
+			return
+		}
+		route = e.pickRoute(routes, node, dst)
 	}
 	vc := e.rrVC[node]
 	e.rrVC[node] = int8((int(vc) + 1) % e.vcs)
@@ -553,7 +577,18 @@ func (e *engine) run() Result {
 	}
 	var scratch []wheelEvent
 	for now := int64(0); now < limit; now++ {
-		if now >= e.endTime && e.pending == 0 && len(e.inj) == 0 {
+		if e.pending == 0 && len(e.inj) == 0 {
+			// Nothing scheduled and no injections left: no event can
+			// ever fire again (events exist iff transmissions are in
+			// flight). With packets still in flight that is a
+			// permanently wedged fabric — the no-progress watchdog ends
+			// the run with a diagnostic instead of spinning to the
+			// cycle cap. Leftover backlog after the window without
+			// Drain is ordinary post-saturation state, not a wedge.
+			if e.pktsInFlight > 0 && (e.cfg.Drain || now < e.endTime) {
+				e.wedged, e.wedgedAt = true, now
+				e.wedgeDiag = e.stallDiagnosis()
+			}
 			break
 		}
 		// Injections first (they were scheduled far in advance, as the
@@ -568,14 +603,10 @@ func (e *engine) run() Result {
 		// be detached wholesale.
 		b := now % e.wheelSpan
 		if len(e.wheel[b]) == 0 {
-			if e.pending == 0 {
-				// Idle network: jump to the next injection.
-				if len(e.inj) == 0 {
-					if !e.cfg.Drain {
-						break
-					}
-					continue
-				}
+			if e.pending == 0 && len(e.inj) > 0 {
+				// Idle network: jump to the next injection. (With the
+				// heap also empty the next top-of-loop check ends the
+				// run, wedged or done.)
 				if t := e.inj[0].time; t > now+1 {
 					now = t - 1
 				}
@@ -610,9 +641,13 @@ func (e *engine) run() Result {
 		AvgDelay:       e.delay.Mean(),
 		MsgsGenerated:  e.msgsGen,
 		MsgsCompleted:  e.msgsDone,
+		MsgsUnroutable: e.msgsUnroutable,
 		FlitsEjected:   e.flitsEjected,
 		BacklogPackets: e.pktsInFlight,
 		Cycles:         e.cfg.MeasureCycles,
+		Wedged:         e.wedged,
+		WedgedAt:       e.wedgedAt,
+		WedgeDiagnosis: e.wedgeDiag,
 	}
 	if e.hist != nil {
 		res.P95Delay = e.hist.Percentile(95)
@@ -639,6 +674,38 @@ func (e *engine) run() Result {
 		res.Fairness = sum * sum / (float64(len(e.ejectedPer)) * sumSq)
 	}
 	return res
+}
+
+// stallDiagnosis names an exemplar permanently blocked packet and why
+// it cannot move, for the watchdog's report.
+func (e *engine) stallDiagnosis() string {
+	for q, pkts := range e.outQ {
+		if len(pkts) == 0 {
+			continue
+		}
+		p := &e.packets[pkts[0]]
+		l := e.qlink(int32(q))
+		why := "downstream buffers never free"
+		switch {
+		case e.failed[l]:
+			why = fmt.Sprintf("link %d itself is failed", l)
+		case p.route != nil && p.hop < len(p.route)-1:
+			next := e.outLinks[e.linkDst[l]][p.route[p.hop+1]]
+			if e.failed[next] {
+				why = fmt.Sprintf("its next link %d is failed", next)
+			}
+		}
+		return fmt.Sprintf("%d packets in flight with no schedulable event; e.g. a packet for node %d queued on link %d (vc %d): %s",
+			e.pktsInFlight, p.dst, l, q%e.vcs, why)
+	}
+	for n, iq := range e.injQueue {
+		if len(iq) > 0 {
+			p := &e.packets[iq[0]]
+			return fmt.Sprintf("%d packets in flight with no schedulable event; e.g. a packet for node %d stuck in node %d's injection queue",
+				e.pktsInFlight, p.dst, n)
+		}
+	}
+	return fmt.Sprintf("%d packets in flight with no schedulable event and no queued location (accounting violation)", e.pktsInFlight)
 }
 
 // Run executes one flit-level simulation.

@@ -1,6 +1,7 @@
 package flit
 
 import (
+	"strings"
 	"testing"
 
 	"xgftsim/internal/core"
@@ -72,17 +73,33 @@ func TestFairnessIndex(t *testing.T) {
 	}
 }
 
-// TestFailedLinkValidation: out-of-range links are rejected.
+// TestFailedLinkValidation: out-of-range links are rejected with a
+// configuration error (they used to panic deep in engine setup).
 func TestFailedLinkValidation(t *testing.T) {
 	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
 	cfg := failureBase(tp)
 	cfg.FailedLinks = []topology.LinkID{topology.LinkID(tp.NumLinks())}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for out-of-range failed link")
-		}
-	}()
-	MustRun(cfg)
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for out-of-range failed link")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("error %q does not mention the range violation", err)
+	}
+	cfg.FailedLinks = []topology.LinkID{-1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for negative failed link")
+	}
+}
+
+// TestFaultSetTopologyValidation: a fault set over a different
+// topology is rejected.
+func TestFaultSetTopologyValidation(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	other := topology.MustNew(2, []int{2, 2}, []int{1, 2})
+	cfg := failureBase(tp)
+	cfg.Faults = topology.NewFaultSet(other)
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for fault set over a different topology")
+	}
 }
 
 // TestDrainConservation: with drain enabled and a healthy fabric,
@@ -108,7 +125,9 @@ func TestDrainConservation(t *testing.T) {
 }
 
 // TestDrainWithFailureKeepsBacklog: a failed link leaves permanently
-// stuck packets even after draining (oblivious routing).
+// stuck packets even after draining (oblivious routing). The
+// no-progress watchdog spots the wedge and terminates the run with a
+// diagnostic well before the drain cycle cap.
 func TestDrainWithFailureKeepsBacklog(t *testing.T) {
 	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
 	cfg := failureBase(tp)
@@ -117,5 +136,70 @@ func TestDrainWithFailureKeepsBacklog(t *testing.T) {
 	res := MustRun(cfg)
 	if res.BacklogPackets == 0 {
 		t.Fatal("expected stuck packets behind the failed link")
+	}
+	if !res.Wedged {
+		t.Fatal("watchdog did not flag the wedged drain")
+	}
+	cap10 := (cfg.WarmupCycles + cfg.MeasureCycles) * 10
+	if res.WedgedAt >= cap10 {
+		t.Fatalf("watchdog fired at cycle %d, no earlier than the %d cycle cap", res.WedgedAt, cap10)
+	}
+	if !strings.Contains(res.WedgeDiagnosis, "link") {
+		t.Fatalf("diagnosis %q does not name a link", res.WedgeDiagnosis)
+	}
+}
+
+// TestRepairRoutesDeliverOnDegradedFabric: with RepairRoutes the path
+// sets are re-selected around the failed cable, so the degraded
+// fabric that strands oblivious packets drains completely instead.
+func TestRepairRoutesDeliverOnDegradedFabric(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	faults := topology.NewFaultSet(tp)
+	if err := faults.FailCable(tp.NodeAt(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := failureBase(tp)
+	cfg.Routing = core.NewRouting(tp, core.Disjoint{}, 2, 0)
+	cfg.Drain = true
+	cfg.Faults = faults
+	cfg.RepairRoutes = true
+	res := MustRun(cfg)
+	if res.Wedged {
+		t.Fatalf("repaired routing wedged: %s", res.WedgeDiagnosis)
+	}
+	if res.BacklogPackets != 0 {
+		t.Fatalf("%d packets stuck despite repaired routes", res.BacklogPackets)
+	}
+	if res.MsgsUnroutable != 0 {
+		t.Fatalf("%d messages dropped although every pair stays connected", res.MsgsUnroutable)
+	}
+}
+
+// TestRepairRoutesDropsDisconnected: when a leaf switch loses every up
+// cable, its processors cannot reach the rest of the fabric; repaired
+// routing reports those messages unroutable instead of wedging, and
+// the surviving traffic still drains.
+func TestRepairRoutesDropsDisconnected(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	faults := topology.NewFaultSet(tp)
+	leaf := tp.NodeAt(1, 0)
+	for p := 0; p < tp.NumParents(leaf); p++ {
+		if err := faults.FailCable(leaf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := failureBase(tp)
+	cfg.Drain = true
+	cfg.Faults = faults
+	cfg.RepairRoutes = true
+	res := MustRun(cfg)
+	if res.MsgsUnroutable == 0 {
+		t.Fatal("expected unroutable messages for the cut-off leaf switch")
+	}
+	if res.Wedged {
+		t.Fatalf("run wedged despite dropping unroutable traffic: %s", res.WedgeDiagnosis)
+	}
+	if res.BacklogPackets != 0 {
+		t.Fatalf("%d surviving packets stuck after drain", res.BacklogPackets)
 	}
 }

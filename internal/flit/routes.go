@@ -15,6 +15,7 @@ import (
 // stored, so readers may hold the returned slices without copying.
 type RouteTable struct {
 	routing  *core.Routing
+	repaired *core.RepairedRouting
 	compiled *core.CompiledRouting
 	n        int
 
@@ -37,6 +38,19 @@ func NewRouteTable(r *core.Routing, compiled *core.CompiledRouting) *RouteTable 
 	}
 }
 
+// NewRepairedRouteTable creates a shared route cache expanding rr's
+// repaired path sets, so every engine of a degraded-fabric sweep sees
+// routes that avoid the failed links (and empty route sets for
+// disconnected pairs). The fault set must not be mutated afterwards.
+func NewRepairedRouteTable(rr *core.RepairedRouting) *RouteTable {
+	return &RouteTable{
+		routing:  rr.Base(),
+		repaired: rr,
+		n:        rr.Topology().NumProcessors(),
+		routes:   make(map[int64][][]int),
+	}
+}
+
 // RoutesFor returns the pair's port routes, computing and caching them
 // on first use. Safe for concurrent use.
 func (rt *RouteTable) RoutesFor(src, dst int) [][]int {
@@ -47,9 +61,12 @@ func (rt *RouteTable) RoutesFor(src, dst int) [][]int {
 	if ok {
 		return r
 	}
-	if rt.compiled != nil {
+	switch {
+	case rt.compiled != nil:
 		r = rt.compiled.PortRoutes(src, dst)
-	} else {
+	case rt.repaired != nil:
+		r = rt.repaired.PortRoutes(src, dst)
+	default:
 		r = rt.routing.PortRoutes(src, dst)
 	}
 	rt.mu.Lock()

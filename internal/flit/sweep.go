@@ -42,7 +42,18 @@ func Sweep(sc SweepConfig) ([]Result, error) {
 	// All points share one routing, so share one route cache: paths are
 	// expanded once for the whole sweep instead of once per load point.
 	if sc.Base.Routes == nil && !sc.Base.Adaptive && sc.Base.Routing != nil {
-		sc.Base.Routes = NewRouteTable(sc.Base.Routing, nil)
+		if sc.Base.RepairRoutes {
+			// Repaired expansion, so every engine of the sweep shares
+			// the fault-avoiding routes. Invalid fault configurations
+			// fall through to each run's own validation error.
+			if faults, err := sc.Base.combinedFaults(); err == nil {
+				if rr, err := sc.Base.Routing.Repair(faults); err == nil {
+					sc.Base.Routes = NewRepairedRouteTable(rr)
+				}
+			}
+		} else {
+			sc.Base.Routes = NewRouteTable(sc.Base.Routing, nil)
+		}
 	}
 	par := sc.Parallelism
 	if par <= 0 {

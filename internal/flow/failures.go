@@ -1,0 +1,144 @@
+package flow
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// FailureExperiment is the degraded-fabric analogue of Experiment: for
+// each fault seed it draws a random set of failed cables, repairs the
+// routing against it, and measures the average maximum link load of
+// random permutations with the adaptive protocol. The reported value
+// aggregates over fault seeds, so its confidence interval captures the
+// fault-placement variance the failure sweep is about (per-permutation
+// sampling noise is already driven below the adaptive target inside
+// each fault seed).
+type FailureExperiment struct {
+	Topo *topology.Topology
+	Sel  core.Selector
+	K    int
+	// Fraction of cables failed (both directions each), in [0,1].
+	Fraction float64
+	// FaultSeeds each draw one random fault placement; the result's CI
+	// is over these. nil defaults to three seeds. A zero fraction runs
+	// a single seed (all placements are the same empty set).
+	FaultSeeds []int64
+	// Seeds drive randomized selectors, as in Experiment.
+	Seeds []int64
+	// PermSeed salts the permutation sample streams.
+	PermSeed int64
+	// Sampling configures the per-fault-seed adaptive protocol.
+	Sampling stats.AdaptiveConfig
+	// Confidence is the level of the over-fault-seeds interval;
+	// 0 means 0.99, matching the paper's protocol.
+	Confidence float64
+	// Compile / CompileBudget follow Experiment, using CompileRepaired
+	// for the degraded tables.
+	Compile       CompileMode
+	CompileBudget int64
+	// MeasureDisconnected additionally records the fraction of SD
+	// pairs left with no surviving shortest path per fault seed (an
+	// O(N²) connectivity scan, so off by default).
+	MeasureDisconnected bool
+}
+
+// FailureResult reports one failure-sweep cell.
+type FailureResult struct {
+	// Acc accumulates one avg-max-load value per fault seed.
+	Acc stats.Accumulator
+	// HalfWidth is the confidence half-width over fault seeds (0 when
+	// only one seed ran).
+	HalfWidth float64
+	// Disconnected accumulates the per-fault-seed fraction of
+	// disconnected SD pairs; only filled under MeasureDisconnected.
+	Disconnected stats.Accumulator
+}
+
+// Run executes the failure experiment. Invalid parameters panic (the
+// grid runners capture panics with their cell index).
+func (x FailureExperiment) Run() FailureResult {
+	fseeds := x.FaultSeeds
+	if len(fseeds) == 0 {
+		fseeds = []int64{11, 22, 33}
+	}
+	if x.Fraction == 0 {
+		fseeds = fseeds[:1]
+	}
+	seeds := x.Seeds
+	if len(seeds) == 0 {
+		if deterministicSelector(x.Sel) {
+			seeds = []int64{0}
+		} else {
+			seeds = []int64{101, 202, 303, 404, 505}
+		}
+	}
+	conf := x.Confidence
+	if conf == 0 {
+		conf = 0.99
+	}
+	var res FailureResult
+	n := x.Topo.NumProcessors()
+	for _, fs := range fseeds {
+		faults, err := topology.RandomCableFaultFraction(x.Topo, fs, x.Fraction)
+		if err != nil {
+			panic(fmt.Sprintf("flow: %v", err))
+		}
+		if x.MeasureDisconnected {
+			res.Disconnected.Add(faults.DisconnectedFraction())
+		}
+		pools := make([]*evalPool, len(seeds))
+		for i, s := range seeds {
+			rr := core.NewRouting(x.Topo, x.Sel, x.K, s).MustRepair(faults)
+			if c := x.compiled(rr); c != nil {
+				pools[i] = newEvalPool(func() maxLoader { return NewCompiledEvaluator(c) })
+			} else {
+				pools[i] = newEvalPool(func() maxLoader { return NewDegradedEvaluator(rr) })
+			}
+		}
+		sample := func(i int) float64 {
+			rng := stats.Stream(x.PermSeed, int64(i))
+			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+			sum := 0.0
+			for _, p := range pools {
+				sum += p.maxLoad(tm)
+			}
+			return sum / float64(len(pools))
+		}
+		r := stats.SampleAdaptive(x.Sampling, sample)
+		res.Acc.Add(r.Acc.Mean())
+	}
+	if res.Acc.N() > 1 {
+		res.HalfWidth = res.Acc.ConfidenceHalfWidth(conf)
+	}
+	return res
+}
+
+// compiled builds the degraded compiled table for rr under the
+// experiment's policy, or returns nil to use the lazy repaired path.
+func (x FailureExperiment) compiled(rr *core.RepairedRouting) *core.CompiledRouting {
+	if x.Compile == CompileNever {
+		return nil
+	}
+	budget := x.CompileBudget
+	if budget <= 0 {
+		budget = DefaultCompileBudget
+	}
+	if x.Compile == CompileAuto {
+		ms := x.Sampling.MaxSamples
+		if ms <= 0 {
+			ms = 12800 // stats.AdaptiveConfig's default cap
+		}
+		if x.Topo.NumProcessors() > ms {
+			return nil
+		}
+	}
+	c, err := core.CompileRepaired(rr, budget)
+	if err != nil {
+		return nil // over budget: lazy fallback
+	}
+	return c
+}

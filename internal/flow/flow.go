@@ -17,11 +17,20 @@ import (
 	"xgftsim/internal/traffic"
 )
 
-// Evaluator computes link loads for one routing, reusing internal
-// scratch buffers across calls. It is not safe for concurrent use;
-// create one per goroutine (see Experiment).
+// pathSource is the common lazy surface of core.Routing and
+// core.RepairedRouting: everything the evaluator needs to expand one
+// pair's path set with caller-owned scratch.
+type pathSource interface {
+	Topology() *topology.Topology
+	AppendPathsScratch(ps *core.PathScratch, buf []int, src, dst int) []int
+}
+
+// Evaluator computes link loads for one routing (healthy or repaired),
+// reusing internal scratch buffers across calls. It is not safe for
+// concurrent use; create one per goroutine (see Experiment).
 type Evaluator struct {
-	r       *core.Routing
+	src     pathSource
+	r       *core.Routing // nil when evaluating a repaired routing
 	topo    *topology.Topology
 	loads   []float64
 	pathBuf []int
@@ -32,16 +41,31 @@ type Evaluator struct {
 
 // NewEvaluator creates an evaluator for routing r.
 func NewEvaluator(r *core.Routing) *Evaluator {
-	t := r.Topology()
+	e := newEvaluator(r)
+	e.r = r
+	return e
+}
+
+// NewDegradedEvaluator creates an evaluator for a repaired routing on
+// a degraded fabric. Traffic of disconnected pairs (empty repaired
+// path sets) contributes no load; Loads silently skips it, matching
+// the repair contract of reporting rather than routing such pairs.
+func NewDegradedEvaluator(rr *core.RepairedRouting) *Evaluator {
+	return newEvaluator(rr)
+}
+
+func newEvaluator(src pathSource) *Evaluator {
+	t := src.Topology()
 	return &Evaluator{
-		r:     r,
+		src:   src,
 		topo:  t,
 		loads: make([]float64, t.NumLinks()),
 		ps:    core.NewPathScratch(),
 	}
 }
 
-// Routing returns the routing under evaluation.
+// Routing returns the routing under evaluation, or nil for a degraded
+// evaluator (whose source is a core.RepairedRouting).
 func (e *Evaluator) Routing() *core.Routing { return e.r }
 
 // Loads computes the load of every directed link under tm: the paper's
@@ -55,7 +79,7 @@ func (e *Evaluator) Loads(tm *traffic.Matrix) []float64 {
 		e.loads[i] = 0
 	}
 	for _, f := range tm.Flows() {
-		e.pathBuf = e.r.AppendPathsScratch(e.ps, e.pathBuf[:0], f.Src, f.Dst)
+		e.pathBuf = e.src.AppendPathsScratch(e.ps, e.pathBuf[:0], f.Src, f.Dst)
 		if len(e.pathBuf) == 0 {
 			continue
 		}

@@ -1,0 +1,198 @@
+package lid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// Degraded-fabric LFT synthesis: the subnet-manager view of path-set
+// repair. Destination-based forwarding constrains what repair can do —
+// a (destination, slot) pair owns one full-height tag shared by every
+// source — so the SM re-selects tags within each scheme's preference
+// order, keeping only tags whose forced down chain to the destination
+// is fully alive, and installs noRoute for any table entry whose
+// outgoing link is dead. Sources whose own up side is cut then hit a
+// noRoute entry (reported by Walk) instead of being forwarded into a
+// dead link.
+
+// DegradedDestinationTags is DestinationTags over a degraded fabric:
+// it walks the scheme's preference order across all full-height tags
+// and keeps the first k whose down chain to dst survives the faults.
+// Fewer than k (or zero) tags are returned when the fabric does not
+// offer them — zero means no top-level switch can reach dst at all.
+// Source-dependent schemes are rejected as in DestinationTags.
+func DegradedDestinationTags(t *topology.Topology, sel core.Selector, dst, k int, rng *rand.Rand, faults *topology.FaultSet) ([]int, error) {
+	h := t.H()
+	x := t.WProd(h)
+	if k < 1 || k > x {
+		k = x
+	}
+	i0 := core.DModKIndex(t, dst, h)
+	var tags []int
+	take := func(order func(c int) int, want int) {
+		for c := 0; c < x && want > 0; c++ {
+			tag := order(c)
+			if tagDownAlive(t, faults, dst, tag) {
+				tags = append(tags, tag)
+				want--
+			}
+		}
+	}
+	switch sel.(type) {
+	case core.DModK:
+		take(func(c int) int { return (i0 + c) % x }, 1)
+	case core.Shift1:
+		take(func(c int) int { return (i0 + c) % x }, k)
+	case core.Disjoint:
+		take(func(c int) int { return (i0 + core.DisjointOffset(t, h, c)) % x }, k)
+	case core.UMulti:
+		take(func(c int) int { return c }, x)
+	case core.RandomK:
+		perm := rng.Perm(x)
+		take(func(c int) int { return perm[c] }, k)
+	default:
+		return nil, fmt.Errorf("lid: scheme %q is source-dependent and cannot be realized with destination-based forwarding tables", sel.Name())
+	}
+	return tags, nil
+}
+
+// tagDownAlive reports whether the forced down chain of a full-height
+// tag to destination d crosses no failed link. The chain is the
+// reverse of d's up chain through the tag's digits, so it can be
+// walked with Parent/DownLink instead of path arithmetic.
+func tagDownAlive(t *topology.Topology, faults *topology.FaultSet, d, tag int) bool {
+	var up [17]int
+	u := core.DecodePathIndex(t, t.H(), tag, up[:0])
+	node := t.Processor(d)
+	for j := 1; j <= t.H(); j++ {
+		if faults.LinkDown(t.DownLink(node, u[j-1])) {
+			return false
+		}
+		node = t.Parent(node, u[j-1])
+	}
+	return true
+}
+
+// BuildDegradedFabric synthesizes the LFTs for a fabric degraded by
+// the fault set: tags come from DegradedDestinationTags, and every
+// entry whose outgoing link is dead is installed as noRoute, so no
+// forwarding entry ever references a dead port (ValidateDegraded
+// checks the invariant). Destinations with no surviving down chain get
+// no entries at all; UnreachableDestinations reports them.
+func BuildDegradedFabric(p *Plan, sel core.Selector, seed int64, faults *topology.FaultSet) (*Fabric, error) {
+	if faults == nil {
+		return nil, fmt.Errorf("lid: BuildDegradedFabric requires a fault set (use BuildFabric for a healthy fabric)")
+	}
+	if faults.Topology() != p.topo {
+		return nil, fmt.Errorf("lid: fault set is over %s, plan is over %s", faults.Topology(), p.topo)
+	}
+	if faults.Empty() {
+		return BuildFabric(p, sel, seed)
+	}
+	t := p.topo
+	f := &Fabric{
+		plan:   p,
+		sel:    sel,
+		tables: make([][]uint8, t.NumSwitches()),
+		tags:   make([][]int, t.NumProcessors()),
+	}
+	tableLen := p.LIDsPerNode*(t.NumProcessors()+1) + t.NumSwitches()
+	for i := range f.tables {
+		f.tables[i] = make([]uint8, tableLen)
+		for j := range f.tables[i] {
+			f.tables[i][j] = noRoute
+		}
+	}
+	for d := 0; d < t.NumProcessors(); d++ {
+		tags, err := DegradedDestinationTags(t, sel, d, p.K, stats.Stream(seed, int64(d)), faults)
+		if err != nil {
+			return nil, err
+		}
+		f.tags[d] = tags
+	}
+	numProc := t.NumProcessors()
+	for s := 0; s < t.NumSwitches(); s++ {
+		node := topology.NodeID(numProc + s)
+		lvl, _ := t.LevelIndex(node)
+		lb := t.LabelOf(node)
+		for d := 0; d < numProc; d++ {
+			if len(f.tags[d]) == 0 {
+				continue // unreachable destination: all entries noRoute
+			}
+			port, down := f.portFor(lvl, lb, d, 0)
+			for slot := 0; slot < p.LIDsPerNode; slot++ {
+				eff := slot
+				if eff >= len(f.tags[d]) {
+					eff = 0
+				}
+				if !down {
+					port, _ = f.portFor(lvl, lb, d, f.tags[d][eff])
+				}
+				if faults.LinkDown(outLinkOf(t, node, port)) {
+					continue // dead outgoing link: leave noRoute
+				}
+				f.tables[s][p.LID(d, slot)] = uint8(port)
+			}
+		}
+	}
+	return f, nil
+}
+
+// UnreachableDestinations lists destinations the degraded synthesis
+// found no surviving down chain for: their LIDs have no forwarding
+// entries anywhere. Nil on a healthy build.
+func (f *Fabric) UnreachableDestinations() []int {
+	var out []int
+	for d, tags := range f.tags {
+		if len(tags) == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// outLinkOf maps a switch's output port number to its outgoing
+// directed link: ports below W(lvl+1) go up, the rest go down to the
+// child whose DownPortTo matches.
+func outLinkOf(t *topology.Topology, n topology.NodeID, port int) topology.LinkID {
+	lvl, _ := t.LevelIndex(n)
+	ups := 0
+	if lvl < t.H() {
+		ups = t.W(lvl + 1)
+	}
+	if port < ups {
+		return t.UpLink(n, port)
+	}
+	childUpPort := t.LabelOf(n).Digit(lvl)
+	for c := 0; c < t.NumChildren(n); c++ {
+		if t.DownPortTo(n, c) == port {
+			return t.DownLink(t.Child(n, c), childUpPort)
+		}
+	}
+	panic(fmt.Sprintf("lid: switch %v has no port %d", t.LabelOf(n), port))
+}
+
+// ValidateDegraded checks the degraded-synthesis invariant: no
+// forwarding entry of any switch references an output port whose
+// outgoing link is failed. It returns the first violation found.
+func (f *Fabric) ValidateDegraded(faults *topology.FaultSet) error {
+	t := f.plan.topo
+	numProc := t.NumProcessors()
+	for s := range f.tables {
+		node := topology.NodeID(numProc + s)
+		for lid, port := range f.tables[s] {
+			if port == noRoute {
+				continue
+			}
+			if l := outLinkOf(t, node, int(port)); faults.LinkDown(l) {
+				return fmt.Errorf("lid: switch %v forwards lid %d over failed link %d (port %d)",
+					t.LabelOf(node), lid, l, port)
+			}
+		}
+	}
+	return nil
+}

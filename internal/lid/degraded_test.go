@@ -1,0 +1,230 @@
+package lid
+
+import (
+	"strings"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+func degradedSchemes() []core.Selector {
+	return []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}, core.RandomK{}, core.UMulti{}}
+}
+
+// TestDegradedFabricValidates is the central LFT invariant: across
+// every realizable scheme, both tree heights and several random fault
+// draws, the degraded synthesis never installs a forwarding entry
+// whose outgoing link is dead.
+func TestDegradedFabricValidates(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.MustNew(2, []int{4, 4}, []int{1, 4}),
+		topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2}),
+	}
+	for _, tp := range topos {
+		p, err := NewPlan(tp, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sel := range degradedSchemes() {
+			for seed := int64(1); seed <= 3; seed++ {
+				faults, err := topology.RandomCableFaults(tp, seed, tp.NumCables()/8+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := BuildDegradedFabric(p, sel, 42, faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f.ValidateDegraded(faults); err != nil {
+					t.Fatalf("%s %s seed=%d: %v", tp, sel.Name(), seed, err)
+				}
+				// Every walk either delivers to the right node or
+				// reports a dead end — walkFrom itself fails on
+				// misdelivery, so success means correctness.
+				n := tp.NumProcessors()
+				for src := 0; src < n; src++ {
+					for dst := 0; dst < n; dst++ {
+						for slot := 0; slot < p.LIDsPerNode; slot++ {
+							f.Walk(src, dst, slot)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHealthyBuildFailsValidation: the healthy synthesis routes over
+// links a fault set kills, so ValidateDegraded rejects it — the
+// degraded build is not optional on a degraded fabric.
+func TestHealthyBuildFailsValidation(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	p, err := NewPlan(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildFabric(p, core.UMulti{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := topology.NewFaultSet(tp)
+	if err := faults.FailCable(tp.NodeAt(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ValidateDegraded(faults); err == nil {
+		t.Fatal("healthy fabric passed degraded validation despite a dead cable it routes over")
+	}
+}
+
+// TestDegradedConnectedPairsStillDeliver: one dead leaf up cable with
+// full-diversity tags (UMulti) leaves every pair connected, and at
+// least one LID slot walks to each destination.
+func TestDegradedConnectedPairsStillDeliver(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	p, err := NewPlan(tp, tp.MaxPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := topology.NewFaultSet(tp)
+	if err := faults.FailCable(tp.NodeAt(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildDegradedFabric(p, core.UMulti{}, 0, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ValidateDegraded(faults); err != nil {
+		t.Fatal(err)
+	}
+	if unreachable := f.UnreachableDestinations(); unreachable != nil {
+		t.Fatalf("unexpected unreachable destinations %v", unreachable)
+	}
+	n := tp.NumProcessors()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			delivered := false
+			for slot := 0; slot < p.LIDsPerNode && !delivered; slot++ {
+				if _, err := f.Walk(src, dst, slot); err == nil {
+					delivered = true
+				}
+			}
+			if !delivered {
+				t.Fatalf("connected pair (%d,%d): no slot delivers", src, dst)
+			}
+		}
+	}
+}
+
+// TestDegradedUnreachableDestination: cutting a processor's only cable
+// leaves it with no surviving tags — it is reported unreachable, gets
+// no forwarding entries, and walks toward it fail cleanly.
+func TestDegradedUnreachableDestination(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	p, err := NewPlan(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := topology.NewFaultSet(tp)
+	if err := faults.FailCable(tp.Processor(3), 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildDegradedFabric(p, core.Disjoint{}, 0, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ValidateDegraded(faults); err != nil {
+		t.Fatal(err)
+	}
+	unreachable := f.UnreachableDestinations()
+	if len(unreachable) != 1 || unreachable[0] != 3 {
+		t.Fatalf("UnreachableDestinations = %v, want [3]", unreachable)
+	}
+	if _, err := f.Walk(0, 3, 0); err == nil {
+		t.Fatal("walk to unreachable destination succeeded")
+	} else if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("walk error %q does not report unreachability", err)
+	}
+	// Other destinations are unaffected.
+	if _, err := f.Walk(8, 0, 0); err != nil {
+		t.Fatalf("walk to live destination failed: %v", err)
+	}
+}
+
+// TestDegradedTagsFilterAndValidate: the tag filter keeps only tags
+// whose down chain survives, respects the budget, and rejects
+// source-dependent schemes.
+func TestDegradedTagsFilterAndValidate(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	faults := topology.NewFaultSet(tp)
+	// Kill the down link of top-level port 0 into destination 0's leaf.
+	if err := faults.FailCable(tp.NodeAt(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	tags, err := DegradedDestinationTags(tp, core.UMulti{}, 0, 0, stats.Stream(1, 0), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != tp.MaxPaths()-1 {
+		t.Fatalf("%d surviving tags, want %d", len(tags), tp.MaxPaths()-1)
+	}
+	for _, tag := range tags {
+		if !tagDownAlive(tp, faults, 0, tag) {
+			t.Fatalf("tag %d kept despite dead down chain", tag)
+		}
+	}
+	// Destination on another leaf is unaffected by the dead cable's
+	// down direction only through leaf 0.
+	tags, err = DegradedDestinationTags(tp, core.Disjoint{}, 8, 2, stats.Stream(1, 8), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 {
+		t.Fatalf("%d tags for unaffected destination, want 2", len(tags))
+	}
+	if _, err := DegradedDestinationTags(tp, core.SModK{}, 0, 2, stats.Stream(1, 0), faults); err == nil {
+		t.Fatal("s-mod-k accepted for destination-based tables")
+	}
+}
+
+// TestBuildDegradedFabricValidation: nil fault sets and foreign
+// topologies are rejected; an empty fault set delegates to the healthy
+// build.
+func TestBuildDegradedFabricValidation(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	other := topology.MustNew(2, []int{2, 2}, []int{1, 2})
+	p, err := NewPlan(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDegradedFabric(p, core.Disjoint{}, 0, nil); err == nil {
+		t.Error("nil fault set accepted")
+	}
+	if _, err := BuildDegradedFabric(p, core.Disjoint{}, 0, topology.NewFaultSet(other)); err == nil {
+		t.Error("foreign-topology fault set accepted")
+	}
+	healthy, err := BuildFabric(p, core.Disjoint{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEmpty, err := BuildDegradedFabric(p, core.Disjoint{}, 7, topology.NewFaultSet(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tp.NumProcessors()
+	for d := 0; d < n; d++ {
+		a, b := healthy.Tags(d), viaEmpty.Tags(d)
+		if len(a) != len(b) {
+			t.Fatalf("dst %d: empty-fault tags %v != healthy %v", d, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("dst %d: empty-fault tags %v != healthy %v", d, b, a)
+			}
+		}
+	}
+}

@@ -313,6 +313,9 @@ func (f *Fabric) Walk(src, dst, slot int) ([]topology.NodeID, error) {
 	lid := f.plan.LID(dst, slot)
 	source := t.Processor(src)
 	if f.tags != nil {
+		if len(f.tags[dst]) == 0 {
+			return nil, fmt.Errorf("lid: destination %d is unreachable (no surviving tags)", dst)
+		}
 		eff := slot
 		if eff >= len(f.tags[dst]) {
 			eff = 0

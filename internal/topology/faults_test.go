@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"testing"
+)
+
+// decodeUp expands a canonical path index into up digits (u_1 most
+// significant), mirroring the routing convention.
+func decodeUp(t *Topology, k, idx int) []int {
+	up := make([]int, k)
+	for j := k; j >= 1; j-- {
+		up[j-1] = idx % t.W(j)
+		idx /= t.W(j)
+	}
+	return up
+}
+
+func TestFaultSetBasics(t *testing.T) {
+	tp := MustNew(2, []int{4, 4}, []int{1, 4})
+	f := NewFaultSet(tp)
+	if !f.Empty() || f.NumDown() != 0 {
+		t.Fatal("new fault set not empty")
+	}
+	if err := f.FailLink(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FailLink(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumDown() != 1 {
+		t.Fatalf("double fail counted twice: %d", f.NumDown())
+	}
+	if !f.LinkDown(3) || f.LinkDown(4) {
+		t.Fatal("LinkDown wrong")
+	}
+	if err := f.FailLink(LinkID(tp.NumLinks())); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := f.FailLink(-1); err == nil {
+		t.Fatal("negative link accepted")
+	}
+	if got := f.DownLinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("DownLinks = %v", got)
+	}
+}
+
+func TestFailCableBothDirections(t *testing.T) {
+	tp := MustNew(2, []int{4, 4}, []int{1, 4})
+	f := NewFaultSet(tp)
+	leaf := tp.NodeAt(1, 0)
+	if err := f.FailCable(leaf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !f.LinkDown(tp.UpLink(leaf, 2)) || !f.LinkDown(tp.DownLink(leaf, 2)) {
+		t.Fatal("cable failure missed a direction")
+	}
+	if f.NumDown() != 2 {
+		t.Fatalf("NumDown = %d, want 2", f.NumDown())
+	}
+}
+
+func TestFailSwitch(t *testing.T) {
+	tp := MustNew(2, []int{4, 4}, []int{1, 4})
+	f := NewFaultSet(tp)
+	if err := f.FailSwitch(tp.Processor(0)); err == nil {
+		t.Fatal("processor accepted as switch")
+	}
+	leaf := tp.NodeAt(1, 1)
+	if err := f.FailSwitch(leaf); err != nil {
+		t.Fatal(err)
+	}
+	// Every incident link in both directions: parents + children.
+	want := 2 * (tp.NumParents(leaf) + tp.NumChildren(leaf))
+	if f.NumDown() != want {
+		t.Fatalf("NumDown = %d, want %d", f.NumDown(), want)
+	}
+	for p := 0; p < tp.NumParents(leaf); p++ {
+		if !f.LinkDown(tp.UpLink(leaf, p)) || !f.LinkDown(tp.DownLink(leaf, p)) {
+			t.Fatalf("parent cable %d survived switch failure", p)
+		}
+	}
+}
+
+// TestPathAliveMatchesLinkScan: PathAlive's closed-form liveness check
+// agrees with scanning the path's materialized links on every path of
+// every pair, across random fault draws and both tree heights.
+func TestPathAliveMatchesLinkScan(t *testing.T) {
+	topos := []*Topology{
+		MustNew(2, []int{4, 4}, []int{1, 4}),
+		MustNew(3, []int{2, 2, 4}, []int{1, 2, 2}),
+	}
+	for _, tp := range topos {
+		for seed := int64(1); seed <= 3; seed++ {
+			f, err := RandomCableFaults(tp, seed, tp.NumCables()/10+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tp.NumProcessors()
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					k := tp.NCALevel(src, dst)
+					for idx := 0; idx < tp.WProd(k); idx++ {
+						up := decodeUp(tp, k, idx)
+						want := true
+						for _, l := range tp.PathLinks(src, dst, up) {
+							if f.LinkDown(l) {
+								want = false
+								break
+							}
+						}
+						if got := f.PathAlive(src, dst, up); got != want {
+							t.Fatalf("%s seed=%d pair (%d,%d) idx=%d: PathAlive=%v, link scan=%v",
+								tp, seed, src, dst, idx, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConnectedAndAlivePaths: the pruned connectivity DFS and the
+// surviving-path count agree with exhaustive enumeration over PathAlive.
+func TestConnectedAndAlivePaths(t *testing.T) {
+	tp := MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	for seed := int64(1); seed <= 4; seed++ {
+		f, err := RandomCableFaults(tp, seed, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tp.NumProcessors()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				k := tp.NCALevel(src, dst)
+				alive := 0
+				for idx := 0; idx < tp.WProd(k); idx++ {
+					if f.PathAlive(src, dst, decodeUp(tp, k, idx)) {
+						alive++
+					}
+				}
+				if got := f.AlivePaths(src, dst); got != alive {
+					t.Fatalf("seed=%d pair (%d,%d): AlivePaths=%d, enumeration=%d", seed, src, dst, got, alive)
+				}
+				if got := f.Connected(src, dst); got != (alive > 0) {
+					t.Fatalf("seed=%d pair (%d,%d): Connected=%v with %d alive paths", seed, src, dst, got, alive)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomCableFaultsDeterministicAndCounted(t *testing.T) {
+	tp := MustNew(2, []int{4, 8}, []int{1, 4})
+	a, err := RandomCableFaults(tp, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCableFaults(tp, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDown() != 10 { // 5 cables, both directions
+		t.Fatalf("NumDown = %d, want 10", a.NumDown())
+	}
+	al, bl := a.DownLinks(), b.DownLinks()
+	for i := range al {
+		if al[i] != bl[i] {
+			t.Fatal("same seed drew different faults")
+		}
+	}
+	c, err := RandomCableFaults(tp, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	cl := c.DownLinks()
+	for i := range al {
+		if al[i] != cl[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical faults")
+	}
+	if _, err := RandomCableFaults(tp, 1, tp.NumCables()+1); err == nil {
+		t.Fatal("over-count accepted")
+	}
+}
+
+func TestRandomCableFaultFraction(t *testing.T) {
+	tp := MustNew(2, []int{4, 8}, []int{1, 4})
+	f, err := RandomCableFaultFraction(tp, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(0.1*float64(tp.NumCables()) + 0.5)
+	if f.NumDown() != 2*want {
+		t.Fatalf("NumDown = %d, want %d", f.NumDown(), 2*want)
+	}
+	if _, err := RandomCableFaultFraction(tp, 3, 1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	zero, err := RandomCableFaultFraction(tp, 3, 0)
+	if err != nil || !zero.Empty() {
+		t.Fatalf("zero fraction: %v %v", zero, err)
+	}
+}
+
+func TestDisconnectedFraction(t *testing.T) {
+	tp := MustNew(2, []int{4, 4}, []int{1, 4})
+	f := NewFaultSet(tp)
+	if f.DisconnectedFraction() != 0 {
+		t.Fatal("healthy fabric reports disconnections")
+	}
+	// Cut every up cable of leaf switch 0: its 4 processors lose all
+	// 12 outside peers, in both directions.
+	leaf := tp.NodeAt(1, 0)
+	for p := 0; p < tp.NumParents(leaf); p++ {
+		if err := f.FailCable(leaf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := tp.NumProcessors()
+	want := float64(2*4*(n-4)) / float64(n*(n-1))
+	if got := f.DisconnectedFraction(); got != want {
+		t.Fatalf("DisconnectedFraction = %g, want %g", got, want)
+	}
+}
