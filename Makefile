@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json ci cover repro repro-full clean
+.PHONY: all build vet test test-short bench bench-json bench-compare ci cover repro repro-full clean
 
 all: build vet test
 
@@ -23,15 +23,39 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable flow/routing benchmark record: the paper-artifact
-# sweeps once each plus the hot-path micro-benchmarks, parsed into
-# BENCH_flow.json (see cmd/benchjson).
+# Machine-readable benchmark records: the paper-artifact sweeps once
+# each plus the hot-path micro-benchmarks, parsed into BENCH_flow.json
+# and BENCH_flit.json (see cmd/benchjson). Existing records are rotated
+# to *.prev.json so `make bench-compare` can diff the two newest runs.
 bench-json:
 	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep' -benchmem -benchtime 1x . | tee bench_output.txt
-	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|PathSelection|PathLinks|OptimalLoad' \
+	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad' \
 		-benchmem . | tee -a bench_output.txt
+	@if [ -f BENCH_flow.json ]; then cp BENCH_flow.json BENCH_flow.prev.json; fi
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json
-	@echo wrote BENCH_flow.json
+	$(GO) test -run xxx -bench 'Fig5' -benchmem -benchtime 1x . | tee bench_flit_output.txt
+	$(GO) test -run xxx -bench 'FlitEngine' -benchmem . | tee -a bench_flit_output.txt
+	@if [ -f BENCH_flit.json ]; then cp BENCH_flit.json BENCH_flit.prev.json; fi
+	$(GO) run ./cmd/benchjson -in bench_flit_output.txt -out BENCH_flit.json
+	@echo wrote BENCH_flow.json BENCH_flit.json
+
+# Diff the two newest benchmark records of each suite (the current
+# BENCH_*.json against the *.prev.json rotated by bench-json), failing
+# on any >10% ns/op regression. Override the records or the threshold:
+#   make bench-compare OLD=a.json NEW=b.json BENCH_THRESHOLD=0.05
+BENCH_THRESHOLD ?= 0.10
+bench-compare:
+ifdef OLD
+	$(GO) run ./cmd/benchjson -compare -old $(OLD) -new $(NEW) -threshold $(BENCH_THRESHOLD)
+else
+	@for f in flow flit; do \
+		if [ -f BENCH_$$f.prev.json ]; then \
+			$(GO) run ./cmd/benchjson -compare -old BENCH_$$f.prev.json -new BENCH_$$f.json -threshold $(BENCH_THRESHOLD) || exit 1; \
+		else \
+			echo "bench-compare: no BENCH_$$f.prev.json yet (run make bench-json twice)"; \
+		fi; \
+	done
+endif
 
 # What a CI gate should run: static checks, the race-instrumented
 # short test suite (includes the shared compiled-table race test),
@@ -54,4 +78,4 @@ repro-full:
 	$(GO) run ./cmd/xgftpaper -exp all -scale paper -out results
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_flit_output.txt

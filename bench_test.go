@@ -85,13 +85,53 @@ func BenchmarkFailureSweep(b *testing.B) {
 	}
 }
 
-// BenchmarkCompileRepaired measures the whole-fabric repaired table
-// build — every pair's policy-order liveness filtering plus the CSR
-// compile — on the 3-level topology.
+// BenchmarkCompileRepaired measures the per-fault-placement degraded
+// table build on the 3-level topology — since the delta-repair engine,
+// that is an incremental patch against the sweep-shared base table
+// (built once outside the loop, as flow.FailureBase amortizes it), not
+// a whole-fabric recompile. The fault set fails 1% of cables, the
+// low-failure regime the sweeps spend most placements in.
+// BenchmarkCompileRepairedFull keeps the old full rebuild on the same
+// fault set for comparison.
 func BenchmarkCompileRepaired(b *testing.B) {
 	t := benchTopo()
 	r := core.NewRouting(t, core.Disjoint{}, 4, 0)
-	f, err := topology.RandomCableFaults(t, 7, t.NumCables()/20+1)
+	base, err := core.CompileRouting(r, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.NewDeltaRepairer(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := topology.RandomCableFaults(t, 7, t.NumCables()/100+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr, err := r.Repair(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := d.CompileRepairedDelta(rr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(c.Bytes())
+		b.ReportMetric(float64(c.PatchedPairs()), "patched-pairs")
+	}
+}
+
+// BenchmarkCompileRepairedFull measures the whole-fabric repaired table
+// build — every pair's policy-order liveness filtering plus the CSR
+// compile — that CompileRepaired pays per fault placement without the
+// delta engine.
+func BenchmarkCompileRepairedFull(b *testing.B) {
+	t := benchTopo()
+	r := core.NewRouting(t, core.Disjoint{}, 4, 0)
+	f, err := topology.RandomCableFaults(t, 7, t.NumCables()/100+1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -106,6 +146,26 @@ func BenchmarkCompileRepaired(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(c.Bytes())
+	}
+}
+
+// BenchmarkDeltaRepairIndex measures the one-shot link→pairs reverse
+// index build that a sweep amortizes across all its fault placements.
+func BenchmarkDeltaRepairIndex(b *testing.B) {
+	t := benchTopo()
+	r := core.NewRouting(t, core.Disjoint{}, 4, 0)
+	base, err := core.CompileRouting(r, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := core.NewDeltaRepairer(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(d.Bytes())
 	}
 }
 

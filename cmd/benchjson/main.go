@@ -7,6 +7,14 @@
 //
 // Non-benchmark lines (goos/pkg headers, PASS, ok) are skipped, which
 // makes it safe to pipe a whole test run through.
+//
+// With -compare it instead diffs two previously emitted JSON records:
+//
+//	go run ./cmd/benchjson -compare -old BENCH_flow.prev.json -new BENCH_flow.json
+//
+// printing a per-benchmark ns/op ratio table and exiting nonzero if
+// any benchmark present in both records slowed down by more than
+// -threshold (default 0.10, i.e. 10%).
 package main
 
 import (
@@ -33,7 +41,32 @@ type Result struct {
 func main() {
 	in := flag.String("in", "", "benchmark text to parse (default stdin)")
 	out := flag.String("out", "", "JSON destination (default stdout)")
+	compare := flag.Bool("compare", false, "diff two JSON records instead of parsing text")
+	oldPath := flag.String("old", "", "baseline JSON record (with -compare)")
+	newPath := flag.String("new", "", "candidate JSON record (with -compare)")
+	threshold := flag.Float64("threshold", 0.10, "ns/op regression fraction that fails the diff (with -compare)")
 	flag.Parse()
+
+	if *compare {
+		if *oldPath == "" || *newPath == "" {
+			fatal(fmt.Errorf("-compare needs both -old and -new"))
+		}
+		oldRes, err := loadRecord(*oldPath)
+		if err != nil {
+			fatal(err)
+		}
+		newRes, err := loadRecord(*newPath)
+		if err != nil {
+			fatal(err)
+		}
+		deltas, regressed := Compare(oldRes, newRes, *threshold)
+		printDeltas(os.Stdout, deltas, *oldPath, *newPath)
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% detected\n", *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -130,6 +163,84 @@ func Parse(r io.Reader) ([]Result, error) {
 		results = []Result{}
 	}
 	return results, nil
+}
+
+// Delta is one benchmark's comparison row. Ratio is new/old ns/op;
+// zero when the benchmark is missing from one side.
+type Delta struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64
+	Status string // "ok", "REGRESSED", "improved", "added", "removed"
+}
+
+// Compare matches benchmarks by name and classifies each ns/op ratio
+// against the regression threshold (a fraction: 0.10 flags slowdowns
+// beyond +10%). Improvements use the mirrored bound. Benchmarks
+// present on only one side are reported as added/removed and never
+// fail the comparison; only a REGRESSED row sets the second return.
+func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
+	oldBy := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(newRes))
+	var deltas []Delta
+	regressed := false
+	for _, n := range newRes {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: n.Name, NewNs: n.NsPerOp, Status: "added"})
+			continue
+		}
+		d := Delta{Name: n.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Status: "ok"}
+		if o.NsPerOp > 0 {
+			d.Ratio = n.NsPerOp / o.NsPerOp
+			switch {
+			case d.Ratio > 1+threshold:
+				d.Status = "REGRESSED"
+				regressed = true
+			case d.Ratio < 1-threshold:
+				d.Status = "improved"
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	for _, o := range oldRes {
+		if !seen[o.Name] {
+			deltas = append(deltas, Delta{Name: o.Name, OldNs: o.NsPerOp, Status: "removed"})
+		}
+	}
+	return deltas, regressed
+}
+
+func loadRecord(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return res, nil
+}
+
+func printDeltas(w io.Writer, deltas []Delta, oldPath, newPath string) {
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n", oldPath, newPath)
+	for _, d := range deltas {
+		switch d.Status {
+		case "added":
+			fmt.Fprintf(w, "%-40s %14s %12.0f ns/op  added\n", d.Name, "-", d.NewNs)
+		case "removed":
+			fmt.Fprintf(w, "%-40s %14.0f %12s ns/op  removed\n", d.Name, d.OldNs, "-")
+		default:
+			fmt.Fprintf(w, "%-40s %14.0f %12.0f ns/op  %+6.1f%%  %s\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, d.Status)
+		}
+	}
 }
 
 func fatal(err error) {

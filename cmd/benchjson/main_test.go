@@ -45,3 +45,52 @@ ok  	xgftsim	9.017s
 		t.Fatalf("PathLinks (no -benchmem) parsed as %+v", p)
 	}
 }
+
+func TestCompare(t *testing.T) {
+	oldRes := []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkC", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	newRes := []Result{
+		{Name: "BenchmarkA", NsPerOp: 1050}, // +5%: within 10% threshold
+		{Name: "BenchmarkB", NsPerOp: 1200}, // +20%: regression
+		{Name: "BenchmarkC", NsPerOp: 100},  // 10x faster
+		{Name: "BenchmarkNew", NsPerOp: 75},
+	}
+	deltas, regressed := Compare(oldRes, newRes, 0.10)
+	if !regressed {
+		t.Fatal("20% slowdown not flagged as regression")
+	}
+	status := make(map[string]string, len(deltas))
+	for _, d := range deltas {
+		status[d.Name] = d.Status
+	}
+	want := map[string]string{
+		"BenchmarkA":    "ok",
+		"BenchmarkB":    "REGRESSED",
+		"BenchmarkC":    "improved",
+		"BenchmarkNew":  "added",
+		"BenchmarkGone": "removed",
+	}
+	for name, st := range want {
+		if status[name] != st {
+			t.Errorf("%s classified %q, want %q", name, status[name], st)
+		}
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(deltas), len(want))
+	}
+
+	// Added/removed benchmarks alone must not fail the comparison.
+	if _, reg := Compare(oldRes[:1], newRes[3:], 0.10); reg {
+		t.Error("disjoint benchmark sets reported as regression")
+	}
+	// Exactly-at-threshold is not a regression (strict inequality).
+	if _, reg := Compare(
+		[]Result{{Name: "BenchmarkE", NsPerOp: 1000}},
+		[]Result{{Name: "BenchmarkE", NsPerOp: 1100}}, 0.10); reg {
+		t.Error("exactly +10% flagged as regression")
+	}
+}

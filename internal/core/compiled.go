@@ -35,6 +35,19 @@ type CompiledRouting struct {
 	pathIdx []int32
 	linkOff []int64
 	links   []int32
+
+	// Copy-on-write delta overlay, set only on tables produced by
+	// CompileRepairedDelta: the four arrays above are shared with (alias)
+	// the healthy base table, and patch[p] redirects pair p to row
+	// patch[p] of the patched CSR below (-1 keeps the base row). Only
+	// pairs whose base-selected path set crosses a failed link carry a
+	// patch row, so the overlay's size scales with the fault footprint,
+	// not with N².
+	patch    []int32
+	pPathOff []int64
+	pPathIdx []int32
+	pLinkOff []int64
+	pLinks   []int32
 }
 
 // appendPaths derives one pair's path set from the table's source: the
@@ -285,14 +298,39 @@ func (c *CompiledRouting) Repaired() *RepairedRouting { return c.rep }
 func (c *CompiledRouting) Topology() *topology.Topology { return c.topo }
 
 // Bytes returns the actual memory footprint of the table's arrays.
+// Delta tables alias the base table's row arrays, so their footprint is
+// counted here too; DeltaBytes reports the overlay alone.
 func (c *CompiledRouting) Bytes() int64 {
-	return 8*int64(len(c.pathOff)+len(c.linkOff)) + 4*int64(len(c.pathIdx)+len(c.links))
+	return 8*int64(len(c.pathOff)+len(c.linkOff)+len(c.pPathOff)+len(c.pLinkOff)) +
+		4*int64(len(c.pathIdx)+len(c.links)+len(c.patch)+len(c.pPathIdx)+len(c.pLinks))
+}
+
+// DeltaBytes returns the footprint of the copy-on-write overlay alone —
+// the memory a delta table costs beyond its shared base (0 for fully
+// materialized tables).
+func (c *CompiledRouting) DeltaBytes() int64 {
+	return 8*int64(len(c.pPathOff)+len(c.pLinkOff)) +
+		4*int64(len(c.patch)+len(c.pPathIdx)+len(c.pLinks))
+}
+
+// PatchedPairs returns the number of pairs whose rows the delta overlay
+// replaces (0 for fully materialized tables).
+func (c *CompiledRouting) PatchedPairs() int {
+	if c.patch == nil {
+		return 0
+	}
+	return len(c.pPathOff) - 1
 }
 
 // NumPaths returns the number of paths compiled for the pair (0 for
 // self pairs).
 func (c *CompiledRouting) NumPaths(src, dst int) int {
 	p := src*c.n + dst
+	if c.patch != nil {
+		if pi := c.patch[p]; pi >= 0 {
+			return int(c.pPathOff[pi+1] - c.pPathOff[pi])
+		}
+	}
 	return int(c.pathOff[p+1] - c.pathOff[p])
 }
 
@@ -302,6 +340,11 @@ func (c *CompiledRouting) NumPaths(src, dst int) int {
 // The slice aliases the table and must not be modified.
 func (c *CompiledRouting) PairLinks(src, dst int) (links []int32, numPaths int) {
 	p := src*c.n + dst
+	if c.patch != nil {
+		if pi := c.patch[p]; pi >= 0 {
+			return c.pLinks[c.pLinkOff[pi]:c.pLinkOff[pi+1]], int(c.pPathOff[pi+1] - c.pPathOff[pi])
+		}
+	}
 	return c.links[c.linkOff[p]:c.linkOff[p+1]], int(c.pathOff[p+1] - c.pathOff[p])
 }
 
@@ -309,6 +352,11 @@ func (c *CompiledRouting) PairLinks(src, dst int) (links []int32, numPaths int) 
 // aliases the table and must not be modified.
 func (c *CompiledRouting) PathIndices(src, dst int) []int32 {
 	p := src*c.n + dst
+	if c.patch != nil {
+		if pi := c.patch[p]; pi >= 0 {
+			return c.pPathIdx[c.pPathOff[pi]:c.pPathOff[pi+1]]
+		}
+	}
 	return c.pathIdx[c.pathOff[p]:c.pathOff[p+1]]
 }
 

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"xgftsim/internal/topology"
+)
+
+// DeltaRepairer builds degraded compiled tables incrementally from one
+// healthy base table. Construction inverts the base table's PairLinks
+// arrays into a link→pairs reverse index (a CSR mapping every directed
+// link to the pairs whose selected path set crosses it); each repair
+// then touches only the pairs reachable from the failed links — the
+// locality a failure sweep has in abundance, since a handful of dead
+// cables intersects a small fraction of the N² selected path sets.
+//
+// A DeltaRepairer is immutable after NewDeltaRepairer returns and safe
+// for concurrent use: a sweep builds one per (topology, scheme, K,
+// seed) and repairs every fault placement against it, from any number
+// of goroutines.
+type DeltaRepairer struct {
+	base *CompiledRouting
+	// Reverse CSR: pairIDs[pairOff[l]:pairOff[l+1]] are the pairs whose
+	// compiled link list contains directed link l, ascending, each pair
+	// listed once even when several of its paths share the link.
+	pairOff []int64
+	pairIDs []int32
+}
+
+// NewDeltaRepairer inverts a healthy compiled table into the link→pairs
+// reverse index. The base must come from CompileRouting (repaired and
+// delta tables are rejected: their rows already depend on a fault set).
+func NewDeltaRepairer(base *CompiledRouting) (*DeltaRepairer, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: NewDeltaRepairer requires a compiled table")
+	}
+	if base.rep != nil || base.patch != nil {
+		return nil, fmt.Errorf("core: delta repair must start from a healthy compiled table, got %s", base.r)
+	}
+	n := base.n
+	if int64(n)*int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("core: %d processors overflow the delta repairer's int32 pair ids", n)
+	}
+	nl := base.topo.NumLinks()
+	d := &DeltaRepairer{base: base, pairOff: make([]int64, nl+1)}
+	// Two passes over the link arrays: count each link's distinct pairs,
+	// then fill the rows. stamp[l] remembers the last pair that counted
+	// link l, deduplicating the lower-tier links that a pair's paths
+	// share without any per-pair set structure.
+	counts := make([]int32, nl)
+	stamp := make([]int32, nl)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	nn := n * n
+	for p := 0; p < nn; p++ {
+		for _, l := range base.links[base.linkOff[p]:base.linkOff[p+1]] {
+			if stamp[l] != int32(p) {
+				stamp[l] = int32(p)
+				counts[l]++
+			}
+		}
+	}
+	var total int64
+	for l := 0; l < nl; l++ {
+		d.pairOff[l] = total
+		total += int64(counts[l])
+	}
+	d.pairOff[nl] = total
+	d.pairIDs = make([]int32, total)
+	cursor := counts // reuse: cursor[l] = next free slot in row l
+	for l := 0; l < nl; l++ {
+		cursor[l] = 0
+	}
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for p := 0; p < nn; p++ {
+		for _, l := range base.links[base.linkOff[p]:base.linkOff[p+1]] {
+			if stamp[l] != int32(p) {
+				stamp[l] = int32(p)
+				d.pairIDs[d.pairOff[l]+int64(cursor[l])] = int32(p)
+				cursor[l]++
+			}
+		}
+	}
+	return d, nil
+}
+
+// Base returns the healthy compiled table the repairer indexes.
+func (d *DeltaRepairer) Base() *CompiledRouting { return d.base }
+
+// Bytes returns the memory footprint of the reverse index.
+func (d *DeltaRepairer) Bytes() int64 {
+	return 8*int64(len(d.pairOff)) + 4*int64(len(d.pairIDs))
+}
+
+// AffectedPairs appends (to buf) the distinct pairs p = src·N + dst
+// whose base-selected path set crosses any failed link, in ascending
+// pair order. These are exactly the pairs whose repaired selection can
+// differ from the healthy one: Repair keeps a surviving selection
+// untouched, so every other pair's compiled row is already correct.
+func (d *DeltaRepairer) AffectedPairs(f *topology.FaultSet, buf []int32) []int32 {
+	start := len(buf)
+	for _, l := range f.DownLinks() {
+		buf = append(buf, d.pairIDs[d.pairOff[l]:d.pairOff[l+1]]...)
+	}
+	aff := buf[start:]
+	sort.Slice(aff, func(i, j int) bool { return aff[i] < aff[j] })
+	// Dedup in place: a pair crossing several failed links appears once.
+	w := 0
+	for i, p := range aff {
+		if i == 0 || p != aff[w-1] {
+			aff[w] = p
+			w++
+		}
+	}
+	return buf[:start+w]
+}
+
+// AffectedCount returns the number of distinct pairs whose base
+// selection crosses any failed link — the amount of re-selection work
+// CompileRepairedDelta would do against f. One bitmap pass over the
+// reverse index rows, cheap relative to the repair itself, so callers
+// can weigh an incremental patch against lazy per-sample repair before
+// committing to either.
+func (d *DeltaRepairer) AffectedCount(f *topology.FaultSet) int {
+	seen := make([]uint64, (d.base.n*d.base.n+63)/64)
+	count := 0
+	for _, l := range f.DownLinks() {
+		for _, p := range d.pairIDs[d.pairOff[l]:d.pairOff[l+1]] {
+			w, b := p>>6, uint(p)&63
+			if seen[w]&(1<<b) == 0 {
+				seen[w] |= 1 << b
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// DeltaRepair repairs the base routing against f and compiles the
+// degraded table incrementally in one step; see CompileRepairedDelta.
+func (d *DeltaRepairer) DeltaRepair(f *topology.FaultSet) (*CompiledRouting, error) {
+	rr, err := d.base.r.Repair(f)
+	if err != nil {
+		return nil, err
+	}
+	return d.CompileRepairedDelta(rr)
+}
+
+// CompileRepairedDelta materializes rr into a compiled table by
+// re-selecting and re-expanding only the affected pairs, patching their
+// CSR rows copy-on-write while sharing every untouched row array with
+// the base table. The result is bit-identical to CompileRepaired(rr):
+// both derive each affected pair through rr.AppendPathsScratch, and
+// unaffected pairs keep their surviving healthy selection by the repair
+// contract. rr must wrap the routing the base table was compiled from.
+// An empty fault set — or one missing every selected path — returns the
+// base table itself (shared, immutable).
+func (d *DeltaRepairer) CompileRepairedDelta(rr *RepairedRouting) (*CompiledRouting, error) {
+	if rr == nil {
+		return nil, fmt.Errorf("core: CompileRepairedDelta requires a repaired routing")
+	}
+	if rr.Base() != d.base.r && *rr.Base() != *d.base.r {
+		return nil, fmt.Errorf("core: repaired routing %s does not wrap the delta base %s", rr, d.base.r)
+	}
+	if rr.Faults().Empty() {
+		return d.base, nil
+	}
+	n := d.base.n
+	t := d.base.topo
+	nn := n * n
+	// Mark-and-scan instead of gather-sort-dedup: marking every reverse
+	// index row of every failed link into the patch array and scanning
+	// the pair ids once yields the affected list in ascending order and
+	// fills the patch redirects in the same pass.
+	patch := make([]int32, nn)
+	for _, l := range rr.Faults().DownLinks() {
+		for _, p := range d.pairIDs[d.pairOff[l]:d.pairOff[l+1]] {
+			patch[p] = 1
+		}
+	}
+	na := 0
+	for _, m := range patch {
+		if m != 0 {
+			na++
+		}
+	}
+	if na == 0 {
+		return d.base, nil
+	}
+	affected := make([]int32, 0, na)
+	for p := 0; p < nn; p++ {
+		if patch[p] != 0 {
+			patch[p] = int32(len(affected))
+			affected = append(affected, int32(p))
+		} else {
+			patch[p] = -1
+		}
+	}
+	c := &CompiledRouting{
+		r:    d.base.r,
+		rep:  rr,
+		topo: t,
+		n:    n,
+		// Shared with the base table; read-only by contract.
+		pathOff: d.base.pathOff,
+		pathIdx: d.base.pathIdx,
+		linkOff: d.base.linkOff,
+		links:   d.base.links,
+		patch:   patch,
+	}
+	// Re-select and re-expand the affected pairs in parallel: each
+	// worker owns a contiguous chunk of the affected list and appends
+	// into private buffers, so the patched CSR is a straight
+	// concatenation afterwards — same determinism as fill's disjoint
+	// ranges, without predicted counts (repair shrinks rows unevenly).
+	// The base rows bound the buffers exactly: a repaired selection
+	// never has more paths than the healthy one, and every path of a
+	// pair expands to the same 2k links.
+	pathCounts := make([]int32, na)
+	linkCounts := make([]int32, na)
+	type chunk struct{ pathIdx, links []int32 }
+	workers := compileWorkers(na)
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := src0(na, workers, w), src0(na, workers, w+1)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var capP, capL int64
+			for i := lo; i < hi; i++ {
+				p := int64(affected[i])
+				capP += d.base.pathOff[p+1] - d.base.pathOff[p]
+				capL += d.base.linkOff[p+1] - d.base.linkOff[p]
+			}
+			ck := chunk{
+				pathIdx: make([]int32, 0, capP),
+				links:   make([]int32, 0, capL),
+			}
+			ps := NewPathScratch()
+			pbuf := make([]int, 0, 64)
+			lbuf := make([]topology.LinkID, 0, 256)
+			for i := lo; i < hi; i++ {
+				p := int(affected[i])
+				src, dst := p/n, p%n
+				// The pair is affected — some base-selected path
+				// crosses a failed link — so AppendPathsScratch would
+				// discard the healthy selection and fall through to
+				// repairSelect; call it directly and skip re-deriving
+				// the selection we already know is dead.
+				pbuf = rr.repairSelect(ps, pbuf[:0], src, dst, t.NCALevel(src, dst))
+				pathCounts[i] = int32(len(pbuf))
+				for _, idx := range pbuf {
+					ck.pathIdx = append(ck.pathIdx, int32(idx))
+				}
+				lbuf = AppendPathSetLinks(t, src, dst, pbuf, lbuf[:0])
+				linkCounts[i] = int32(len(lbuf))
+				for _, l := range lbuf {
+					ck.links = append(ck.links, int32(l))
+				}
+			}
+			chunks[w] = ck
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	c.pPathOff = make([]int64, na+1)
+	c.pLinkOff = make([]int64, na+1)
+	var nPaths, nLinks int64
+	for i := 0; i < na; i++ {
+		c.pPathOff[i] = nPaths
+		c.pLinkOff[i] = nLinks
+		nPaths += int64(pathCounts[i])
+		nLinks += int64(linkCounts[i])
+	}
+	c.pPathOff[na] = nPaths
+	c.pLinkOff[na] = nLinks
+	c.pPathIdx = make([]int32, 0, nPaths)
+	c.pLinks = make([]int32, 0, nLinks)
+	for _, ck := range chunks {
+		c.pPathIdx = append(c.pPathIdx, ck.pathIdx...)
+		c.pLinks = append(c.pLinks, ck.links...)
+	}
+	return c, nil
+}

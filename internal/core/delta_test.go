@@ -1,0 +1,289 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"xgftsim/internal/topology"
+)
+
+// assertTablesIdentical compares two compiled tables pair by pair:
+// path indices, path counts and expanded link lists must be
+// bit-identical.
+func assertTablesIdentical(t *testing.T, label string, tp *topology.Topology, got, want *CompiledRouting) {
+	t.Helper()
+	n := tp.NumProcessors()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			gi, wi := got.PathIndices(src, dst), want.PathIndices(src, dst)
+			if len(gi) != len(wi) {
+				t.Fatalf("%s pair (%d,%d): delta %d paths, full %d", label, src, dst, len(gi), len(wi))
+			}
+			for i := range gi {
+				if gi[i] != wi[i] {
+					t.Fatalf("%s pair (%d,%d): delta indices %v, full %v", label, src, dst, gi, wi)
+				}
+			}
+			if gn, wn := got.NumPaths(src, dst), want.NumPaths(src, dst); gn != wn {
+				t.Fatalf("%s pair (%d,%d): delta NumPaths %d, full %d", label, src, dst, gn, wn)
+			}
+			gl, gnp := got.PairLinks(src, dst)
+			wl, wnp := want.PairLinks(src, dst)
+			if gnp != wnp || len(gl) != len(wl) {
+				t.Fatalf("%s pair (%d,%d): delta %d links/%d paths, full %d/%d",
+					label, src, dst, len(gl), gnp, len(wl), wnp)
+			}
+			for i := range gl {
+				if gl[i] != wl[i] {
+					t.Fatalf("%s pair (%d,%d): delta links %v, full %v", label, src, dst, gl, wl)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileRepairedDeltaMatchesFull is the central differential test:
+// for every repairable scheme, both tree heights and several fault
+// seeds, the incrementally patched table is bit-identical to a full
+// CompileRepaired — path indices, counts and link expansions.
+func TestCompileRepairedDeltaMatchesFull(t *testing.T) {
+	for _, tp := range repairTopologies() {
+		for _, sel := range repairSchemes() {
+			r := NewRouting(tp, sel, 2, 21)
+			base, err := CompileRouting(r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := NewDeltaRepairer(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for faultSeed := int64(1); faultSeed <= 3; faultSeed++ {
+				f, err := topology.RandomCableFaults(tp, faultSeed, tp.NumCables()/8+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rr := r.MustRepair(f)
+				full, err := CompileRepaired(rr, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta, err := d.CompileRepairedDelta(rr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := rr.String()
+				assertTablesIdentical(t, label, tp, delta, full)
+				if aff := d.AffectedPairs(f, nil); len(aff) != delta.PatchedPairs() {
+					t.Fatalf("%s: AffectedPairs reports %d pairs, table patched %d",
+						label, len(aff), delta.PatchedPairs())
+				}
+				if delta != base && delta.Repaired() != rr {
+					t.Fatalf("%s: delta table lost its repaired source", label)
+				}
+				// DeltaRepair (repair + compile in one step) must agree too.
+				oneShot, err := d.DeltaRepair(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertTablesIdentical(t, label+"/one-shot", tp, oneShot, full)
+			}
+		}
+	}
+}
+
+// TestCompileRepairedDeltaEmptyFaults: an empty fault set returns the
+// shared base table itself — no overlay, no copying.
+func TestCompileRepairedDeltaEmptyFaults(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	r := NewRouting(tp, Disjoint{}, 2, 0)
+	base, err := CompileRouting(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeltaRepairer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := d.CompileRepairedDelta(r.MustRepair(topology.NewFaultSet(tp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != base {
+		t.Fatal("empty fault set did not return the shared base table")
+	}
+	if delta.PatchedPairs() != 0 || delta.DeltaBytes() != 0 {
+		t.Fatalf("base table reports overlay state: %d patched pairs, %d delta bytes",
+			delta.PatchedPairs(), delta.DeltaBytes())
+	}
+}
+
+// TestCompileRepairedDeltaDisconnected: a leaf switch stripped of every
+// up cable leaves its processors' pairs disconnected; the delta table
+// must patch them to empty rows, exactly as the full compile does.
+func TestCompileRepairedDeltaDisconnected(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	f := topology.NewFaultSet(tp)
+	leaf := tp.NodeAt(1, 0)
+	for p := 0; p < tp.NumParents(leaf); p++ {
+		if err := f.FailCable(leaf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sel := range repairSchemes() {
+		r := NewRouting(tp, sel, 2, 3)
+		base, err := CompileRouting(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDeltaRepairer(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := r.MustRepair(f)
+		full, err := CompileRepaired(rr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, err := d.CompileRepairedDelta(rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, rr.String(), tp, delta, full)
+		for _, pair := range rr.DisconnectedPairs() {
+			if np := delta.NumPaths(pair[0], pair[1]); np != 0 {
+				t.Fatalf("%s: disconnected pair %v has %d delta paths", rr, pair, np)
+			}
+		}
+	}
+}
+
+// TestNewDeltaRepairerValidation: repaired and delta tables are not
+// acceptable bases, and foreign repaired routings are rejected.
+func TestNewDeltaRepairerValidation(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	r := NewRouting(tp, Disjoint{}, 2, 0)
+	f, err := topology.RandomCableFaults(tp, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := CompileRepaired(r.MustRepair(f), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDeltaRepairer(repaired); err == nil {
+		t.Error("repaired table accepted as delta base")
+	}
+	if _, err := NewDeltaRepairer(nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	base, err := CompileRouting(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeltaRepairer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := d.DeltaRepair(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDeltaRepairer(delta); err == nil {
+		t.Error("delta table accepted as delta base")
+	}
+	other := NewRouting(tp, Disjoint{}, 4, 0) // different K
+	if _, err := d.CompileRepairedDelta(other.MustRepair(f)); err == nil {
+		t.Error("repaired routing over a different K accepted")
+	}
+	if _, err := d.CompileRepairedDelta(nil); err == nil {
+		t.Error("nil repaired routing accepted")
+	}
+}
+
+// TestDeltaRepairConcurrent: one shared repairer serves many fault
+// placements from concurrent goroutines (the per-fault-seed parallelism
+// of the failure sweep); every result must match its full compile. Run
+// under -race by make ci.
+func TestDeltaRepairConcurrent(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	r := NewRouting(tp, Disjoint{}, 2, 5)
+	base, err := CompileRouting(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeltaRepairer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 8
+	var wg sync.WaitGroup
+	errs := make([]error, seeds)
+	tables := make([]*CompiledRouting, seeds)
+	for s := 0; s < seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			f, err := topology.RandomCableFaults(tp, int64(s+1), tp.NumCables()/10+1)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			tables[s], errs[s] = d.DeltaRepair(f)
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < seeds; s++ {
+		if errs[s] != nil {
+			t.Fatal(errs[s])
+		}
+		f, err := topology.RandomCableFaults(tp, int64(s+1), tp.NumCables()/10+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := CompileRepaired(r.MustRepair(f), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, full.Repaired().String(), tp, tables[s], full)
+	}
+}
+
+// TestDeltaRepairAllocsPerPair pins the patch path at (amortized) zero
+// allocations per affected pair: a delta compile allocates its overlay
+// arrays and per-worker scratch, but nothing that scales with the
+// number of pairs it re-selects.
+func TestDeltaRepairAllocsPerPair(t *testing.T) {
+	tp := topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+	r := NewRouting(tp, Disjoint{}, 4, 0)
+	base, err := CompileRouting(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeltaRepairer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := topology.RandomCableFaults(tp, 7, tp.NumCables()/20+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := r.MustRepair(f)
+	c, err := d.CompileRepairedDelta(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := c.PatchedPairs()
+	if patched == 0 {
+		t.Fatal("fault set touched no pair; test needs a non-trivial delta")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := d.CompileRepairedDelta(rr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPair := allocs / float64(patched); perPair >= 1 {
+		t.Errorf("delta compile allocates %.2f times per affected pair (%.0f allocs / %d pairs); want amortized zero",
+			perPair, allocs, patched)
+	}
+}

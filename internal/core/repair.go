@@ -176,14 +176,18 @@ func (rr *RepairedRouting) pathAlive(src, dst, k, idx int, up *[maxDigits]int) b
 
 // repairSelect walks the scheme's preference order over all X indices
 // and appends the first surviving ones, up to the scheme's path count.
+// One pruned DFS (AlivePathBits) answers every candidate's liveness, so
+// the walk costs two instructions per index instead of a decode plus a
+// link walk each.
 func (rr *RepairedRouting) repairSelect(ps *PathScratch, buf []int, src, dst, k int) []int {
 	t := rr.base.topo
 	x := t.WProd(k)
-	var up [maxDigits]int
+	ps.alive = rr.faults.AlivePathBits(src, dst, ps.alive)
+	alive := ps.alive
 	take := func(order func(c int) int, want int) []int {
 		for c := 0; c < x && want > 0; c++ {
 			idx := order(c)
-			if rr.pathAlive(src, dst, k, idx, &up) {
+			if alive[idx>>6]&(1<<(uint(idx)&63)) != 0 {
 				buf = append(buf, idx)
 				want--
 			}
@@ -202,7 +206,8 @@ func (rr *RepairedRouting) repairSelect(ps *PathScratch, buf []int, src, dst, k 
 		return take(func(c int) int { return (i0 + c) % x }, clampK(rr.base.k, x))
 	case Disjoint:
 		i0 := DModKIndex(t, dst, k)
-		return take(func(c int) int { return (i0 + DisjointOffset(t, k, c)) % x }, clampK(rr.base.k, x))
+		offs := ps.disjointOffsets(t, k, x)
+		return take(func(c int) int { return (i0 + int(offs[c])) % x }, clampK(rr.base.k, x))
 	case UMulti:
 		return take(func(c int) int { return c }, x)
 	case RandomSingle:
@@ -211,6 +216,25 @@ func (rr *RepairedRouting) repairSelect(ps *PathScratch, buf []int, src, dst, k 
 		return take(rr.repairPerm(ps, src, dst, x), clampK(rr.base.k, x))
 	}
 	panic("core: unreachable — Repair validated the scheme") // invariant guard
+}
+
+// disjointOffsets returns the cached disjoint preference-order table
+// for NCA level k: offs[c] = DisjointOffset(t, k, c). The table only
+// depends on (topology, k), not on the pair, so a scratch computes it
+// once per level and re-derives it if moved to another topology.
+func (ps *PathScratch) disjointOffsets(t *topology.Topology, k, x int) []int32 {
+	if ps.djTopo != t {
+		ps.djTopo = t
+		ps.djOff = [maxDigits][]int32{}
+	}
+	if ps.djOff[k] == nil {
+		offs := make([]int32, x)
+		for c := range offs {
+			offs[c] = int32(DisjointOffset(t, k, c))
+		}
+		ps.djOff[k] = offs
+	}
+	return ps.djOff[k]
 }
 
 // repairPerm returns an order function enumerating a deterministic

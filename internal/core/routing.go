@@ -94,6 +94,13 @@ func (r *Routing) Paths(src, dst int) []int {
 type PathScratch struct {
 	src stats.SplitMix
 	rng *rand.Rand
+	// Repair scratch: the surviving-path bitmap of the pair being
+	// re-selected and the cached disjoint preference-order offsets
+	// (pair-independent, so each scratch derives them once per NCA
+	// level; see PathScratch.disjointOffsets).
+	alive  []uint64
+	djTopo *topology.Topology
+	djOff  [maxDigits][]int32
 }
 
 // NewPathScratch creates scratch RNG state for AppendPathsScratch.

@@ -1,0 +1,83 @@
+package flit
+
+// Allocation regression tests: the engine's steady-state event loop
+// must not allocate per event once its arenas, wheel buckets and
+// queues have reached their high-water capacity. The historical
+// offenders — container/heap boxing every injection event, a fresh
+// *message per message, and the rrPath map — are all pinned here.
+
+import (
+	"math/rand"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// TestEngineSteadyStateAllocs warms an engine past its transient
+// growth phase, then requires additional simulated cycles to run
+// allocation-free (amortized below one allocation per 2000 cycles).
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	perm := traffic.RandomDerangementish(tp.NumProcessors(), rand.New(rand.NewSource(9)))
+	cfg, err := Config{
+		Routing:      core.NewRouting(tp, core.Disjoint{}, 4, 0),
+		Pattern:      traffic.NewPermutationPattern("alloc", perm),
+		OfferedLoad:  0.6,
+		WarmupCycles: 1000,
+		// A far-away end keeps injections flowing for every measured
+		// window; the test never runs anywhere near this horizon.
+		MeasureCycles: 100_000_000,
+		Seed:          5,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	if e.rrPathDense == nil {
+		t.Fatal("small topology did not get the dense round-robin table")
+	}
+	e.start()
+	e.loop(20_000) // transient: route cache, arenas and queues fill
+	if e.pktsInFlight == 0 {
+		t.Fatal("no traffic in flight after warmup; test would measure an idle loop")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		e.loop(e.now + 2000)
+	})
+	if allocs >= 1 {
+		t.Errorf("steady-state loop allocates %.0f times per 2000 cycles; want 0", allocs)
+	}
+}
+
+// TestEngineAdaptiveSteadyStateAllocs covers the adaptive path (no
+// source routes, per-hop port choice), which shares the injection and
+// event machinery.
+func TestEngineAdaptiveSteadyStateAllocs(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	perm := traffic.RandomDerangementish(tp.NumProcessors(), rand.New(rand.NewSource(11)))
+	cfg, err := Config{
+		Routing:       core.NewRouting(tp, core.Disjoint{}, 4, 0),
+		Pattern:       traffic.NewPermutationPattern("alloc-adaptive", perm),
+		OfferedLoad:   0.6,
+		WarmupCycles:  1000,
+		MeasureCycles: 100_000_000,
+		Seed:          7,
+		Adaptive:      true,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	e.start()
+	// Adaptive queues reach their high-water occupancy more slowly than
+	// source-routed ones, so warm much longer before pinning.
+	e.loop(200_000)
+	allocs := testing.AllocsPerRun(5, func() {
+		e.loop(e.now + 2000)
+	})
+	if allocs >= 1 {
+		t.Errorf("adaptive steady-state loop allocates %.0f times per 2000 cycles; want 0", allocs)
+	}
+}

@@ -1,7 +1,6 @@
 package flit
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -38,7 +37,7 @@ type message struct {
 }
 
 type packet struct {
-	msg   *message
+	msg   int32 // message arena index
 	route []int // output port at the i-th node on the path; nil => adaptive
 	hop   int   // index into route of the link queue the packet is in
 	dst   int32 // destination processor
@@ -67,23 +66,57 @@ type injEvent struct {
 	node int32
 }
 
+// injHeap is a typed binary min-heap ordered by (time, node). The
+// container/heap version boxed every event through `any` in Push/Pop,
+// allocating on each of the millions of steady-state injections; the
+// explicit sift-up/down below keeps the slice's backing array and
+// allocates nothing once it has reached its high-water capacity.
 type injHeap []injEvent
 
-func (h injHeap) Len() int { return len(h) }
-func (h injHeap) Less(i, j int) bool {
+func (h injHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].node < h[j].node
 }
-func (h injHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *injHeap) Push(x any)   { *h = append(*h, x.(injEvent)) }
-func (h *injHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *injHeap) push(e injEvent) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *injHeap) pop() injEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.less(r, c) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 type engine struct {
@@ -100,9 +133,12 @@ type engine struct {
 
 	inj injHeap
 
-	// Packet arena.
+	// Packet and message arenas. Messages are referenced by index so a
+	// steady-state injection reuses a freed slot instead of allocating.
 	packets []packet
 	freePkt []int32
+	msgs    []message
+	freeMsg []int32
 
 	// Per queue (link*V + vc): output queue state at the sending side.
 	outQ [][]int32
@@ -131,14 +167,23 @@ type engine struct {
 	adaptRR    []int32 // per-node up-port rotation for tie-breaking
 	mLow       []int   // mLow[l] = Π_{i=1..l} m_i
 
-	// Routing caches.
-	routes map[int64][][]int // SD pair -> port routes per path
-	rrPath map[int64]int     // SD pair -> round-robin pointer
+	// Routing caches. The round-robin pointers live in a dense array
+	// keyed by pair id for topologies up to rrDenseLimit pairs (a
+	// per-packet array load instead of a map probe); the map is the
+	// fallback above the threshold.
+	routes      map[int64][][]int // SD pair -> port routes per path
+	rrPathDense []int32           // SD pair -> round-robin pointer, or
+	rrPath      map[int64]int     // ... the sparse fallback
 
 	// Workload parameters.
 	numProc int
 	msgRate float64 // messages per cycle per node
 	endTime int64
+
+	// Event-loop state (split across start/loop/result so tests can
+	// pin the steady-state loop's allocation behavior mid-run).
+	now       int64
+	evScratch []wheelEvent
 
 	// Statistics.
 	warmEnd        int64
@@ -168,7 +213,11 @@ func newEngine(cfg Config) *engine {
 		vcs:     cfg.VirtualChannels,
 		numProc: t.NumProcessors(),
 		routes:  make(map[int64][][]int),
-		rrPath:  make(map[int64]int),
+	}
+	if nn := e.numProc * e.numProc; nn <= rrDenseLimit {
+		e.rrPathDense = make([]int32, nn)
+	} else {
+		e.rrPath = make(map[int64]int)
 	}
 	span := int64(cfg.FlitsPerPacket)
 	if alt := cfg.RouterDelay + 1; alt > span {
@@ -257,6 +306,11 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
+// rrDenseLimit bounds the dense round-robin table: up to 2^20 pairs
+// (4 MiB of pointers) buys O(1) per-packet path rotation; larger
+// fabrics fall back to the sparse map.
+const rrDenseLimit = 1 << 20
+
 // qid maps (link, vc) to its queue index.
 func (e *engine) qid(l int32, vc int8) int32 { return l*int32(e.vcs) + int32(vc) }
 
@@ -286,17 +340,31 @@ func (e *engine) allocPacket(p packet) int32 {
 	return int32(len(e.packets) - 1)
 }
 
+// allocMessage takes a slot from the message arena; the slot returns
+// to the free list when the last packet of the message is delivered.
+func (e *engine) allocMessage(m message) int32 {
+	if n := len(e.freeMsg); n > 0 {
+		idx := e.freeMsg[n-1]
+		e.freeMsg = e.freeMsg[:n-1]
+		e.msgs[idx] = m
+		return idx
+	}
+	e.msgs = append(e.msgs, m)
+	return int32(len(e.msgs) - 1)
+}
+
 // routesFor lazily builds and caches the port routes of an SD pair,
 // consulting the shared sweep-level table when one is configured. The
 // route source is the repaired routing when RepairRoutes derived one,
 // so the expanded routes avoid every failed link; disconnected pairs
-// get an empty route set.
-func (e *engine) routesFor(src, dst int) [][]int {
+// get an empty route set. pair is the caller's src·N + dst key (hoisted
+// so injection computes it once for the route lookup and the path
+// rotation).
+func (e *engine) routesFor(pair int64, src, dst int) [][]int {
 	if e.cfg.Routes != nil {
 		return e.cfg.Routes.RoutesFor(src, dst)
 	}
-	key := int64(src)*int64(e.numProc) + int64(dst)
-	if r, ok := e.routes[key]; ok {
+	if r, ok := e.routes[pair]; ok {
 		return r
 	}
 	var r [][]int
@@ -305,12 +373,12 @@ func (e *engine) routesFor(src, dst int) [][]int {
 	} else {
 		r = e.cfg.Routing.PortRoutes(src, dst)
 	}
-	e.routes[key] = r
+	e.routes[pair] = r
 	return r
 }
 
 // pickRoute applies the path policy to a non-empty route set.
-func (e *engine) pickRoute(routes [][]int, src, dst int) []int {
+func (e *engine) pickRoute(routes [][]int, pair int64) []int {
 	if len(routes) == 1 {
 		return routes[0]
 	}
@@ -318,9 +386,13 @@ func (e *engine) pickRoute(routes [][]int, src, dst int) []int {
 	case RandomPath:
 		return routes[e.rng.Intn(len(routes))]
 	default:
-		key := int64(src)*int64(e.numProc) + int64(dst)
-		i := e.rrPath[key]
-		e.rrPath[key] = (i + 1) % len(routes)
+		if e.rrPathDense != nil {
+			i := int(e.rrPathDense[pair])
+			e.rrPathDense[pair] = int32((i + 1) % len(routes))
+			return routes[i]
+		}
+		i := e.rrPath[pair]
+		e.rrPath[pair] = (i + 1) % len(routes)
 		return routes[i]
 	}
 }
@@ -336,7 +408,7 @@ func (e *engine) scheduleArrival(node int, now int64) {
 	if t >= e.endTime {
 		return
 	}
-	heap.Push(&e.inj, injEvent{time: t, node: int32(node)})
+	e.inj.push(injEvent{time: t, node: int32(node)})
 }
 
 // inject creates one message at node and enqueues its packets, moving
@@ -348,7 +420,8 @@ func (e *engine) inject(node int, now int64) {
 	}
 	var route []int
 	if !e.cfg.Adaptive {
-		routes := e.routesFor(node, dst)
+		pair := int64(node)*int64(e.numProc) + int64(dst)
+		routes := e.routesFor(pair, node, dst)
 		if len(routes) == 0 {
 			// Repaired routing found the pair disconnected: the message
 			// is undeliverable by any minimal route, so drop it at the
@@ -356,16 +429,17 @@ func (e *engine) inject(node int, now int64) {
 			e.msgsUnroutable++
 			return
 		}
-		route = e.pickRoute(routes, node, dst)
+		route = e.pickRoute(routes, pair)
 	}
 	vc := e.rrVC[node]
 	e.rrVC[node] = int8((int(vc) + 1) % e.vcs)
-	msg := &message{
+	measured := now >= e.warmEnd && now < e.endTime
+	msg := e.allocMessage(message{
 		genTime:     now,
 		packetsLeft: e.cfg.PacketsPerMessage,
-		measured:    now >= e.warmEnd && now < e.endTime,
-	}
-	if msg.measured {
+		measured:    measured,
+	})
+	if measured {
 		e.msgsGen++
 	}
 	for i := 0; i < e.cfg.PacketsPerMessage; i++ {
@@ -545,29 +619,37 @@ func (e *engine) deliver(idx int32, now int64) {
 		e.flitsEjected += int64(p.flits)
 		e.ejectedPer[p.dst] += int64(p.flits)
 	}
-	m := p.msg
+	m := &e.msgs[p.msg]
 	m.packetsLeft--
-	if m.packetsLeft == 0 && m.measured && now < e.endTime {
-		e.msgsDone++
-		d := float64(now - m.genTime)
-		e.delay.Add(d)
-		if b := (now - e.warmEnd) / e.batchLen; b >= 0 && int(b) < len(e.batches) {
-			e.batches[b].Add(d)
+	if m.packetsLeft == 0 {
+		if m.measured && now < e.endTime {
+			e.msgsDone++
+			d := float64(now - m.genTime)
+			e.delay.Add(d)
+			if b := (now - e.warmEnd) / e.batchLen; b >= 0 && int(b) < len(e.batches) {
+				e.batches[b].Add(d)
+			}
+			if e.hist != nil {
+				e.hist.Observe(d)
+			}
 		}
-		if e.hist != nil {
-			e.hist.Observe(d)
-		}
+		e.freeMsg = append(e.freeMsg, p.msg)
 	}
-	p.msg = nil
+	p.msg = -1
 	p.route = nil
 	e.freePkt = append(e.freePkt, idx)
 }
 
-// run executes the simulation and gathers the result.
-func (e *engine) run() Result {
+// start primes the simulation: every node's first Poisson injection.
+func (e *engine) start() {
 	for n := 0; n < e.numProc; n++ {
 		e.scheduleArrival(n, 0)
 	}
+}
+
+// runLimit is the cycle cap of a full run: the configured end, or ten
+// windows when draining the backlog.
+func (e *engine) runLimit() int64 {
 	limit := e.endTime
 	if e.cfg.Drain {
 		limit = e.endTime * 10
@@ -575,8 +657,15 @@ func (e *engine) run() Result {
 			limit = e.endTime + 1000
 		}
 	}
-	var scratch []wheelEvent
-	for now := int64(0); now < limit; now++ {
+	return limit
+}
+
+// loop advances the simulation from e.now up to (but excluding) limit,
+// or until no event can ever fire again. Resumable: a test can warm the
+// engine up, then measure additional cycles in isolation.
+func (e *engine) loop(limit int64) {
+	for ; e.now < limit; e.now++ {
+		now := e.now
 		if e.pending == 0 && len(e.inj) == 0 {
 			// Nothing scheduled and no injections left: no event can
 			// ever fire again (events exist iff transmissions are in
@@ -589,12 +678,12 @@ func (e *engine) run() Result {
 				e.wedged, e.wedgedAt = true, now
 				e.wedgeDiag = e.stallDiagnosis()
 			}
-			break
+			return
 		}
 		// Injections first (they were scheduled far in advance, as the
 		// former global ordering had them).
 		for len(e.inj) > 0 && e.inj[0].time <= now {
-			ev := heap.Pop(&e.inj).(injEvent)
+			ev := e.inj.pop()
 			e.inject(int(ev.node), now)
 			e.scheduleArrival(int(ev.node), now)
 		}
@@ -608,11 +697,12 @@ func (e *engine) run() Result {
 				// heap also empty the next top-of-loop check ends the
 				// run, wedged or done.)
 				if t := e.inj[0].time; t > now+1 {
-					now = t - 1
+					e.now = t - 1
 				}
 			}
 			continue
 		}
+		scratch := e.evScratch
 		scratch, e.wheel[b] = e.wheel[b], scratch[:0]
 		e.pending -= len(scratch)
 		for _, ev := range scratch {
@@ -632,8 +722,19 @@ func (e *engine) run() Result {
 				e.free(ev.a, now)
 			}
 		}
-		scratch = scratch[:0]
+		e.evScratch = scratch[:0]
 	}
+}
+
+// run executes the simulation and gathers the result.
+func (e *engine) run() Result {
+	e.start()
+	e.loop(e.runLimit())
+	return e.result()
+}
+
+// result gathers the statistics of a finished run.
+func (e *engine) result() Result {
 	capacity := float64(e.cfg.MeasureCycles) * float64(e.numProc) * float64(e.topo.W(1))
 	res := Result{
 		OfferedLoad:    e.cfg.OfferedLoad,

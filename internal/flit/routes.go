@@ -42,10 +42,26 @@ func NewRouteTable(r *core.Routing, compiled *core.CompiledRouting) *RouteTable 
 // repaired path sets, so every engine of a degraded-fabric sweep sees
 // routes that avoid the failed links (and empty route sets for
 // disconnected pairs). The fault set must not be mutated afterwards.
-func NewRepairedRouteTable(rr *core.RepairedRouting) *RouteTable {
+// compiled may be nil; when set it must hold rr's degraded paths —
+// either its full CompileRepaired or a delta patch against the healthy
+// base table (core.CompileRepairedDelta) — and routes then hydrate
+// from the patched CSR rows instead of re-running per-pair lazy
+// repair.
+func NewRepairedRouteTable(rr *core.RepairedRouting, compiled *core.CompiledRouting) *RouteTable {
+	if compiled != nil {
+		if compiled.Routing() != rr.Base() {
+			panic("flit: RouteTable compiled table is over a different routing")
+		}
+		if rep := compiled.Repaired(); rep != nil && rep != rr {
+			// A healthy base table (rep == nil) is fine: delta repair
+			// returns it unchanged when no selected path died.
+			panic("flit: RouteTable compiled table repairs a different fault set")
+		}
+	}
 	return &RouteTable{
 		routing:  rr.Base(),
 		repaired: rr,
+		compiled: compiled,
 		n:        rr.Topology().NumProcessors(),
 		routes:   make(map[int64][][]int),
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"xgftsim/internal/core"
 )
 
 // SweepConfig describes a load sweep: the base Config is replicated at
@@ -48,7 +50,7 @@ func Sweep(sc SweepConfig) ([]Result, error) {
 			// fall through to each run's own validation error.
 			if faults, err := sc.Base.combinedFaults(); err == nil {
 				if rr, err := sc.Base.Routing.Repair(faults); err == nil {
-					sc.Base.Routes = NewRepairedRouteTable(rr)
+					sc.Base.Routes = NewRepairedRouteTable(rr, repairedTable(rr))
 				}
 			}
 		} else {
@@ -84,6 +86,32 @@ func Sweep(sc SweepConfig) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// repairedCompileBudget caps the healthy base compile a degraded sweep
+// hydrates its route table from (1 GiB of rows, matching the flow
+// layer's default).
+const repairedCompileBudget = 1 << 30
+
+// repairedTable builds the compiled degraded table a sweep's shared
+// route cache hydrates from: one healthy compile plus an incremental
+// delta patch over the pairs the faults actually touch. Any failure
+// (budget exceeded, custom scheme) returns nil and the table falls
+// back to lazy per-pair repair, preserving the old behavior.
+func repairedTable(rr *core.RepairedRouting) *core.CompiledRouting {
+	base, err := core.CompileRouting(rr.Base(), repairedCompileBudget)
+	if err != nil {
+		return nil
+	}
+	d, err := core.NewDeltaRepairer(base)
+	if err != nil {
+		return nil
+	}
+	c, err := d.CompileRepairedDelta(rr)
+	if err != nil {
+		return nil
+	}
+	return c
 }
 
 // MaxThroughput returns the paper's Table 1 metric: the maximum

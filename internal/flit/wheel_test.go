@@ -75,8 +75,9 @@ func TestPacketArenaReuse(t *testing.T) {
 	if a == b {
 		t.Fatal("distinct allocations shared a slot")
 	}
-	// Simulate delivery freeing slot a.
-	e.packets[a].msg = &message{packetsLeft: 1}
+	// Simulate delivery freeing slot a (and its message's arena slot).
+	m := e.allocMessage(message{packetsLeft: 1})
+	e.packets[a].msg = m
 	e.pktsInFlight = 1
 	e.deliver(a, e.warmEnd)
 	c := e.allocPacket(packet{flits: 4})
@@ -86,6 +87,9 @@ func TestPacketArenaReuse(t *testing.T) {
 	if e.packets[c].flits != 4 {
 		t.Fatal("reused slot kept stale contents")
 	}
+	if m2 := e.allocMessage(message{packetsLeft: 2}); m2 != m {
+		t.Fatalf("freed message slot %d not reused (got %d)", m, m2)
+	}
 }
 
 func TestInjectionHeapOrder(t *testing.T) {
@@ -94,15 +98,15 @@ func TestInjectionHeapOrder(t *testing.T) {
 	for _, ev := range []injEvent{{5, 2}, {3, 1}, {5, 0}, {4, 3}} {
 		e.inj = append(e.inj, ev)
 	}
-	// heap.Init via push order instead: rebuild properly.
+	// Rebuild through the typed heap's own push.
 	events := append([]injEvent(nil), e.inj...)
 	e.inj = nil
 	for _, ev := range events {
-		pushInj(e, ev)
+		e.inj.push(ev)
 	}
 	var got []injEvent
 	for len(e.inj) > 0 {
-		got = append(got, popInj(e))
+		got = append(got, e.inj.pop())
 	}
 	want := []injEvent{{3, 1}, {4, 3}, {5, 0}, {5, 2}}
 	for i := range want {
@@ -112,41 +116,24 @@ func TestInjectionHeapOrder(t *testing.T) {
 	}
 }
 
-func pushInj(e *engine, ev injEvent) {
-	e.inj = append(e.inj, ev)
-	// Sift up (mirrors container/heap semantics through the Less impl).
-	i := len(e.inj) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.inj.Less(i, parent) {
-			break
-		}
-		e.inj.Swap(i, parent)
-		i = parent
+// TestInjectionHeapRandomized drains a randomized heap and checks the
+// pops come out sorted by (time, node) — the invariant the typed
+// sift-up/down must preserve without container/heap's checks.
+func TestInjectionHeapRandomized(t *testing.T) {
+	var h injHeap
+	const n = 500
+	for i := 0; i < n; i++ {
+		h.push(injEvent{time: int64(i*7919) % 97, node: int32(i % 13)})
 	}
-}
-
-func popInj(e *engine) injEvent {
-	top := e.inj[0]
-	n := len(e.inj) - 1
-	e.inj.Swap(0, n)
-	e.inj = e.inj[:n]
-	// Sift down.
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && e.inj.Less(l, small) {
-			small = l
+	prev := injEvent{time: -1, node: -1}
+	for i := 0; i < n; i++ {
+		ev := h.pop()
+		if ev.time < prev.time || (ev.time == prev.time && ev.node < prev.node) {
+			t.Fatalf("pop %d: %v after %v out of order", i, ev, prev)
 		}
-		if r < n && e.inj.Less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		e.inj.Swap(i, small)
-		i = small
+		prev = ev
 	}
-	return top
+	if len(h) != 0 {
+		t.Fatalf("%d events left after draining", len(h))
+	}
 }

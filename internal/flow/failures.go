@@ -2,6 +2,8 @@ package flow
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"xgftsim/internal/core"
 	"xgftsim/internal/stats"
@@ -36,14 +38,37 @@ type FailureExperiment struct {
 	// Confidence is the level of the over-fault-seeds interval;
 	// 0 means 0.99, matching the paper's protocol.
 	Confidence float64
-	// Compile / CompileBudget follow Experiment, using CompileRepaired
-	// for the degraded tables.
+	// Compile / CompileBudget follow Experiment. Under a compiling
+	// policy the degraded tables are built incrementally: one healthy
+	// compile per selector seed (shared through Base when the caller
+	// provides one) plus a per-fault-placement delta patch.
 	Compile       CompileMode
 	CompileBudget int64
+	// Base, when non-nil, supplies the healthy compiled tables and
+	// delta repairers shared across every fraction of a sweep column;
+	// see NewBase. It must have been built by an experiment with the
+	// same topology, scheme, K, seeds and compile policy.
+	Base *FailureBase
 	// MeasureDisconnected additionally records the fraction of SD
 	// pairs left with no surviving shortest path per fault seed (an
 	// O(N²) connectivity scan, so off by default).
 	MeasureDisconnected bool
+}
+
+// FailureBase is the fault-independent part of a failure experiment:
+// the repairable routing per selector seed and — under a compiling
+// policy — its healthy compiled table wrapped in a delta repairer.
+// A sweep column builds one base and reuses it for every fraction and
+// fault seed, so each placement costs one incremental patch instead of
+// a whole-fabric recompile. Immutable after NewBase and safe for
+// concurrent use.
+type FailureBase struct {
+	topo     *topology.Topology
+	sel      core.Selector
+	k        int
+	seeds    []int64
+	routings []*core.Routing
+	reps     []*core.DeltaRepairer // nil entries: lazy repaired path
 }
 
 // FailureResult reports one failure-sweep cell.
@@ -58,6 +83,110 @@ type FailureResult struct {
 	Disconnected stats.Accumulator
 }
 
+// resolveSeeds applies the selector-seed defaulting shared by Run and
+// NewBase: deterministic schemes need a single seed.
+func (x FailureExperiment) resolveSeeds() []int64 {
+	if len(x.Seeds) > 0 {
+		return x.Seeds
+	}
+	if deterministicSelector(x.Sel) {
+		return []int64{0}
+	}
+	return []int64{101, 202, 303, 404, 505}
+}
+
+// NewBase precomputes everything a failure sweep shares across fault
+// placements: per selector seed, the routing and (policy permitting)
+// the healthy compiled table with its link→pairs delta repairer. The
+// base does not depend on Fraction or FaultSeeds, so one base serves a
+// whole sweep column. A compile failure (budget exceeded) or a
+// non-compiling policy leaves the corresponding entry on the lazy
+// repaired path, exactly as the per-cell fallback used to.
+func (x FailureExperiment) NewBase() *FailureBase {
+	seeds := x.resolveSeeds()
+	b := &FailureBase{
+		topo:     x.Topo,
+		sel:      x.Sel,
+		k:        x.K,
+		seeds:    seeds,
+		routings: make([]*core.Routing, len(seeds)),
+		reps:     make([]*core.DeltaRepairer, len(seeds)),
+	}
+	for i, s := range seeds {
+		b.routings[i] = core.NewRouting(x.Topo, x.Sel, x.K, s)
+		if !x.wantCompiled() {
+			continue
+		}
+		budget := x.CompileBudget
+		if budget <= 0 {
+			budget = DefaultCompileBudget
+		}
+		c, err := core.CompileRouting(b.routings[i], budget)
+		if err != nil {
+			continue // over budget: lazy fallback
+		}
+		d, err := core.NewDeltaRepairer(c)
+		if err != nil {
+			continue
+		}
+		b.reps[i] = d
+	}
+	return b
+}
+
+// wantCompiled applies the CompileMode policy (without a concrete
+// routing: the amortization heuristic only needs sizes). Under
+// CompileAuto the healthy compile (≈N² pair expansions) must be
+// recouped by the per-cell sampling that reuses it, so light-sampling
+// configurations on fabrics wider than their sample budget stay on the
+// lazy evaluators even though a sweep column shares the base.
+func (x FailureExperiment) wantCompiled() bool {
+	if x.Compile == CompileNever {
+		return false
+	}
+	if x.Compile == CompileAuto {
+		ms := x.Sampling.MaxSamples
+		if ms <= 0 {
+			ms = 12800 // stats.AdaptiveConfig's default cap
+		}
+		if x.Topo.NumProcessors() > ms {
+			return false
+		}
+	}
+	return true
+}
+
+// patchBudget is the pair re-selection count below which an
+// incremental table patch beats lazy per-sample repair for one fault
+// placement: the lazy evaluator re-derives every pair's path set on
+// each of up to MaxSamples permutations (N pairs apiece, nothing
+// cached across samples), while a patch re-selects each affected pair
+// exactly once and leaves per-sample evaluation a plain CSR walk.
+// Beyond the budget — heavy fault fractions on small fabrics with
+// light sampling — lazy evaluation touches fewer pairs than the patch
+// would, so Run keeps the placement on the degraded evaluator.
+func (x FailureExperiment) patchBudget() int64 {
+	ms := x.Sampling.MaxSamples
+	if ms <= 0 {
+		ms = 12800 // stats.AdaptiveConfig's default cap
+	}
+	return int64(ms) * int64(x.Topo.NumProcessors())
+}
+
+// matches reports whether the base was built for this experiment's
+// fault-independent parameters.
+func (b *FailureBase) matches(x FailureExperiment, seeds []int64) bool {
+	if b.topo != x.Topo || b.sel != x.Sel || b.k != x.K || len(b.seeds) != len(seeds) {
+		return false
+	}
+	for i, s := range seeds {
+		if b.seeds[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
 // Run executes the failure experiment. Invalid parameters panic (the
 // grid runners capture panics with their cell index).
 func (x FailureExperiment) Run() FailureResult {
@@ -68,37 +197,79 @@ func (x FailureExperiment) Run() FailureResult {
 	if x.Fraction == 0 {
 		fseeds = fseeds[:1]
 	}
-	seeds := x.Seeds
-	if len(seeds) == 0 {
-		if deterministicSelector(x.Sel) {
-			seeds = []int64{0}
-		} else {
-			seeds = []int64{101, 202, 303, 404, 505}
-		}
-	}
+	seeds := x.resolveSeeds()
 	conf := x.Confidence
 	if conf == 0 {
 		conf = 0.99
 	}
+	base := x.Base
+	if base == nil {
+		base = x.NewBase()
+	} else if !base.matches(x, seeds) {
+		panic(fmt.Sprintf("flow: failure base was built for %s K=%d on %s, experiment wants %s K=%d on %s",
+			base.sel.Name(), base.k, base.topo, x.Sel.Name(), x.K, x.Topo))
+	}
+	// Fault placement, repair and incremental table patching are
+	// independent across fault seeds — run them in parallel before the
+	// serial sampling loop (which accumulates in fault-seed order for
+	// deterministic confidence intervals). Panics are carried back to
+	// this goroutine so the grid runner still captures them.
+	type prep struct {
+		pools []*evalPool
+		disc  float64
+	}
+	preps := make([]prep, len(fseeds))
+	panics := make([]any, len(fseeds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for fi, fs := range fseeds {
+		wg.Add(1)
+		go func(fi int, fs int64) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[fi] = r
+				}
+			}()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			faults, err := topology.RandomCableFaultFraction(x.Topo, fs, x.Fraction)
+			if err != nil {
+				panic(fmt.Sprintf("flow: %v", err))
+			}
+			if x.MeasureDisconnected {
+				preps[fi].disc = faults.DisconnectedFraction()
+			}
+			budget := x.patchBudget()
+			pools := make([]*evalPool, len(seeds))
+			for i := range seeds {
+				rr := base.routings[i].MustRepair(faults)
+				if d := base.reps[i]; d != nil && int64(d.AffectedCount(faults)) <= budget {
+					c, err := d.CompileRepairedDelta(rr)
+					if err != nil {
+						panic(fmt.Sprintf("flow: %v", err))
+					}
+					pools[i] = newEvalPool(func() maxLoader { return NewCompiledEvaluator(c) })
+				} else {
+					pools[i] = newEvalPool(func() maxLoader { return NewDegradedEvaluator(rr) })
+				}
+			}
+			preps[fi].pools = pools
+		}(fi, fs)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 	var res FailureResult
 	n := x.Topo.NumProcessors()
-	for _, fs := range fseeds {
-		faults, err := topology.RandomCableFaultFraction(x.Topo, fs, x.Fraction)
-		if err != nil {
-			panic(fmt.Sprintf("flow: %v", err))
-		}
+	for fi := range fseeds {
 		if x.MeasureDisconnected {
-			res.Disconnected.Add(faults.DisconnectedFraction())
+			res.Disconnected.Add(preps[fi].disc)
 		}
-		pools := make([]*evalPool, len(seeds))
-		for i, s := range seeds {
-			rr := core.NewRouting(x.Topo, x.Sel, x.K, s).MustRepair(faults)
-			if c := x.compiled(rr); c != nil {
-				pools[i] = newEvalPool(func() maxLoader { return NewCompiledEvaluator(c) })
-			} else {
-				pools[i] = newEvalPool(func() maxLoader { return NewDegradedEvaluator(rr) })
-			}
-		}
+		pools := preps[fi].pools
 		sample := func(i int) float64 {
 			rng := stats.Stream(x.PermSeed, int64(i))
 			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
@@ -115,30 +286,4 @@ func (x FailureExperiment) Run() FailureResult {
 		res.HalfWidth = res.Acc.ConfidenceHalfWidth(conf)
 	}
 	return res
-}
-
-// compiled builds the degraded compiled table for rr under the
-// experiment's policy, or returns nil to use the lazy repaired path.
-func (x FailureExperiment) compiled(rr *core.RepairedRouting) *core.CompiledRouting {
-	if x.Compile == CompileNever {
-		return nil
-	}
-	budget := x.CompileBudget
-	if budget <= 0 {
-		budget = DefaultCompileBudget
-	}
-	if x.Compile == CompileAuto {
-		ms := x.Sampling.MaxSamples
-		if ms <= 0 {
-			ms = 12800 // stats.AdaptiveConfig's default cap
-		}
-		if x.Topo.NumProcessors() > ms {
-			return nil
-		}
-	}
-	c, err := core.CompileRepaired(rr, budget)
-	if err != nil {
-		return nil // over budget: lazy fallback
-	}
-	return c
 }

@@ -274,6 +274,67 @@ func (f *FaultSet) alivePathsFrom(j, k, uLow int, sHigh, dHigh *[maxHeight + 1]i
 	return n
 }
 
+// AlivePathBits appends the pair's surviving-path bitmap to bits[:0]:
+// bit idx is set iff the shortest path with index idx crosses no failed
+// link, for all NumPathsBetween indices. One call answers every
+// PathAlive query for the pair, and like Connected/AlivePaths the walk
+// prunes a whole subtree of path indices at the first dead prefix link
+// — this is what lets a routing repair re-rank a damaged pair's
+// preference order in O(X) instead of X separate link walks.
+func (f *FaultSet) AlivePathBits(src, dst int, bits []uint64) []uint64 {
+	t := f.topo
+	k := t.NCALevel(src, dst)
+	x := t.wprod[k]
+	bits = bits[:0]
+	for i := 0; i < (x+63)/64; i++ {
+		bits = append(bits, 0)
+	}
+	if k == 0 {
+		bits[0] = 1 // self pairs have the single trivial path
+		return bits
+	}
+	if f.num == 0 {
+		for i := range bits {
+			bits[i] = ^uint64(0)
+		}
+		if r := x & 63; r != 0 {
+			bits[len(bits)-1] = 1<<uint(r) - 1
+		}
+		return bits
+	}
+	var sHigh, dHigh [maxHeight + 1]int
+	sHigh[1], dHigh[1] = src, dst
+	for j := 2; j <= k; j++ {
+		sHigh[j] = sHigh[j-1] / t.m[j-1]
+		dHigh[j] = dHigh[j-1] / t.m[j-1]
+	}
+	f.alivePathBitsFrom(1, k, 0, 0, x, &sHigh, &dHigh, bits)
+	return bits
+}
+
+// alivePathBitsFrom sets the bit of every surviving path index below
+// the digit prefix u_1..u_{j-1}. idx carries the prefix's contribution
+// to the path index (u_1 is the most significant digit, mirroring the
+// decode in AppendPathSetLinks); stride is the index weight of the
+// digit chosen at this level before division, i.e. Π_{i=j..k} w_i.
+func (f *FaultSet) alivePathBitsFrom(j, k, uLow, idx, stride int, sHigh, dHigh *[maxHeight + 1]int, bits []uint64) {
+	t := f.topo
+	base := t.edgeOffset[j-1]
+	stride /= t.w[j]
+	for u := 0; u < t.w[j]; u++ {
+		upEdge := base + (sHigh[j]*t.wprod[j-1]+uLow)*t.w[j] + u
+		downEdge := base + (dHigh[j]*t.wprod[j-1]+uLow)*t.w[j] + u
+		if f.down[2*upEdge] || f.down[2*downEdge+1] {
+			continue
+		}
+		if j == k {
+			bits[(idx+u)>>6] |= 1 << (uint(idx+u) & 63)
+		} else {
+			f.alivePathBitsFrom(j+1, k, uLow+u*t.wprod[j-1], idx+u*stride, stride, sHigh, dHigh, bits)
+		}
+	}
+}
+
 // DisconnectedFraction returns the fraction of ordered distinct SD
 // pairs with no surviving shortest path — the traffic a repaired
 // oblivious routing must report as undeliverable.

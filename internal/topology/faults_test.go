@@ -155,6 +155,51 @@ func TestConnectedAndAlivePaths(t *testing.T) {
 	}
 }
 
+// TestAlivePathBitsMatchesPathAlive: the one-shot surviving-path bitmap
+// agrees with PathAlive for every index of every pair, across fault
+// draws, both tree heights and the empty fault set (all bits set).
+func TestAlivePathBitsMatchesPathAlive(t *testing.T) {
+	topos := []*Topology{
+		MustNew(2, []int{4, 4}, []int{1, 4}),
+		MustNew(3, []int{2, 2, 4}, []int{1, 2, 2}),
+	}
+	for _, tp := range topos {
+		for seed := int64(0); seed <= 3; seed++ {
+			count := tp.NumCables()/10 + 1
+			if seed == 0 {
+				count = 0 // healthy fabric: every path alive
+			}
+			f, err := RandomCableFaults(tp, seed, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tp.NumProcessors()
+			var bits []uint64
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					k := tp.NCALevel(src, dst)
+					x := tp.WProd(k)
+					bits = f.AlivePathBits(src, dst, bits)
+					if len(bits) != (x+63)/64 {
+						t.Fatalf("%s pair (%d,%d): bitmap has %d words for %d paths", tp, src, dst, len(bits), x)
+					}
+					for idx := 0; idx < x; idx++ {
+						got := bits[idx>>6]&(1<<(uint(idx)&63)) != 0
+						want := f.PathAlive(src, dst, decodeUp(tp, k, idx))
+						if got != want {
+							t.Fatalf("%s seed=%d pair (%d,%d) idx=%d: bitmap=%v, PathAlive=%v",
+								tp, seed, src, dst, idx, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestRandomCableFaultsDeterministicAndCounted(t *testing.T) {
 	tp := MustNew(2, []int{4, 8}, []int{1, 4})
 	a, err := RandomCableFaults(tp, 7, 5)
