@@ -25,18 +25,23 @@ bench:
 
 # Machine-readable benchmark records: the paper-artifact sweeps once
 # each plus the hot-path micro-benchmarks, parsed into BENCH_flow.json
-# and BENCH_flit.json (see cmd/benchjson). Existing records are rotated
-# to *.prev.json so `make bench-compare` can diff the two newest runs.
+# and BENCH_flit.json (see cmd/benchjson). Each record is parsed into a
+# temp file first; only once benchjson succeeds is the previous record
+# rotated to *.prev.json and the temp moved into place, so a failed
+# parse (bad bench output, interrupted run) cannot destroy the
+# baseline that `make bench-compare` diffs against.
 bench-json:
 	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep' -benchmem -benchtime 1x . | tee bench_output.txt
 	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad' \
 		-benchmem . | tee -a bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json.tmp
 	@if [ -f BENCH_flow.json ]; then cp BENCH_flow.json BENCH_flow.prev.json; fi
-	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json
+	mv BENCH_flow.json.tmp BENCH_flow.json
 	$(GO) test -run xxx -bench 'Fig5' -benchmem -benchtime 1x . | tee bench_flit_output.txt
 	$(GO) test -run xxx -bench 'FlitEngine' -benchmem . | tee -a bench_flit_output.txt
+	$(GO) run ./cmd/benchjson -in bench_flit_output.txt -out BENCH_flit.json.tmp
 	@if [ -f BENCH_flit.json ]; then cp BENCH_flit.json BENCH_flit.prev.json; fi
-	$(GO) run ./cmd/benchjson -in bench_flit_output.txt -out BENCH_flit.json
+	mv BENCH_flit.json.tmp BENCH_flit.json
 	@echo wrote BENCH_flow.json BENCH_flit.json
 
 # Diff the two newest benchmark records of each suite (the current
@@ -59,12 +64,18 @@ endif
 
 # What a CI gate should run: static checks, the race-instrumented
 # short test suite (includes the shared compiled-table race test),
-# targeted race coverage of the repair and watchdog paths, and a
-# quick-scale failure-sweep smoke run of the CLI.
+# targeted race coverage of the repair and watchdog paths, the
+# allocation pins guarding the metrics hot paths, and a quick-scale
+# smoke run that must produce a manifest.json with the required keys.
 ci: vet
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'Repair|Wedge|Drain|Degraded|Failure' ./internal/core ./internal/flit ./internal/flow ./internal/lid
-	$(GO) run ./cmd/xgftpaper -exp failures -scale quick
+	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit
+	rm -rf ci-smoke && $(GO) run ./cmd/xgftpaper -exp failures -scale quick -out ci-smoke
+	@for key in tool go_version flags seed workers experiments wall_seconds metrics exit_status; do \
+		grep -q "\"$$key\"" ci-smoke/manifest.json || { echo "ci: manifest.json missing \"$$key\""; exit 1; }; \
+	done
+	@echo ci: manifest.json ok
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -20
@@ -79,3 +90,5 @@ repro-full:
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_flit_output.txt
+	rm -f BENCH_flow.json.tmp BENCH_flit.json.tmp
+	rm -rf ci-smoke

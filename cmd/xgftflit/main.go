@@ -7,11 +7,16 @@
 //	xgftflit -mport 8 -ntree 3 -scheme disjoint -k 8 -load 0.6
 //	xgftflit -mport 8 -ntree 3 -scheme d-mod-k -sweep
 //	xgftflit -xgft "2;8,16;1,8" -scheme shift-1 -k 2 -sweep -workload uniform
+//
+// With -out DIR the run writes DIR/manifest.json (tool version, flags,
+// headline results, metrics snapshot); -cpuprofile/-memprofile/-trace
+// capture profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,43 +29,85 @@ import (
 )
 
 func main() {
-	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
-	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
-	ntree := flag.Int("ntree", 0, "tree height for -mport")
-	scheme := flag.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
-	k := flag.Int("k", 4, "path limit K")
-	load := flag.Float64("load", 0.5, "offered load in (0,1] for a single run")
-	sweep := flag.Bool("sweep", false, "sweep offered loads 0.05..1.00")
-	workload := flag.String("workload", "assignment", "assignment (fixed random src->dst map) | uniform (fresh destination per message) | shift")
-	arg := flag.Int("arg", 1, "workload argument (shift amount)")
-	flits := flag.Int("flits", 8, "flits per packet")
-	packets := flag.Int("packets", 4, "packets per message")
-	buf := flag.Int("buf", 4, "buffer capacity in packets per port")
-	warmup := flag.Int64("warmup", 10000, "warmup cycles")
-	measure := flag.Int64("measure", 30000, "measurement cycles")
-	seed := flag.Int64("seed", 2012, "simulation seed")
-	policy := flag.String("policy", "round-robin", "per-message path policy: round-robin | random")
-	adaptive := flag.Bool("adaptive", false, "use minimal adaptive routing instead of the oblivious scheme")
-	vcs := flag.Int("vcs", 1, "virtual channels per link (the paper uses 1)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xgftflit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	spec := fs.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := fs.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := fs.Int("ntree", 0, "tree height for -mport")
+	scheme := fs.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := fs.Int("k", 4, "path limit K")
+	load := fs.Float64("load", 0.5, "offered load in (0,1] for a single run")
+	sweep := fs.Bool("sweep", false, "sweep offered loads 0.05..1.00")
+	workload := fs.String("workload", "assignment", "assignment (fixed random src->dst map) | uniform (fresh destination per message) | shift")
+	arg := fs.Int("arg", 1, "workload argument (shift amount)")
+	flits := fs.Int("flits", 8, "flits per packet")
+	packets := fs.Int("packets", 4, "packets per message")
+	buf := fs.Int("buf", 4, "buffer capacity in packets per port")
+	warmup := fs.Int64("warmup", 10000, "warmup cycles")
+	measure := fs.Int64("measure", 30000, "measurement cycles")
+	seed := fs.Int64("seed", 2012, "simulation seed")
+	policy := fs.String("policy", "round-robin", "per-message path policy: round-robin | random")
+	adaptive := fs.Bool("adaptive", false, "use minimal adaptive routing instead of the oblivious scheme")
+	vcs := fs.Int("vcs", 1, "virtual channels per link (the paper uses 1)")
+	out := fs.String("out", "", "directory for manifest.json (created if missing)")
+	prof := cliutil.AddProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var man *cliutil.Manifest
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(stderr, "xgftflit:", err)
+			return 1
+		}
+		man = cliutil.NewManifest("xgftflit")
+		man.Flags = cliutil.FlagValues(fs)
+		man.Seed = *seed
+	}
+	finish := func(status int, err error) int {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			status, err = 1, perr
+		}
+		if man != nil {
+			man.Finish(status, err)
+			if werr := man.WriteFile(*out); werr != nil {
+				fmt.Fprintln(stderr, "xgftflit:", werr)
+				if status == 0 {
+					status = 1
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "xgftflit:", err)
+		}
+		return status
+	}
+	if err := prof.Start(); err != nil {
+		return finish(1, err)
+	}
 
 	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
 	sel, err := core.SelectorByName(*scheme)
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
 	pattern, err := buildPattern(t, *workload, *arg, *seed)
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
 	pp := flit.RoundRobin
 	if *policy == "random" {
 		pp = flit.RandomPath
 	} else if *policy != "round-robin" {
-		fatal(fmt.Errorf("unknown path policy %q", *policy))
+		return finish(1, fmt.Errorf("unknown path policy %q", *policy))
 	}
 	base := flit.Config{
 		Routing:           core.NewRouting(t, sel, *k, *seed),
@@ -77,30 +124,50 @@ func main() {
 		VirtualChannels:   *vcs,
 		DelayHistogram:    true,
 	}
-	fmt.Printf("%s, routing %s, workload %s, packet %d flits, message %d packets, buffers %d\n",
+	fmt.Fprintf(stdout, "%s, routing %s, workload %s, packet %d flits, message %d packets, buffers %d\n",
 		t, base.Routing, pattern.Name(), *flits, *packets, *buf)
 
 	if !*sweep {
 		res, err := flit.Run(base)
 		if err != nil {
-			fatal(err)
+			return finish(1, err)
 		}
-		fmt.Printf("offered %.3f: accepted %.4f, delay %.1f cycles (p95 %.0f), %d/%d messages, saturated=%v\n",
+		fmt.Fprintf(stdout, "offered %.3f: accepted %.4f, delay %.1f cycles (p95 %.0f), %d/%d messages, saturated=%v\n",
 			res.OfferedLoad, res.Throughput, res.AvgDelay, res.P95Delay,
 			res.MsgsCompleted, res.MsgsGenerated, res.Saturated)
-		return
+		if man != nil {
+			man.Results = map[string]any{
+				"offered_load":   res.OfferedLoad,
+				"throughput":     res.Throughput,
+				"avg_delay":      res.AvgDelay,
+				"p95_delay":      res.P95Delay,
+				"msgs_completed": res.MsgsCompleted,
+				"msgs_generated": res.MsgsGenerated,
+				"vc_stalls":      res.VCStalls,
+				"saturated":      res.Saturated,
+			}
+		}
+		return finish(0, nil)
 	}
 	results, err := flit.Sweep(flit.SweepConfig{Base: base})
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
-	fmt.Printf("%8s %10s %12s %10s %10s\n", "load", "accepted", "delay(cyc)", "p95", "saturated")
+	fmt.Fprintf(stdout, "%8s %10s %12s %10s %10s\n", "load", "accepted", "delay(cyc)", "p95", "saturated")
 	for _, r := range results {
-		fmt.Printf("%8.2f %10.4f %12.1f %10.0f %10v\n",
+		fmt.Fprintf(stdout, "%8.2f %10.4f %12.1f %10.0f %10v\n",
 			r.OfferedLoad, r.Throughput, r.AvgDelay, r.P95Delay, r.Saturated)
 	}
-	fmt.Printf("max throughput %.4f, saturation at load %.2f\n",
+	fmt.Fprintf(stdout, "max throughput %.4f, saturation at load %.2f\n",
 		flit.MaxThroughput(results), flit.SaturationLoad(results))
+	if man != nil {
+		man.Results = map[string]any{
+			"sweep_points":    len(results),
+			"max_throughput":  flit.MaxThroughput(results),
+			"saturation_load": flit.SaturationLoad(results),
+		}
+	}
+	return finish(0, nil)
 }
 
 func buildPattern(t *topology.Topology, workload string, arg int, seed int64) (traffic.Pattern, error) {
@@ -115,9 +182,4 @@ func buildPattern(t *topology.Topology, workload string, arg int, seed int64) (t
 		return traffic.NewPermutationPattern("shift", traffic.ShiftPermutation(n, arg)), nil
 	}
 	return nil, fmt.Errorf("unknown workload %q", workload)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xgftflit:", err)
-	os.Exit(1)
 }

@@ -7,11 +7,16 @@
 //	xgftflow -mport 16 -ntree 2 -scheme disjoint -k 4                 # permutation study
 //	xgftflow -mport 8 -ntree 3 -scheme d-mod-k -pattern shift -arg 1  # one pattern
 //	xgftflow -xgft "2;8,64;1,8" -scheme d-mod-k -pattern adversarial
+//
+// With -out DIR the run writes DIR/manifest.json (tool version, flags,
+// headline results, metrics snapshot); -cpuprofile/-memprofile/-trace
+// capture profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,28 +29,70 @@ import (
 )
 
 func main() {
-	spec := flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
-	mport := flag.Int("mport", 0, "build an m-port n-tree (with -ntree)")
-	ntree := flag.Int("ntree", 0, "tree height for -mport")
-	scheme := flag.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
-	k := flag.Int("k", 4, "path limit K")
-	pattern := flag.String("pattern", "permutations", "permutations | shift | bitcomp | bitrev | transpose | tornado | neighbor | butterfly | uniform | hotspot | adversarial | random")
-	arg := flag.Int("arg", 1, "pattern argument (shift amount, hotspot node)")
-	seed := flag.Int64("seed", 2012, "base seed")
-	samples := flag.Int("samples", 100, "initial samples for the permutation study")
-	maxSamples := flag.Int("max-samples", 12800, "sample cap for the permutation study")
-	precision := flag.Float64("precision", 0.01, "relative confidence-interval target")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xgftflow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	spec := fs.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh"`)
+	mport := fs.Int("mport", 0, "build an m-port n-tree (with -ntree)")
+	ntree := fs.Int("ntree", 0, "tree height for -mport")
+	scheme := fs.String("scheme", "disjoint", "routing scheme ("+strings.Join(core.SelectorNames(), ", ")+")")
+	k := fs.Int("k", 4, "path limit K")
+	pattern := fs.String("pattern", "permutations", "permutations | shift | bitcomp | bitrev | transpose | tornado | neighbor | butterfly | uniform | hotspot | adversarial | random")
+	arg := fs.Int("arg", 1, "pattern argument (shift amount, hotspot node)")
+	seed := fs.Int64("seed", 2012, "base seed")
+	samples := fs.Int("samples", 100, "initial samples for the permutation study")
+	maxSamples := fs.Int("max-samples", 12800, "sample cap for the permutation study")
+	precision := fs.Float64("precision", 0.01, "relative confidence-interval target")
+	out := fs.String("out", "", "directory for manifest.json (created if missing)")
+	prof := cliutil.AddProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var man *cliutil.Manifest
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(stderr, "xgftflow:", err)
+			return 1
+		}
+		man = cliutil.NewManifest("xgftflow")
+		man.Flags = cliutil.FlagValues(fs)
+		man.Seed = *seed
+	}
+	finish := func(status int, err error) int {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			status, err = 1, perr
+		}
+		if man != nil {
+			man.Finish(status, err)
+			if werr := man.WriteFile(*out); werr != nil {
+				fmt.Fprintln(stderr, "xgftflow:", werr)
+				if status == 0 {
+					status = 1
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "xgftflow:", err)
+		}
+		return status
+	}
+	if err := prof.Start(); err != nil {
+		return finish(1, err)
+	}
 
 	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
 	sel, err := core.SelectorByName(*scheme)
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
-	fmt.Printf("%s, routing %s\n", t, core.NewRouting(t, sel, *k, *seed))
+	fmt.Fprintf(stdout, "%s, routing %s\n", t, core.NewRouting(t, sel, *k, *seed))
 
 	if *pattern == "permutations" {
 		res := flow.Experiment{
@@ -54,24 +101,40 @@ func main() {
 				InitialSamples: *samples, MaxSamples: *maxSamples, RelPrecision: *precision,
 			},
 		}.Run()
-		fmt.Printf("average max link load over %d permutations: %.4f ± %.4f (99%% CI, converged=%v)\n",
+		fmt.Fprintf(stdout, "average max link load over %d permutations: %.4f ± %.4f (99%% CI, converged=%v)\n",
 			res.Acc.N(), res.Acc.Mean(), res.HalfWidth, res.Converged)
-		return
+		if man != nil {
+			man.Results = map[string]any{
+				"samples":      res.Acc.N(),
+				"avg_max_load": res.Acc.Mean(),
+				"half_width":   res.HalfWidth,
+				"converged":    res.Converged,
+			}
+		}
+		return finish(0, nil)
 	}
 
 	tm, err := buildMatrix(t, *pattern, *arg, *seed)
 	if err != nil {
-		fatal(err)
+		return finish(1, err)
 	}
 	r := core.NewRouting(t, sel, *k, *seed)
 	ev := flow.NewEvaluator(r)
 	mload := ev.MaxLoad(tm)
 	oload := flow.OptimalLoad(t, tm)
-	fmt.Printf("pattern %s: %d flows, %.1f units\n", *pattern, tm.NumFlows(), tm.Total())
-	fmt.Printf("  MLOAD = %.4f  OLOAD = %.4f  PERF = %.4f\n", mload, oload, mload/oload)
+	fmt.Fprintf(stdout, "pattern %s: %d flows, %.1f units\n", *pattern, tm.NumFlows(), tm.Total())
+	fmt.Fprintf(stdout, "  MLOAD = %.4f  OLOAD = %.4f  PERF = %.4f\n", mload, oload, mload/oload)
 	for tier, pair := range ev.TierLoads() {
-		fmt.Printf("  tier %d-%d max load: up %.3f, down %.3f\n", tier, tier+1, pair[0], pair[1])
+		fmt.Fprintf(stdout, "  tier %d-%d max load: up %.3f, down %.3f\n", tier, tier+1, pair[0], pair[1])
 	}
+	if man != nil {
+		man.Results = map[string]any{
+			"mload": mload,
+			"oload": oload,
+			"perf":  mload / oload,
+		}
+	}
+	return finish(0, nil)
 }
 
 func buildMatrix(t *topology.Topology, pattern string, arg int, seed int64) (*traffic.Matrix, error) {
@@ -121,9 +184,4 @@ func buildMatrix(t *topology.Topology, pattern string, arg int, seed int64) (*tr
 		return traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(seed, 0))), nil
 	}
 	return nil, fmt.Errorf("unknown pattern %q", pattern)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xgftflow:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,139 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xgftsim/internal/obs"
+)
+
+func TestManifestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	obs.Default().Counter("cliutil.test_counter").Add(7)
+
+	m := NewManifest("testtool")
+	m.Scale = "quick"
+	m.Seed = 2012
+	m.Workers = 4
+	m.Experiments = append(m.Experiments, ExperimentRecord{
+		Name: "fig4a", WallSeconds: 1.5, CSV: "fig4a.csv",
+		Metrics: obs.Snapshot{"flow.loads_calls": int64(3)},
+	})
+	m.Finish(0, nil)
+	if err := m.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest not valid JSON: %v\n%s", err, data)
+	}
+	if got.Tool != "testtool" || got.Scale != "quick" || got.Seed != 2012 || got.Workers != 4 {
+		t.Fatalf("round-trip lost fields: %+v", got)
+	}
+	if got.ExitStatus != 0 || got.Error != "" {
+		t.Fatalf("unexpected status: %+v", got)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0].Name != "fig4a" {
+		t.Fatalf("experiments: %+v", got.Experiments)
+	}
+	if got.Finished.Before(got.Started) {
+		t.Fatalf("finished %v before started %v", got.Finished, got.Started)
+	}
+	if _, ok := got.Metrics["cliutil.test_counter"]; !ok {
+		t.Fatalf("Finish did not snapshot the default registry: %v", got.Metrics)
+	}
+	// No temp residue from the atomic write.
+	matches, _ := filepath.Glob(filepath.Join(dir, "manifest-*.json.tmp"))
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp files: %v", matches)
+	}
+}
+
+func TestManifestRecordsFailure(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest("testtool")
+	m.Finish(1, fmt.Errorf("experiment fig5 panicked"))
+	if err := m.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ExitStatus != 1 || got.Error != "experiment fig5 panicked" {
+		t.Fatalf("failure not recorded: %+v", got)
+	}
+}
+
+func TestFlagValues(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.Int("workers", 0, "")
+	fs.String("scale", "quick", "")
+	if err := fs.Parse([]string{"-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	m := FlagValues(fs)
+	if m["workers"] != "3" || m["scale"] != "quick" {
+		t.Fatalf("FlagValues = %v", m)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	s := 0
+	for i := 0; i < 1_000_000; i++ {
+		s += i
+	}
+	_ = s
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil { // idempotent
+		t.Fatalf("second Stop: %v", err)
+	}
+	for _, f := range []string{cpu, mem, tr} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+func TestProfileNoFlagsIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile bundles the standard -cpuprofile/-memprofile/-trace flags the
+// simulation CLIs share. Register with AddProfileFlags before parsing,
+// Start after, and Stop on every exit path (it is idempotent and safe
+// when no profiling flag was given).
+type Profile struct {
+	cpuPath, memPath, tracePath *string
+	cpuFile, traceFile          *os.File
+	stopped                     bool
+}
+
+// AddProfileFlags registers the profiling flags on fs and returns the
+// handle that drives them.
+func AddProfileFlags(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	p.cpuPath = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.memPath = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	p.tracePath = fs.String("trace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// Start begins CPU profiling and execution tracing for the flags that
+// were set.
+func (p *Profile) Start() error {
+	if *p.cpuPath != "" {
+		f, err := os.Create(*p.cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cliutil: start CPU profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if *p.tracePath != "" {
+		f, err := os.Create(*p.tracePath)
+		if err != nil {
+			p.Stop()
+			return err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return fmt.Errorf("cliutil: start trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return nil
+}
+
+// Stop finishes the CPU profile and trace and writes the heap profile.
+// The first error wins but every profiler is still torn down.
+func (p *Profile) Stop() error {
+	if p.stopped {
+		return nil
+	}
+	p.stopped = true
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.traceFile = nil
+	}
+	if *p.memPath != "" {
+		f, err := os.Create(*p.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("cliutil: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

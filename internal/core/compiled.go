@@ -144,6 +144,8 @@ func CompileRouting(r *Routing, maxBytes int64) (*CompiledRouting, error) {
 			return nil, err
 		}
 	}
+	met.compiles.Inc()
+	met.compiledPairs.Add(int64(n) * int64(n))
 	return c, nil
 }
 

@@ -289,5 +289,7 @@ func (d *DeltaRepairer) CompileRepairedDelta(rr *RepairedRouting) (*CompiledRout
 		c.pPathIdx = append(c.pPathIdx, ck.pathIdx...)
 		c.pLinks = append(c.pLinks, ck.links...)
 	}
+	met.deltaPatches.Inc()
+	met.patchedPairs.Add(int64(na))
 	return c, nil
 }

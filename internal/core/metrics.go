@@ -1,0 +1,18 @@
+package core
+
+import "xgftsim/internal/obs"
+
+// Shared routing-table metrics: how much table compilation work a run
+// performed. Counted once per compile/patch (never on per-pair paths),
+// so the instrumentation cost is a handful of atomic adds per table.
+var met = struct {
+	compiles      *obs.Counter
+	compiledPairs *obs.Counter
+	deltaPatches  *obs.Counter
+	patchedPairs  *obs.Counter
+}{
+	compiles:      obs.Default().Counter("core.compiles"),
+	compiledPairs: obs.Default().Counter("core.compiled_pairs"),
+	deltaPatches:  obs.Default().Counter("core.delta_patches"),
+	patchedPairs:  obs.Default().Counter("core.delta_patched_pairs"),
+}

@@ -5,7 +5,41 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
+
+	"xgftsim/internal/obs"
 )
+
+// Shared cell-scheduler metrics: how many grid cells ran, how long each
+// took, and the concurrency the scheduler actually achieved (the
+// occupancy high-water mark versus the configured worker bound). One
+// histogram observation and a couple of atomic updates per cell —
+// cells run for milliseconds to minutes, so the overhead is noise.
+var met = struct {
+	cellsDone    *obs.Counter
+	cellsRunning *obs.Gauge
+	occupancyMax *obs.Gauge
+	cellSeconds  *obs.Histogram
+}{
+	cellsDone:    obs.Default().Counter("experiments.cells_done"),
+	cellsRunning: obs.Default().Gauge("experiments.cells_running"),
+	occupancyMax: obs.Default().Gauge("experiments.worker_occupancy_max"),
+	cellSeconds:  obs.Default().Histogram("experiments.cell_seconds", []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600}),
+}
+
+// observeCell wraps one cell execution with the scheduler metrics; the
+// deferred half runs even when the cell panics, so occupancy cannot
+// leak upward across a failed sweep.
+func observeCell(run func(i int), i int) {
+	start := time.Now()
+	met.occupancyMax.SetMax(met.cellsRunning.Add(1))
+	defer func() {
+		met.cellsRunning.Add(-1)
+		met.cellsDone.Inc()
+		met.cellSeconds.Observe(time.Since(start).Seconds())
+	}()
+	run(i)
+}
 
 // CellPanic wraps a panic raised inside a grid cell with the cell's
 // index and the goroutine stack captured at the panic site, so a
@@ -64,7 +98,7 @@ func runCells(n, workers int, run func(i int)) {
 					mu.Unlock()
 				}
 			}()
-			run(i)
+			observeCell(run, i)
 		}(i)
 	}
 	wg.Wait()
@@ -81,7 +115,7 @@ func runCell(i int, run func(i int)) {
 			panic(asCellPanic(i, p))
 		}
 	}()
-	run(i)
+	observeCell(run, i)
 }
 
 // asCellPanic wraps a recovered value, preserving an existing

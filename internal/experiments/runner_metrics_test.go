@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xgftsim/internal/obs"
+)
+
+// TestRunCellsMetrics pins the cell-scheduler observability: every cell
+// run (parallel or sequential, panicking or not) lands in cells_done
+// and the wall-clock histogram, the occupancy gauge returns to zero,
+// and the high-water mark reflects real concurrency.
+func TestRunCellsMetrics(t *testing.T) {
+	before := obs.Default().Snapshot()
+	var concurrent, peak atomic.Int64
+	runCells(8, 4, func(i int) {
+		c := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		concurrent.Add(-1)
+	})
+	d := obs.Default().Delta(before)
+	if n, _ := d["experiments.cells_done"].(int64); n != 8 {
+		t.Errorf("cells_done delta = %v, want 8", d["experiments.cells_done"])
+	}
+	hs, ok := d["experiments.cell_seconds"].(obs.HistogramSnapshot)
+	if !ok || hs.Count != 8 {
+		t.Errorf("cell_seconds delta = %+v, want 8 observations", d["experiments.cell_seconds"])
+	}
+	if hs.Sum < 8*0.005 {
+		t.Errorf("cell_seconds sum = %g, want >= %g", hs.Sum, 8*0.005)
+	}
+	if running, _ := d["experiments.cells_running"].(int64); running != 0 {
+		t.Errorf("cells_running = %d after runCells returned, want 0", running)
+	}
+	if occ, _ := d["experiments.worker_occupancy_max"].(int64); occ < peak.Load() {
+		t.Errorf("worker_occupancy_max = %d, want >= observed peak %d", occ, peak.Load())
+	}
+}
+
+// TestRunCellsMetricsSurvivePanic checks the occupancy gauge does not
+// leak when a cell panics.
+func TestRunCellsMetricsSurvivePanic(t *testing.T) {
+	before := obs.Default().Snapshot()
+	func() {
+		defer func() { recover() }()
+		runCells(3, 1, func(i int) {
+			if i == 1 {
+				panic("boom")
+			}
+		})
+	}()
+	d := obs.Default().Delta(before)
+	if running, _ := d["experiments.cells_running"].(int64); running != 0 {
+		t.Errorf("cells_running leaked to %d after a panicking cell", running)
+	}
+	if n, _ := d["experiments.cells_done"].(int64); n < 2 {
+		t.Errorf("cells_done delta = %d, want >= 2", n)
+	}
+}

@@ -250,6 +250,11 @@ type Result struct {
 	// flight at the end of the run — a growing backlog indicates
 	// operation beyond saturation.
 	BacklogPackets int64
+	// VCStalls counts transmissions skipped because the packet's next
+	// queue on its virtual channel had no free slot (whole run): the
+	// engine's backpressure events, also exported as the flit.vc_stalls
+	// metric.
+	VCStalls int64
 	// Fairness is Jain's fairness index over the per-destination
 	// ejected flit counts: 1 means every node received an equal share,
 	// 1/N means one node got everything. Quantifies how unevenly a

@@ -197,6 +197,8 @@ type engine struct {
 	msgsDone       int64
 	msgsUnroutable int64
 	pktsInFlight   int64
+	vcStalls       int64 // VC-blocked transmission skips in tryStart
+	injHeapHW      int   // injection-heap high-water depth
 
 	// Watchdog state (see run).
 	wedged    bool
@@ -409,6 +411,9 @@ func (e *engine) scheduleArrival(node int, now int64) {
 		return
 	}
 	e.inj.push(injEvent{time: t, node: int32(node)})
+	if n := len(e.inj); n > e.injHeapHW {
+		e.injHeapHW = n
+	}
 }
 
 // inject creates one message at node and enqueues its packets, moving
@@ -553,12 +558,14 @@ func (e *engine) tryStart(l int32, now int64) {
 			if p.route != nil {
 				next = e.outLinks[e.linkDst[l]][p.route[p.hop+1]]
 				if e.occ[e.qid(next, vc)] >= e.cfg.BufferPackets {
+					e.vcStalls++
 					continue // this VC blocked; let another VC use the wire
 				}
 			} else {
 				var ok bool
 				next, ok = e.adaptiveNext(e.linkDst[l], int(p.dst), vc)
 				if !ok {
+					e.vcStalls++
 					continue
 				}
 			}
@@ -733,8 +740,10 @@ func (e *engine) run() Result {
 	return e.result()
 }
 
-// result gathers the statistics of a finished run.
+// result gathers the statistics of a finished run and folds the
+// engine's metric tallies into the shared obs registry.
 func (e *engine) result() Result {
+	e.foldMetrics()
 	capacity := float64(e.cfg.MeasureCycles) * float64(e.numProc) * float64(e.topo.W(1))
 	res := Result{
 		OfferedLoad:    e.cfg.OfferedLoad,
@@ -745,6 +754,7 @@ func (e *engine) result() Result {
 		MsgsUnroutable: e.msgsUnroutable,
 		FlitsEjected:   e.flitsEjected,
 		BacklogPackets: e.pktsInFlight,
+		VCStalls:       e.vcStalls,
 		Cycles:         e.cfg.MeasureCycles,
 		Wedged:         e.wedged,
 		WedgedAt:       e.wedgedAt,

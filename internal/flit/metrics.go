@@ -1,0 +1,48 @@
+package flit
+
+import "xgftsim/internal/obs"
+
+// Shared flit-engine metrics in the process-wide obs registry. The
+// engine tallies into plain per-engine fields on the hot path (a field
+// increment is branch-free and allocation-free; engines of parallel
+// experiment cells never contend on a shared cache line) and folds the
+// tallies into these metrics once per run, when the result is gathered.
+// TestEngineSteadyStateAllocs pins the tallying loop at zero
+// allocations.
+var met = struct {
+	runs           *obs.Counter
+	cycles         *obs.Counter
+	flitsEjected   *obs.Counter
+	msgsGenerated  *obs.Counter
+	msgsCompleted  *obs.Counter
+	msgsUnroutable *obs.Counter
+	vcStalls       *obs.Counter
+	wedges         *obs.Counter
+	injHeapDepth   *obs.Gauge
+}{
+	runs:           obs.Default().Counter("flit.runs"),
+	cycles:         obs.Default().Counter("flit.cycles"),
+	flitsEjected:   obs.Default().Counter("flit.flits_ejected"),
+	msgsGenerated:  obs.Default().Counter("flit.msgs_generated"),
+	msgsCompleted:  obs.Default().Counter("flit.msgs_completed"),
+	msgsUnroutable: obs.Default().Counter("flit.msgs_unroutable"),
+	vcStalls:       obs.Default().Counter("flit.vc_stalls"),
+	wedges:         obs.Default().Counter("flit.wedges"),
+	injHeapDepth:   obs.Default().Gauge("flit.inj_heap_depth_max"),
+}
+
+// foldMetrics publishes one finished run's tallies; called exactly once
+// per engine, from result().
+func (e *engine) foldMetrics() {
+	met.runs.Inc()
+	met.cycles.Add(e.now)
+	met.flitsEjected.Add(e.flitsEjected)
+	met.msgsGenerated.Add(e.msgsGen)
+	met.msgsCompleted.Add(e.msgsDone)
+	met.msgsUnroutable.Add(e.msgsUnroutable)
+	met.vcStalls.Add(e.vcStalls)
+	if e.wedged {
+		met.wedges.Inc()
+	}
+	met.injHeapDepth.SetMax(int64(e.injHeapHW))
+}

@@ -249,8 +249,10 @@ func (x FailureExperiment) Run() FailureResult {
 					if err != nil {
 						panic(fmt.Sprintf("flow: %v", err))
 					}
+					met.repairPatched.Inc()
 					pools[i] = newEvalPool(func() maxLoader { return NewCompiledEvaluator(c) })
 				} else {
+					met.repairLazy.Inc()
 					pools[i] = newEvalPool(func() maxLoader { return NewDegradedEvaluator(rr) })
 				}
 			}

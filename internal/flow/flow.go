@@ -75,6 +75,8 @@ func (e *Evaluator) Loads(tm *traffic.Matrix) []float64 {
 	if tm.N != e.topo.NumProcessors() {
 		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, e.topo.NumProcessors()))
 	}
+	met.loadsCalls.Inc()
+	met.pairsEvaluated.Add(int64(len(tm.Flows())))
 	for i := range e.loads {
 		e.loads[i] = 0
 	}

@@ -1,0 +1,18 @@
+package flow
+
+import "xgftsim/internal/obs"
+
+// Shared flow-evaluation metrics: how many SD pairs the evaluators
+// walked (one atomic add per Loads call, never per pair) and which
+// repair strategy each failure-sweep fault placement chose.
+var met = struct {
+	loadsCalls     *obs.Counter
+	pairsEvaluated *obs.Counter
+	repairPatched  *obs.Counter
+	repairLazy     *obs.Counter
+}{
+	loadsCalls:     obs.Default().Counter("flow.loads_calls"),
+	pairsEvaluated: obs.Default().Counter("flow.pairs_evaluated"),
+	repairPatched:  obs.Default().Counter("flow.repair_patched"),
+	repairLazy:     obs.Default().Counter("flow.repair_lazy"),
+}

@@ -1,0 +1,46 @@
+package obs
+
+// Allocation pins: metric updates are the only obs operations that run
+// on simulation hot paths (the flit event loop, the flow samplers, the
+// cell runner), so they must never allocate. Registration and
+// snapshotting may.
+
+import "testing"
+
+func TestMetricUpdatesAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pin.count")
+	g := r.Gauge("pin.gauge")
+	h := r.Histogram("pin.hist", []float64{1, 10, 100, 1000})
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+	}); allocs != 0 {
+		t.Errorf("Counter updates allocate %.1f times per run; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		g.Set(5)
+		g.Add(1)
+		g.SetMax(7)
+	}); allocs != 0 {
+		t.Errorf("Gauge updates allocate %.1f times per run; want 0", allocs)
+	}
+	x := 0.0
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(x)
+		x += 17 // walk across buckets, including overflow
+	}); allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f times per run; want 0", allocs)
+	}
+}
+
+func TestLookupOfExistingMetricAllocFree(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pin.lookup")
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Counter("pin.lookup").Inc()
+	}); allocs != 0 {
+		t.Errorf("re-lookup of an existing counter allocates %.1f times; want 0", allocs)
+	}
+}

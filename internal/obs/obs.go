@@ -1,0 +1,344 @@
+// Package obs is a small, dependency-free metrics layer for the
+// simulation stack: atomic counters and gauges, fixed-bucket
+// histograms, and a named registry with JSON and expvar-style export.
+// Hot-path increments are branch-cheap and allocation-free — a counter
+// add is one atomic add, a histogram observation is a short linear
+// bucket scan plus two atomic updates — so the flit engine's event loop
+// and the flow samplers can record into shared metrics without
+// disturbing their steady-state allocation pins (see alloc_test.go).
+//
+// Registration is the only allocating operation and is idempotent:
+// asking a registry for an existing name returns the existing metric,
+// so packages can declare their metrics in package-level vars against
+// the shared Default() registry and commands can snapshot everything
+// that ran into a manifest.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d should be non-negative; counters are monotone).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Add adjusts the gauge by d (may be negative) and returns the new
+// value, so callers tracking occupancy can feed a high-water mark
+// without a second load.
+func (g *Gauge) Add(d int64) int64 { return g.v.Add(d) }
+
+// SetMax raises the gauge to x if x exceeds the current value
+// (a lock-free high-water mark).
+func (g *Gauge) SetMax(x int64) {
+	for {
+		cur := g.v.Load()
+		if x <= cur || g.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations x <= bounds[i]; the final implicit bucket counts
+// overflow (x > bounds[len-1]). Observations also accumulate into a
+// running sum so snapshots can report a mean. All updates are atomic;
+// a Histogram is safe for concurrent use and its Observe path does not
+// allocate.
+type Histogram struct {
+	bounds []float64 // ascending, immutable after construction
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// bounds. It panics on empty or unsorted bounds (a construction-time
+// programming error, never a runtime condition).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot captures the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the JSON-ready state of a Histogram. Counts has
+// one more entry than Bounds; the last entry is the overflow bucket
+// (observations above the largest bound), so infinities never reach the
+// JSON encoder.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry: metric name to int64
+// (counters and gauges) or HistogramSnapshot. It is JSON-marshalable as
+// is.
+type Snapshot map[string]any
+
+// metricKind tags a registry entry so Delta knows how to difference it.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type entry struct {
+	name string
+	kind metricKind
+	ref  any
+}
+
+// Registry is a named collection of metrics. Lookup/registration take a
+// lock; the returned metrics are lock-free. The zero value is not
+// usable — call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	byName  map[string]int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// defaultRegistry backs Default().
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the simulation packages
+// register into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it on
+// first use. It panics if the name is already registered as a different
+// metric kind.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, kindCounter, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, kindGauge, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return lookup(r, name, kindHistogram, func() *Histogram { return NewHistogram(bounds) })
+}
+
+func lookup[T any](r *Registry, name string, kind metricKind, mk func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		e := r.entries[i]
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+		}
+		return e.ref.(T)
+	}
+	m := mk()
+	r.byName[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, kind: kind, ref: m})
+	return m
+}
+
+// Each calls f for every registered metric in registration order, with
+// the value a snapshot (int64 or HistogramSnapshot).
+func (r *Registry) Each(f func(name string, value any)) {
+	for _, e := range r.copyEntries() {
+		f(e.name, snapshotValue(e))
+	}
+}
+
+func (r *Registry) copyEntries() []entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+func snapshotValue(e entry) any {
+	switch e.kind {
+	case kindCounter:
+		return e.ref.(*Counter).Value()
+	case kindGauge:
+		return e.ref.(*Gauge).Value()
+	default:
+		return e.ref.(*Histogram).snapshot()
+	}
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	entries := r.copyEntries()
+	s := make(Snapshot, len(entries))
+	for _, e := range entries {
+		s[e.name] = snapshotValue(e)
+	}
+	return s
+}
+
+// Delta captures the registry's change since prev: counters and
+// histograms are differenced (entries absent from prev report their
+// full current value), gauges report their current value. Useful for
+// per-experiment metric records inside one process-wide registry.
+func (r *Registry) Delta(prev Snapshot) Snapshot {
+	entries := r.copyEntries()
+	s := make(Snapshot, len(entries))
+	for _, e := range entries {
+		cur := snapshotValue(e)
+		switch e.kind {
+		case kindCounter:
+			if p, ok := prev[e.name].(int64); ok {
+				cur = cur.(int64) - p
+			}
+		case kindHistogram:
+			if p, ok := prev[e.name].(HistogramSnapshot); ok {
+				cur = diffHistogram(cur.(HistogramSnapshot), p)
+			}
+		}
+		s[e.name] = cur
+	}
+	return s
+}
+
+func diffHistogram(cur, prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(cur.Counts) {
+		return cur
+	}
+	d := HistogramSnapshot{
+		Count:  cur.Count - prev.Count,
+		Sum:    cur.Sum - prev.Sum,
+		Bounds: cur.Bounds,
+		Counts: make([]int64, len(cur.Counts)),
+	}
+	for i := range cur.Counts {
+		d.Counts[i] = cur.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+// WriteJSON writes the registry's snapshot as indented JSON with keys
+// sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders the registry expvar-style: one JSON object with a
+// sorted key per metric. Implements fmt.Stringer so a registry can be
+// published or logged directly.
+func (r *Registry) String() string {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b []byte
+	b = append(b, '{')
+	for i, n := range names {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		k, _ := json.Marshal(n)
+		v, err := json.Marshal(s[n])
+		if err != nil {
+			v = []byte(`"?"`)
+		}
+		b = append(b, k...)
+		b = append(b, ": "...)
+		b = append(b, v...)
+	}
+	b = append(b, '}')
+	return string(b)
+}

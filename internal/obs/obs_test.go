@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	if got := g.Add(-3); got != 4 {
+		t.Fatalf("gauge Add returned %d, want 4", got)
+	}
+	g.SetMax(2) // below current: no-op
+	if g.Value() != 4 {
+		t.Fatalf("SetMax lowered the gauge to %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax failed to raise the gauge: %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, x := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(x)
+	}
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	want := []int64{2, 1, 1, 1} // <=1: {0.5, 1}; <=10: {2}; <=100: {50}; overflow: {1000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := s.Sum; got != 1053.5 {
+		t.Fatalf("sum = %g, want 1053.5", got)
+	}
+	if got := s.Mean(); got != 1053.5/5 {
+		t.Fatalf("mean = %g", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.count")
+	c2 := r.Counter("a.count")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter returned a different metric")
+	}
+	h1 := r.Histogram("a.hist", []float64{1, 2})
+	h2 := r.Histogram("a.hist", []float64{9}) // bounds ignored on re-lookup
+	if h1 != h2 {
+		t.Fatal("re-registering a histogram returned a different metric")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-kind registration did not panic")
+			}
+		}()
+		r.Gauge("a.count")
+	}()
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flit.cycles").Add(100)
+	r.Gauge("runner.occupancy").Set(3)
+	r.Histogram("cell.seconds", []float64{1, 10}).Observe(2.5)
+
+	s := r.Snapshot()
+	if s["flit.cycles"].(int64) != 100 {
+		t.Fatalf("snapshot counter = %v", s["flit.cycles"])
+	}
+	hs := s["cell.seconds"].(HistogramSnapshot)
+	if hs.Count != 1 || hs.Counts[1] != 1 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"flit.cycles", "runner.occupancy", "cell.seconds"} {
+		if _, ok := decoded[name]; !ok {
+			t.Fatalf("JSON missing %q:\n%s", name, buf.String())
+		}
+	}
+
+	str := r.String()
+	if !strings.HasPrefix(str, "{") || !strings.Contains(str, `"flit.cycles": 100`) {
+		t.Fatalf("expvar-style String: %s", str)
+	}
+	if !json.Valid([]byte(str)) {
+		t.Fatalf("String() not valid JSON: %s", str)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{10})
+
+	c.Add(5)
+	g.Set(2)
+	h.Observe(3)
+	prev := r.Snapshot()
+
+	c.Add(7)
+	g.Set(11)
+	h.Observe(42)
+	d := r.Delta(prev)
+	if d["c"].(int64) != 7 {
+		t.Fatalf("counter delta = %v, want 7", d["c"])
+	}
+	if d["g"].(int64) != 11 {
+		t.Fatalf("gauge delta should report current value, got %v", d["g"])
+	}
+	hs := d["h"].(HistogramSnapshot)
+	if hs.Count != 1 || hs.Sum != 42 || hs.Counts[1] != 1 || hs.Counts[0] != 0 {
+		t.Fatalf("histogram delta = %+v", hs)
+	}
+
+	// A metric registered after prev reports its full value.
+	r.Counter("late").Add(3)
+	d = r.Delta(prev)
+	if d["late"].(int64) != 3 {
+		t.Fatalf("late counter delta = %v, want 3", d["late"])
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("shared.count")
+			g := r.Gauge("shared.max")
+			h := r.Histogram("shared.hist", []float64{0.5})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.SetMax(int64(i*perG + j))
+				h.Observe(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Value(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("shared.max").Value(); got != goroutines*perG-1 {
+		t.Fatalf("max = %d, want %d", got, goroutines*perG-1)
+	}
+	h := r.Histogram("shared.hist", nil)
+	if h.Count() != goroutines*perG || h.Sum() != float64(goroutines*perG) {
+		t.Fatalf("hist count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() is not stable")
+	}
+}

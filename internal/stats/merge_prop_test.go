@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergePropertyRandomSplits is the property test for Merge: for
+// random data split at random points into several accumulators, merging
+// them must agree with a single accumulator fed every observation
+// sequentially — same N, sum, min, max, mean and variance (up to
+// floating-point tolerance). This is the contract the parallel
+// experiment cells rely on when they fold per-cell accumulators.
+func TestMergePropertyRandomSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	relClose := func(got, want float64) bool {
+		if got == want {
+			return true
+		}
+		diff := math.Abs(got - want)
+		scale := math.Max(math.Abs(got), math.Abs(want))
+		return diff <= 1e-9*math.Max(scale, 1)
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch trial % 3 {
+			case 0: // well-scaled
+				xs[i] = rng.NormFloat64()
+			case 1: // large offset, small spread — stresses cancellation
+				xs[i] = 1e6 + rng.Float64()
+			default: // mixed signs and magnitudes
+				xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(6)))
+			}
+		}
+
+		var seq Accumulator
+		seq.AddAll(xs)
+
+		// Split xs into 1..8 contiguous parts (some possibly empty),
+		// accumulate each separately, and merge in order.
+		parts := 1 + rng.Intn(8)
+		cuts := make([]int, parts+1)
+		cuts[parts] = n
+		for i := 1; i < parts; i++ {
+			cuts[i] = rng.Intn(n + 1)
+		}
+		// Sorting the interior cut points keeps the parts contiguous.
+		for i := 1; i < parts; i++ {
+			for j := i + 1; j < parts; j++ {
+				if cuts[j] < cuts[i] {
+					cuts[i], cuts[j] = cuts[j], cuts[i]
+				}
+			}
+		}
+		var merged Accumulator
+		for i := 0; i < parts; i++ {
+			var part Accumulator
+			part.AddAll(xs[cuts[i]:cuts[i+1]])
+			merged.Merge(&part)
+		}
+
+		if merged.N() != seq.N() {
+			t.Fatalf("trial %d: N = %d, want %d", trial, merged.N(), seq.N())
+		}
+		if merged.Min() != seq.Min() || merged.Max() != seq.Max() {
+			t.Fatalf("trial %d: min/max = %g/%g, want %g/%g",
+				trial, merged.Min(), merged.Max(), seq.Min(), seq.Max())
+		}
+		if !relClose(merged.Sum(), seq.Sum()) {
+			t.Fatalf("trial %d: sum = %g, want %g", trial, merged.Sum(), seq.Sum())
+		}
+		if !relClose(merged.Mean(), seq.Mean()) {
+			t.Fatalf("trial %d: mean = %g, want %g", trial, merged.Mean(), seq.Mean())
+		}
+		if !relClose(merged.Variance(), seq.Variance()) {
+			t.Fatalf("trial %d: variance = %g, want %g (n=%d parts=%d)",
+				trial, merged.Variance(), seq.Variance(), n, parts)
+		}
+	}
+}
+
+// TestMergeEmptySides pins Merge's edge cases: merging an empty
+// accumulator in either direction must not disturb (or must adopt) the
+// other side's statistics.
+func TestMergeEmptySides(t *testing.T) {
+	var full Accumulator
+	full.AddAll([]float64{3, 1, 2})
+
+	got := full // copy
+	var empty Accumulator
+	got.Merge(&empty)
+	if got != full {
+		t.Errorf("merging an empty accumulator changed stats: %v, want %v", &got, &full)
+	}
+
+	var adopt Accumulator
+	adopt.Merge(&full)
+	if adopt != full {
+		t.Errorf("empty.Merge(full) = %v, want %v", &adopt, &full)
+	}
+}
+
+// TestAccumulatorZeroValueSemantics pins the documented behavior of an
+// accumulator with no observations: Min, Max, Mean, Sum and Variance
+// all return 0 (not NaN or ±Inf), and the first Add initializes min and
+// max to the observation rather than comparing against the zero value.
+func TestAccumulatorZeroValueSemantics(t *testing.T) {
+	var a Accumulator
+	if a.Min() != 0 || a.Max() != 0 {
+		t.Errorf("empty Min/Max = %g/%g, want 0/0", a.Min(), a.Max())
+	}
+	if a.Mean() != 0 || a.Sum() != 0 || a.Variance() != 0 {
+		t.Errorf("empty Mean/Sum/Variance = %g/%g/%g, want 0/0/0", a.Mean(), a.Sum(), a.Variance())
+	}
+
+	// A first observation above zero must set Min; below zero must set
+	// Max. A fresh zero-value comparison would get both wrong.
+	var pos Accumulator
+	pos.Add(5)
+	if pos.Min() != 5 || pos.Max() != 5 {
+		t.Errorf("after Add(5): Min/Max = %g/%g, want 5/5", pos.Min(), pos.Max())
+	}
+	var neg Accumulator
+	neg.Add(-5)
+	if neg.Min() != -5 || neg.Max() != -5 {
+		t.Errorf("after Add(-5): Min/Max = %g/%g, want -5/-5", neg.Min(), neg.Max())
+	}
+}
