@@ -32,7 +32,7 @@ bench:
 # baseline that `make bench-compare` diffs against.
 bench-json:
 	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep' -benchmem -benchtime 1x . | tee bench_output.txt
-	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad' \
+	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad|MultiKLoads' \
 		-benchmem . | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json.tmp
 	@if [ -f BENCH_flow.json ]; then cp BENCH_flow.json BENCH_flow.prev.json; fi
@@ -65,12 +65,16 @@ endif
 # What a CI gate should run: static checks, the race-instrumented
 # short test suite (includes the shared compiled-table race test),
 # targeted race coverage of the repair and watchdog paths, the
-# allocation pins guarding the metrics hot paths, and a quick-scale
-# smoke run that must produce a manifest.json with the required keys.
+# allocation pins guarding the metrics and evaluation hot paths, the
+# multi-K correctness gates (selector prefix nesting, the multi-K
+# vs per-K differentials, the vector sampler's scalar equivalence),
+# and a quick-scale smoke run that must produce a manifest.json with
+# the required keys.
 ci: vet
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'Repair|Wedge|Drain|Degraded|Failure' ./internal/core ./internal/flit ./internal/flow ./internal/lid
-	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit
+	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit ./internal/flow
+	$(GO) test -run 'PrefixNesting|MultiK|SampleAdaptiveVec' -count=1 ./internal/core ./internal/flow ./internal/stats
 	rm -rf ci-smoke && $(GO) run ./cmd/xgftpaper -exp failures -scale quick -out ci-smoke
 	@for key in tool go_version flags seed workers experiments wall_seconds metrics exit_status; do \
 		grep -q "\"$$key\"" ci-smoke/manifest.json || { echo "ci: manifest.json missing \"$$key\""; exit 1; }; \

@@ -335,6 +335,38 @@ func BenchmarkLoadsCompiled(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiKLoads measures one multi-K walk serving a whole K
+// grid (here 5 columns) against the lazy routing — the hot path of the
+// collapsed Fig4 cells. The steady state must be allocation-free.
+func BenchmarkMultiKLoads(b *testing.B) {
+	t := benchTopo()
+	ks := []int{1, 2, 4, 8, 16}
+	ev := flow.NewMultiKEvaluator(core.NewRouting(t, core.Disjoint{}, 16, 0), ks)
+	tm := traffic.FromPermutation(traffic.RandomPermutation(t.NumProcessors(), rand.New(rand.NewSource(2))))
+	out := make([]float64, len(ks))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MaxLoads(tm, nil, out)
+	}
+	b.ReportMetric(float64(len(ks)), "K-columns")
+}
+
+// BenchmarkMultiKLoadsRandom is BenchmarkMultiKLoads for the random
+// heuristic, whose per-pair draws dominate the lazy multi-K walk.
+func BenchmarkMultiKLoadsRandom(b *testing.B) {
+	t := benchTopo()
+	ks := []int{1, 2, 4, 8, 16}
+	ev := flow.NewMultiKEvaluator(core.NewRouting(t, core.RandomK{}, 16, 0), ks)
+	tm := traffic.FromPermutation(traffic.RandomPermutation(t.NumProcessors(), rand.New(rand.NewSource(2))))
+	out := make([]float64, len(ks))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MaxLoads(tm, nil, out)
+	}
+}
+
 // BenchmarkOptimalLoad measures the subtree-cut OLOAD computation.
 func BenchmarkOptimalLoad(b *testing.B) {
 	t := benchTopo()

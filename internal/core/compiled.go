@@ -350,6 +350,23 @@ func (c *CompiledRouting) PairLinks(src, dst int) (links []int32, numPaths int) 
 	return c.links[c.linkOff[p]:c.linkOff[p+1]], int(c.pathOff[p+1] - c.pathOff[p])
 }
 
+// PairPathLinks returns the pair's link lists in the path-major layout
+// the multi-K evaluator folds over: links is the same concatenation
+// PairLinks returns, but viewed as numPaths fixed-size segments of
+// stride links (stride = 2·NCA level), where segment i holds the
+// directed links of the pair's i-th path in selection order. Because
+// every built-in selector is prefix-nested (PrefixNested), the first
+// min(K, numPaths) segments are exactly the pair's path set at limit K
+// for every K up to the compiled Kmax. The slice aliases the table and
+// must not be modified. stride is 0 for self pairs.
+func (c *CompiledRouting) PairPathLinks(src, dst int) (links []int32, numPaths, stride int) {
+	links, numPaths = c.PairLinks(src, dst)
+	if numPaths == 0 {
+		return links, 0, 0
+	}
+	return links, numPaths, len(links) / numPaths
+}
+
 // PathIndices returns the pair's canonical path indices. The slice
 // aliases the table and must not be modified.
 func (c *CompiledRouting) PathIndices(src, dst int) []int32 {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"xgftsim/internal/topology"
+)
+
+// TestSelectorPrefixNesting is the property test behind the multi-K
+// evaluation pipeline: for every scheme, seed and topology, the path
+// list a pair gets at limit K must be a prefix of its list at K+1
+// (through the same per-pair RNG streams Routing derives). The
+// topologies cover both RandomK draw regimes (X <= 16 dense
+// Fisher-Yates, X > 16 rejection + pool tail) and the regime's
+// internal n <= X/4 / n > X/4 switch point.
+func TestSelectorPrefixNesting(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.MustNew(2, []int{4, 8}, []int{1, 4}),       // X = 4
+		topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4}), // X = 16: dense boundary
+		topology.MustNew(2, []int{5, 20}, []int{1, 18}),     // X = 18: sparse + hybrid tail
+	}
+	seeds := []int64{0, 1, 12345}
+	for _, tp := range topos {
+		for _, name := range SelectorNames() {
+			sel, err := SelectorByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !PrefixNested(sel) {
+				t.Fatalf("built-in selector %s must report PrefixNested", name)
+			}
+			for _, seed := range seeds {
+				n := tp.NumProcessors()
+				pairs := [][2]int{{0, n - 1}, {1, n / 2}, {n - 1, 0}, {n / 3, n/3 + 1}}
+				for _, pr := range pairs {
+					src, dst := pr[0], pr[1]
+					if src == dst {
+						continue
+					}
+					x := tp.WProd(tp.NCALevel(src, dst))
+					var prev []int
+					for k := 1; k <= x+2; k++ {
+						got := NewRouting(tp, sel, k, seed).Paths(src, dst)
+						if len(got) < len(prev) {
+							t.Fatalf("%s K=%d on %s pair (%d,%d): %d paths, fewer than K=%d's %d",
+								name, k, tp, src, dst, len(got), k-1, len(prev))
+						}
+						for i := range prev {
+							if got[i] != prev[i] {
+								t.Fatalf("%s seed %d on %s pair (%d,%d): Select(%d)=%v is not a prefix of Select(%d)=%v",
+									name, seed, tp, src, dst, k-1, prev, k, got)
+							}
+						}
+						seen := make(map[int]bool, len(got))
+						for _, p := range got {
+							if p < 0 || p >= x || seen[p] {
+								t.Fatalf("%s K=%d pair (%d,%d): invalid or duplicate path %d in %v", name, k, src, dst, p, got)
+							}
+							seen[p] = true
+						}
+						prev = got
+					}
+				}
+			}
+		}
+	}
+}

@@ -127,6 +127,25 @@ func (r *Routing) AppendPathsScratch(ps *PathScratch, buf []int, src, dst int) [
 	return r.sel.Select(r.topo, src, dst, r.k, rng, buf)
 }
 
+// AppendPathsLimitedScratch is AppendPathsScratch with an explicit
+// path limit limK overriding the routing's configured K. For
+// prefix-nested selectors (every built-in; see PrefixNested) the
+// result at any smaller limit is a prefix of the result at a larger
+// one on the same pair, which lets the multi-K evaluator derive the
+// single longest prefix a whole K grid needs instead of re-selecting
+// per K.
+func (r *Routing) AppendPathsLimitedScratch(ps *PathScratch, buf []int, src, dst, limK int) []int {
+	if src == dst {
+		return buf
+	}
+	var rng *rand.Rand
+	if _, deterministic := r.sel.(interface{ deterministic() }); !deterministic {
+		ps.src.SeedStream(r.seed, int64(src)*int64(r.topo.NumProcessors())+int64(dst))
+		rng = ps.rng
+	}
+	return r.sel.Select(r.topo, src, dst, limK, rng, buf)
+}
+
 // PathSet is the materialized multi-path route of one SD pair: the
 // paper's MP_{i,j} with traffic fractions f_{i,j}.
 type PathSet struct {

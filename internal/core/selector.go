@@ -13,6 +13,13 @@ import (
 // use under a routing scheme. Implementations must be safe for
 // concurrent use: any randomness comes from the rng argument, which
 // callers derive deterministically per pair or per sample.
+//
+// Prefix nesting: every scheme in this package additionally guarantees
+// that, for a fixed pair and RNG stream, the list produced at limit K
+// is a prefix of the list produced at limit K+1 (see PrefixNested).
+// The multi-K evaluator depends on this to serve a whole K grid from
+// one Kmax path derivation; custom selectors that uphold the invariant
+// can opt in by implementing interface{ PrefixNested() bool }.
 type Selector interface {
 	// Name returns the scheme's short identifier (e.g. "disjoint").
 	Name() string
@@ -162,40 +169,83 @@ func (RandomK) Name() string { return "random" }
 // MultiPath implements Selector.
 func (RandomK) MultiPath() bool { return true }
 
-// Select implements Selector.
+// randomKDenseX bounds the dense-draw regime: pairs with at most this
+// many shortest paths draw by partial Fisher-Yates over the whole
+// index range. The regime is a function of X alone — never of the
+// requested n — so that draws for increasing K extend one RNG stream
+// and Select(K) stays a prefix of Select(K+1) (see PrefixNested).
+const randomKDenseX = 16
+
+// Select implements Selector. Both draw regimes are prefix-nested and
+// allocation-free in the steady state: scratch lives in the spare
+// capacity of buf, so callers reusing a path buffer (PathScratch, the
+// evaluators) pay no per-pair allocation.
 func (RandomK) Select(t *topology.Topology, src, dst, limK int, rng *rand.Rand, buf []int) []int {
 	k := t.NCALevel(src, dst)
 	x := t.WProd(k)
 	n := clampK(limK, x)
-	switch {
-	case n == x:
+	base := len(buf)
+	if x <= randomKDenseX {
+		// Dense draw: partial Fisher-Yates over [0, x), materialized in
+		// buf's tail. Step i only touches positions >= i, so the first n
+		// outputs depend only on the first n draws: nested by
+		// construction. n == x costs one fewer draw (last slot is
+		// forced), which matches the n = x-1 stream exactly.
 		for i := 0; i < x; i++ {
 			buf = append(buf, i)
 		}
-	case n*4 >= x:
-		// Dense draw: partial Fisher-Yates over [0, x).
-		perm := make([]int, x)
-		for i := range perm {
-			perm[i] = i
-		}
-		for i := 0; i < n; i++ {
+		perm := buf[base:]
+		for i := 0; i < n && i < x-1; i++ {
 			j := i + rng.Intn(x-i)
 			perm[i], perm[j] = perm[j], perm[i]
 		}
-		buf = append(buf, perm[:n]...)
-	default:
-		// Sparse draw: rejection sample into a small set.
-		seen := make(map[int]struct{}, n)
-		for len(seen) < n {
-			v := rng.Intn(x)
-			if _, dup := seen[v]; dup {
-				continue
+		return buf[:base+n]
+	}
+	// Sparse draw: rejection-sample distinct indices, membership checked
+	// by scanning the (tiny) accepted slice — n <= x/4 here keeps both
+	// the scan short and the expected rejections below n/3. The first m
+	// accepted values are a pure function of the stream, so truncating
+	// at any n <= x/4 nests.
+	lim := n
+	if sparseMax := x / 4; lim > sparseMax {
+		lim = sparseMax
+	}
+draw:
+	for len(buf)-base < lim {
+		v := rng.Intn(x)
+		for _, u := range buf[base:] {
+			if u == v {
+				continue draw
 			}
-			seen[v] = struct{}{}
+		}
+		buf = append(buf, v)
+	}
+	if n == lim {
+		return buf
+	}
+	// Hybrid tail for n > x/4: lay out the not-yet-drawn indices in
+	// ascending order after the accepted prefix and continue with
+	// Fisher-Yates over that pool. The pool and its permutation are
+	// again pure functions of the stream consumed so far, so every
+	// larger n extends the same sequence.
+	for v := 0; v < x; v++ {
+		dup := false
+		for _, u := range buf[base : base+lim] {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			buf = append(buf, v)
 		}
 	}
-	return buf
+	pool := buf[base+lim:]
+	for i := 0; i < n-lim && i < len(pool)-1; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return buf[:base+n]
 }
 
 // UMulti is the unlimited multi-path routing UMULTI: every shortest
@@ -216,6 +266,27 @@ func (UMulti) Select(t *topology.Topology, src, dst, limK int, _ *rand.Rand, buf
 		buf = append(buf, i)
 	}
 	return buf
+}
+
+// PrefixNested reports whether sel guarantees the prefix-nesting
+// invariant: for every topology, SD pair and RNG stream state, the
+// path list produced at limit K is a prefix of the list produced at
+// limit K+1. Single-path schemes and UMULTI nest trivially (the list
+// does not depend on K); shift-1 and disjoint enumerate offsets
+// sequentially; random's draw regimes are pure functions of X and the
+// stream (see RandomK.Select). The multi-K evaluator requires this
+// guarantee to serve an entire K grid from one Kmax derivation.
+// Third-party selectors can opt in by implementing
+// interface{ PrefixNested() bool }.
+func PrefixNested(sel Selector) bool {
+	switch sel.(type) {
+	case DModK, SModK, RandomSingle, Shift1, Disjoint, RandomK, UMulti:
+		return true
+	}
+	if p, ok := sel.(interface{ PrefixNested() bool }); ok {
+		return p.PrefixNested()
+	}
+	return false
 }
 
 // SelectorByName resolves a scheme identifier (case-insensitive,

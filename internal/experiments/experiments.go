@@ -132,6 +132,42 @@ func KGrid(t *topology.Topology) []int {
 	return ks
 }
 
+// effectiveKs clamps a requested K grid to a topology's maximum path
+// count and dedupes it: every K >= MaxPaths yields the same UMULTI
+// path sets, so such cells are measured once and replicated across the
+// requested rows (mirroring the flat single-path replication). eff is
+// the ascending unique effective grid; rowOf[i] indexes eff for
+// requested ks[i].
+func effectiveKs(t *topology.Topology, ks []int) (eff []int, rowOf []int) {
+	max := t.MaxPaths()
+	clamp := func(k int) int {
+		if k > max {
+			return max
+		}
+		if k < 1 {
+			return 1
+		}
+		return k
+	}
+	seen := make(map[int]bool, len(ks))
+	for _, k := range ks {
+		if c := clamp(k); !seen[c] {
+			seen[c] = true
+			eff = append(eff, c)
+		}
+	}
+	sort.Ints(eff)
+	pos := make(map[int]int, len(eff))
+	for i, k := range eff {
+		pos[k] = i
+	}
+	rowOf = make([]int, len(ks))
+	for i, k := range ks {
+		rowOf[i] = pos[clamp(k)]
+	}
+	return eff, rowOf
+}
+
 // Cell is one measured value with its confidence half-width and
 // sample count.
 type Cell struct {

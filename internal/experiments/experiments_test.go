@@ -62,6 +62,45 @@ func TestKGrid(t *testing.T) {
 	}
 }
 
+func TestEffectiveKs(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4}) // MaxPaths = 4
+	eff, rowOf := effectiveKs(tp, []int{1, 2, 4, 8, 16})
+	if want := []int{1, 2, 4}; len(eff) != len(want) || eff[0] != 1 || eff[1] != 2 || eff[2] != 4 {
+		t.Fatalf("eff = %v, want %v", eff, want)
+	}
+	if want := []int{0, 1, 2, 2, 2}; len(rowOf) != len(want) {
+		t.Fatalf("rowOf = %v", rowOf)
+	} else {
+		for i := range want {
+			if rowOf[i] != want[i] {
+				t.Fatalf("rowOf = %v, want %v", rowOf, want)
+			}
+		}
+	}
+}
+
+// TestFig4KsClampsConvergedKs checks the UMULTI dedupe: every
+// requested K at or above the topology's maximum path count must
+// reuse one measured cell, with all rows still rendered.
+func TestFig4KsClampsConvergedKs(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4}) // MaxPaths = 4
+	tbl := Fig4Ks(tp, []int{1, 2, 4, 8, 16}, tinyScale(), 1)
+	if len(tbl.Cells) != 5 {
+		t.Fatalf("rows %d, want 5", len(tbl.Cells))
+	}
+	if tbl.XValues[3] != "8" || tbl.XValues[4] != "16" {
+		t.Fatalf("requested K labels must survive clamping: %v", tbl.XValues)
+	}
+	for j := range tbl.Columns {
+		for _, i := range []int{3, 4} {
+			if tbl.Cells[i][j] != tbl.Cells[2][j] {
+				t.Errorf("column %s: K=%s cell %+v differs from the K=4 (UMULTI) cell %+v",
+					tbl.Columns[j], tbl.XValues[i], tbl.Cells[i][j], tbl.Cells[2][j])
+			}
+		}
+	}
+}
+
 func TestFig4Panels(t *testing.T) {
 	want := map[string]string{
 		"a": "XGFT(2; 8,16; 1,8)",

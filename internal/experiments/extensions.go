@@ -66,7 +66,11 @@ func AdaptiveComparison(sc Scale) *Table {
 // optimized fat-tree routing (the paper's reference for d-mod-k's
 // strength): the worst per-phase maximum link load over all n-1 shift
 // permutations. d-mod-k is provably optimal on shifts; the study
-// verifies the heuristics preserve that as K grows.
+// verifies the heuristics preserve that as K grows. Like Fig4Ks, the
+// K grid is clamped/deduped per topology and each multipath scheme
+// walks every shift once through a flow.MultiKEvaluator serving all
+// effective K columns; single-path schemes are measured once and
+// replicated.
 func AllToAllShift(t *topology.Topology, ks []int) *Table {
 	schemes := fig4Schemes()
 	tbl := &Table{
@@ -78,22 +82,40 @@ func AllToAllShift(t *topology.Topology, ks []int) *Table {
 		tbl.Columns[j] = s.Name()
 	}
 	n := t.NumProcessors()
-	for _, k := range ks {
-		row := make([]Cell, len(schemes))
-		for j, sel := range schemes {
-			kEff := k
-			if !sel.MultiPath() {
-				kEff = 1
-			}
-			ev := flow.NewEvaluator(core.NewRouting(t, sel, kEff, 1))
-			worst := 0.0
+	eff, rowOf := effectiveKs(t, ks)
+	worst := make([][]float64, len(schemes)) // [col][effective-K index]
+	for j, sel := range schemes {
+		worst[j] = make([]float64, len(eff))
+		if !sel.MultiPath() {
+			ev := flow.NewEvaluator(core.NewRouting(t, sel, 1, 1))
+			w := 0.0
 			for s := 1; s < n; s++ {
 				tm := traffic.FromPermutation(traffic.ShiftPermutation(n, s))
-				if load := ev.MaxLoad(tm); load > worst {
-					worst = load
+				if load := ev.MaxLoad(tm); load > w {
+					w = load
 				}
 			}
-			row[j] = Cell{Mean: worst, Samples: n - 1}
+			for r := range eff {
+				worst[j][r] = w
+			}
+			continue
+		}
+		ev := flow.NewMultiKEvaluator(core.NewRouting(t, sel, eff[len(eff)-1], 1), eff)
+		out := make([]float64, len(eff))
+		for s := 1; s < n; s++ {
+			tm := traffic.FromPermutation(traffic.ShiftPermutation(n, s))
+			ev.MaxLoads(tm, nil, out)
+			for r, load := range out {
+				if load > worst[j][r] {
+					worst[j][r] = load
+				}
+			}
+		}
+	}
+	for i, k := range ks {
+		row := make([]Cell, len(schemes))
+		for j := range schemes {
+			row[j] = Cell{Mean: worst[j][rowOf[i]], Samples: n - 1}
 		}
 		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d", k))
 		tbl.Cells = append(tbl.Cells, row)

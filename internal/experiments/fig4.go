@@ -16,12 +16,19 @@ func Fig4(t *topology.Topology, sc Scale, permSeed int64) *Table {
 }
 
 // Fig4Ks is Fig4 over an explicit K grid (used by the benchmarks to
-// bound runtime on the largest topologies). Each unique (scheme, K)
-// cell is one flow.Experiment — its routing is compiled (or lazily
-// derived) once and shared by that cell's sampler goroutines — and the
-// cells fan out across at most sc.Workers concurrent slots with
-// deterministic result placement. Single-path baselines ignore K, so
-// they are measured once and replicated across rows.
+// bound runtime on the largest topologies). Each multipath scheme is
+// one multi-K cell: a single flow.MultiKExperiment evaluates every K
+// of the effective grid in one permutation stream over one Kmax
+// routing (compiled once when the policy allows), with the vector
+// adaptive sampler freezing each K's accumulator independently.
+// Per-sample parallelism inside each cell (Sampling.Parallelism, which
+// defaults to GOMAXPROCS) keeps worker occupancy up even though the
+// cell count shrank to one per scheme; the cells still fan out across
+// at most sc.Workers slots via runCells with deterministic result
+// placement. Single-path baselines ignore K, so they are measured once
+// and replicated across rows, and requested K values at or above the
+// topology's maximum path count — all equivalent to UMULTI — collapse
+// to one measured column replicated the same way (see effectiveKs).
 func Fig4Ks(t *topology.Topology, ks []int, sc Scale, permSeed int64) *Table {
 	schemes := fig4Schemes()
 	tbl := &Table{
@@ -32,54 +39,46 @@ func Fig4Ks(t *topology.Topology, ks []int, sc Scale, permSeed int64) *Table {
 	for j, s := range schemes {
 		tbl.Columns[j] = s.Name()
 	}
-	type job struct{ row, col int } // row < 0: flat single-path cell
-	var jobs []job
-	for j, sel := range schemes {
-		if !sel.MultiPath() {
-			jobs = append(jobs, job{-1, j})
-		}
-	}
-	for i := range ks {
-		for j, sel := range schemes {
-			if sel.MultiPath() {
-				jobs = append(jobs, job{i, j})
-			}
-		}
-	}
+	eff, rowOf := effectiveKs(t, ks)
 	flat := make([]Cell, len(schemes))
-	isFlat := make([]bool, len(schemes))
-	cells := make([][]Cell, len(ks))
-	for i := range cells {
-		cells[i] = make([]Cell, len(schemes))
-	}
-	runCells(len(jobs), sc.Workers, func(x int) {
-		jb := jobs[x]
-		k := 1
-		if jb.row >= 0 {
-			k = ks[jb.row]
+	multi := make([][]Cell, len(schemes)) // [col][effective-K index]
+	runCells(len(schemes), sc.Workers, func(j int) {
+		sel := schemes[j]
+		if !sel.MultiPath() {
+			res := flow.Experiment{
+				Topo:     t,
+				Sel:      sel,
+				K:        1,
+				PermSeed: permSeed,
+				Sampling: sc.Sampling,
+			}.Run()
+			flat[j] = Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
+			return
 		}
-		res := flow.Experiment{
+		vec := flow.MultiKExperiment{
 			Topo:     t,
-			Sel:      schemes[jb.col],
-			K:        k,
+			Sel:      sel,
+			Ks:       eff,
 			PermSeed: permSeed,
 			Sampling: sc.Sampling,
 		}.Run()
-		c := Cell{Mean: res.Acc.Mean(), HalfWidth: res.HalfWidth, Samples: res.Acc.N()}
-		if jb.row < 0 {
-			flat[jb.col], isFlat[jb.col] = c, true
-		} else {
-			cells[jb.row][jb.col] = c
+		col := make([]Cell, len(eff))
+		for r := range eff {
+			col[r] = Cell{Mean: vec.Accs[r].Mean(), HalfWidth: vec.HalfWidths[r], Samples: vec.Accs[r].N()}
 		}
+		multi[j] = col
 	})
 	for i, k := range ks {
-		for j := range schemes {
-			if isFlat[j] {
-				cells[i][j] = flat[j]
+		row := make([]Cell, len(schemes))
+		for j, sel := range schemes {
+			if sel.MultiPath() {
+				row[j] = multi[j][rowOf[i]]
+			} else {
+				row[j] = flat[j]
 			}
 		}
 		tbl.XValues = append(tbl.XValues, fmt.Sprintf("%d", k))
-		tbl.Cells = append(tbl.Cells, cells[i])
+		tbl.Cells = append(tbl.Cells, row)
 	}
 	tbl.Footnote = fmt.Sprintf("adaptive sampling: %.0f%% confidence, %.0f%% precision target",
 		confidencePct(sc), precisionPct(sc))

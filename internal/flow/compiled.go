@@ -16,10 +16,13 @@ import (
 // evaluator itself only owns its scratch load vector and, like
 // Evaluator, is not safe for concurrent use — create one per goroutine.
 type CompiledEvaluator struct {
-	c     *core.CompiledRouting
-	topo  *topology.Topology
-	loads []float64
-	opt   optScratch
+	c       *core.CompiledRouting
+	topo    *topology.Topology
+	loads   []float64
+	touched []int32 // links loaded by the most recent Loads call
+	dense   bool    // bulk-clear mode: tm touches too many links to track
+	lastMax float64 // max load of the most recent Loads call
+	opt     optScratch
 }
 
 // NewCompiledEvaluator creates an evaluator over the shared table c.
@@ -32,17 +35,44 @@ func NewCompiledEvaluator(c *core.CompiledRouting) *CompiledEvaluator {
 func (e *CompiledEvaluator) Compiled() *core.CompiledRouting { return e.c }
 
 // Loads computes the load of every directed link under tm, exactly as
-// Evaluator.Loads does for the lazy routing. The returned slice is
-// owned by the evaluator and valid until the next call.
+// Evaluator.Loads does for the lazy routing, including its touched-link
+// clearing, in-line max, and the permanent switch to bulk clearing
+// with branch-free adds once a call touches a large fraction of the
+// fabric (see Evaluator.Loads). The returned slice is owned by the
+// evaluator and valid until the next call.
 func (e *CompiledEvaluator) Loads(tm *traffic.Matrix) []float64 {
 	if tm.N != e.topo.NumProcessors() {
 		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, e.topo.NumProcessors()))
 	}
 	met.loadsCalls.Inc()
 	met.pairsEvaluated.Add(int64(len(tm.Flows())))
-	for i := range e.loads {
-		e.loads[i] = 0
+	max := 0.0
+	if e.dense {
+		for i := range e.loads {
+			e.loads[i] = 0
+		}
+		for _, f := range tm.Flows() {
+			links, np := e.c.PairLinks(f.Src, f.Dst)
+			if np == 0 {
+				continue
+			}
+			share := f.Amount / float64(np)
+			for _, l := range links {
+				e.loads[l] += share
+			}
+		}
+		for _, v := range e.loads {
+			if v > max {
+				max = v
+			}
+		}
+		e.lastMax = max
+		return e.loads
 	}
+	for _, l := range e.touched {
+		e.loads[l] = 0
+	}
+	e.touched = e.touched[:0]
 	for _, f := range tm.Flows() {
 		links, np := e.c.PairLinks(f.Src, f.Dst)
 		if np == 0 {
@@ -50,22 +80,29 @@ func (e *CompiledEvaluator) Loads(tm *traffic.Matrix) []float64 {
 		}
 		share := f.Amount / float64(np)
 		for _, l := range links {
-			e.loads[l] += share
+			v := e.loads[l]
+			if v == 0 {
+				e.touched = append(e.touched, l)
+			}
+			v += share
+			e.loads[l] = v
+			if v > max {
+				max = v
+			}
 		}
 	}
+	if len(e.touched)*4 >= len(e.loads) {
+		e.dense = true
+		e.touched = e.touched[:0]
+	}
+	e.lastMax = max
 	return e.loads
 }
 
 // MaxLoad computes MLOAD(r, TM) over the compiled table.
 func (e *CompiledEvaluator) MaxLoad(tm *traffic.Matrix) float64 {
-	loads := e.Loads(tm)
-	max := 0.0
-	for _, l := range loads {
-		if l > max {
-			max = l
-		}
-	}
-	return max
+	e.Loads(tm)
+	return e.lastMax
 }
 
 // TierLoads reports per-tier maximum loads of the most recent Loads

@@ -33,6 +33,9 @@ type Evaluator struct {
 	r       *core.Routing // nil when evaluating a repaired routing
 	topo    *topology.Topology
 	loads   []float64
+	touched []int32 // links loaded by the most recent Loads call
+	dense   bool    // bulk-clear mode: tm touches too many links to track
+	lastMax float64 // max load of the most recent Loads call
 	pathBuf []int
 	linkBuf []topology.LinkID
 	ps      *core.PathScratch
@@ -71,15 +74,51 @@ func (e *Evaluator) Routing() *core.Routing { return e.r }
 // Loads computes the load of every directed link under tm: the paper's
 // Σ tm_{i,j}·f^k_{i,j} over paths crossing the link. The returned slice
 // is owned by the evaluator and valid until the next call.
+//
+// Only the links the previous call loaded are re-zeroed (sparse
+// matrices touch a small fraction of a large fabric's links) and the
+// maximum is folded into accumulation, so neither a full O(numLinks)
+// clear nor a rescan runs per sample. Flow amounts are strictly
+// positive (traffic.Matrix enforces this), so a zero entry means
+// "untouched this call" and the touched list needs no dedup structure.
+// When a call touches a large fraction of the fabric the per-add
+// bookkeeping costs more than it saves; the evaluator then switches
+// permanently to bulk clearing with branch-free adds and a single
+// max scan (identical values, identical add order).
 func (e *Evaluator) Loads(tm *traffic.Matrix) []float64 {
 	if tm.N != e.topo.NumProcessors() {
 		panic(fmt.Sprintf("flow: traffic matrix over %d nodes, topology has %d", tm.N, e.topo.NumProcessors()))
 	}
 	met.loadsCalls.Inc()
 	met.pairsEvaluated.Add(int64(len(tm.Flows())))
-	for i := range e.loads {
-		e.loads[i] = 0
+	max := 0.0
+	if e.dense {
+		for i := range e.loads {
+			e.loads[i] = 0
+		}
+		for _, f := range tm.Flows() {
+			e.pathBuf = e.src.AppendPathsScratch(e.ps, e.pathBuf[:0], f.Src, f.Dst)
+			if len(e.pathBuf) == 0 {
+				continue
+			}
+			share := f.Amount / float64(len(e.pathBuf))
+			e.linkBuf = core.AppendPathSetLinks(e.topo, f.Src, f.Dst, e.pathBuf, e.linkBuf[:0])
+			for _, link := range e.linkBuf {
+				e.loads[link] += share
+			}
+		}
+		for _, v := range e.loads {
+			if v > max {
+				max = v
+			}
+		}
+		e.lastMax = max
+		return e.loads
 	}
+	for _, l := range e.touched {
+		e.loads[l] = 0
+	}
+	e.touched = e.touched[:0]
 	for _, f := range tm.Flows() {
 		e.pathBuf = e.src.AppendPathsScratch(e.ps, e.pathBuf[:0], f.Src, f.Dst)
 		if len(e.pathBuf) == 0 {
@@ -88,22 +127,29 @@ func (e *Evaluator) Loads(tm *traffic.Matrix) []float64 {
 		share := f.Amount / float64(len(e.pathBuf))
 		e.linkBuf = core.AppendPathSetLinks(e.topo, f.Src, f.Dst, e.pathBuf, e.linkBuf[:0])
 		for _, link := range e.linkBuf {
-			e.loads[link] += share
+			v := e.loads[link]
+			if v == 0 {
+				e.touched = append(e.touched, int32(link))
+			}
+			v += share
+			e.loads[link] = v
+			if v > max {
+				max = v
+			}
 		}
 	}
+	if len(e.touched)*4 >= len(e.loads) {
+		e.dense = true
+		e.touched = e.touched[:0]
+	}
+	e.lastMax = max
 	return e.loads
 }
 
 // MaxLoad computes MLOAD(r, TM): the largest link load under tm.
 func (e *Evaluator) MaxLoad(tm *traffic.Matrix) float64 {
-	loads := e.Loads(tm)
-	max := 0.0
-	for _, l := range loads {
-		if l > max {
-			max = l
-		}
-	}
-	return max
+	e.Loads(tm)
+	return e.lastMax
 }
 
 // TierLoads reports, for each tier (links between levels l and l+1)

@@ -10,9 +10,16 @@ var met = struct {
 	pairsEvaluated *obs.Counter
 	repairPatched  *obs.Counter
 	repairLazy     *obs.Counter
+	// Multi-K evaluation: walks of one permutation serving a whole K
+	// grid, and how many K columns those walks served in total (the
+	// per-cell equivalent would have been one loads_calls each).
+	multikWalks   *obs.Counter
+	multikColumns *obs.Counter
 }{
 	loadsCalls:     obs.Default().Counter("flow.loads_calls"),
 	pairsEvaluated: obs.Default().Counter("flow.pairs_evaluated"),
 	repairPatched:  obs.Default().Counter("flow.repair_patched"),
 	repairLazy:     obs.Default().Counter("flow.repair_lazy"),
+	multikWalks:    obs.Default().Counter("flow.multik_walks"),
+	multikColumns:  obs.Default().Counter("flow.multik_columns"),
 }

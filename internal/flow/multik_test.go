@@ -1,0 +1,261 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// TestMultiKEvaluatorMatchesPerK pins the multi-K evaluator against
+// independent per-K evaluators on every scheme class and both
+// backends: each K column's MLOAD must agree within 1e-12 (count
+// folding / the Theorem-1 OLOAD shortcut vs repeated adds), and
+// columns whose effective count is X at every level must be
+// bit-identical to OptimalLoad (they are computed by the same
+// subtree-cut pass, never walked).
+func TestMultiKEvaluatorMatchesPerK(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.MustNew(2, []int{4, 8}, []int{1, 4}),       // X = 4
+		topology.MustNew(3, []int{2, 3, 2}, []int{2, 2, 3}), // X = 12, multi-level
+		topology.MustNew(2, []int{5, 20}, []int{1, 18}),     // X = 18, sparse random regime
+	}
+	sels := []core.Selector{core.Shift1{}, core.Disjoint{}, core.RandomK{}, core.DModK{}, core.UMulti{}}
+	for _, tp := range topos {
+		maxX := tp.MaxPaths()
+		ks := []int{1, 2, 3}
+		if maxX > 4 {
+			ks = append(ks, maxX-1)
+		}
+		ks = append(ks, maxX)
+		n := tp.NumProcessors()
+		for _, sel := range sels {
+			lazy := NewMultiKEvaluator(core.NewRouting(tp, sel, ks[len(ks)-1], 7), ks)
+			c, err := core.CompileRouting(core.NewRouting(tp, sel, ks[len(ks)-1], 7), 1<<30)
+			if err != nil {
+				t.Fatalf("%s on %s: compile: %v", sel.Name(), tp, err)
+			}
+			comp := NewCompiledMultiKEvaluator(c, ks)
+			outL := make([]float64, len(ks))
+			outC := make([]float64, len(ks))
+			for sample := 0; sample < 4; sample++ {
+				rng := stats.Stream(99, int64(sample))
+				tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+				lazy.MaxLoads(tm, nil, outL)
+				comp.MaxLoads(tm, nil, outC)
+				for j, k := range ks {
+					ref := NewEvaluator(core.NewRouting(tp, sel, k, 7)).MaxLoad(tm)
+					if d := relDiff(outL[j], ref); d > 1e-12 {
+						t.Errorf("%s on %s K=%d sample %d: lazy multi-K %v vs per-K %v (rel %g)",
+							sel.Name(), tp, k, sample, outL[j], ref, d)
+					}
+					if d := relDiff(outC[j], ref); d > 1e-12 {
+						t.Errorf("%s on %s K=%d sample %d: compiled multi-K %v vs per-K %v (rel %g)",
+							sel.Name(), tp, k, sample, outC[j], ref, d)
+					}
+					_, isUMulti := sel.(core.UMulti)
+					if x := tp.MaxPaths(); (sel.MultiPath() && k >= x) || isUMulti {
+						opt := OptimalLoad(tp, tm)
+						if outL[j] != opt || outC[j] != opt {
+							t.Errorf("%s on %s K=%d (X=%d) sample %d: Theorem-1 column must equal OptimalLoad %v exactly, got lazy %v compiled %v",
+								sel.Name(), tp, k, x, sample, opt, outL[j], outC[j])
+						}
+					}
+				}
+				if lazy.OptimalLoad(tm) != OptimalLoad(tp, tm) {
+					t.Errorf("OptimalLoad mismatch on %s", tp)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiKEvaluatorActiveFreezing checks that frozen columns are
+// skipped without corrupting the live ones across calls (the vector
+// sampler shrinks the active set monotonically).
+func TestMultiKEvaluatorActiveFreezing(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	ks := []int{1, 2, 4}
+	n := tp.NumProcessors()
+	ev := NewMultiKEvaluator(core.NewRouting(tp, core.Disjoint{}, 4, 3), ks)
+	ref := NewMultiKEvaluator(core.NewRouting(tp, core.Disjoint{}, 4, 3), ks)
+	active := []bool{true, true, true}
+	out := make([]float64, len(ks))
+	refOut := make([]float64, len(ks))
+	for sample := 0; sample < 6; sample++ {
+		if sample == 2 {
+			active[2] = false // freeze the largest K
+		}
+		if sample == 4 {
+			active[0] = false
+		}
+		rng := stats.Stream(5, int64(sample))
+		tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+		for j := range out {
+			out[j] = -1
+		}
+		ev.MaxLoads(tm, active, out)
+		ref.MaxLoads(tm, nil, refOut)
+		for j := range ks {
+			if !active[j] {
+				if out[j] != -1 {
+					t.Fatalf("sample %d: frozen column %d written: %v", sample, j, out[j])
+				}
+				continue
+			}
+			if out[j] != refOut[j] {
+				t.Fatalf("sample %d column %d: active-subset run %v vs full run %v", sample, j, out[j], refOut[j])
+			}
+		}
+	}
+}
+
+// TestMultiKExperimentMatchesPerCell is the pipeline-level
+// differential: MultiKExperiment must reproduce per-K flow.Experiment
+// runs exactly — same sample counts (the vector sampler freezes each
+// component where a scalar run stops), same half-widths and
+// convergence flags, and means within 1e-12 — including when different
+// K columns converge after different numbers of batches.
+func TestMultiKExperimentMatchesPerCell(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 2, 4}, []int{1, 2, 2})
+	ks := []int{1, 2, 3, 4}
+	cfg := stats.AdaptiveConfig{InitialSamples: 20, MaxSamples: 160, RelPrecision: 0.02, Parallelism: 2}
+	for _, sel := range []core.Selector{core.Disjoint{}, core.RandomK{}} {
+		vec := MultiKExperiment{Topo: tp, Sel: sel, Ks: ks, PermSeed: 42, Sampling: cfg}.Run()
+		sawDifferentN := false
+		for j, k := range ks {
+			res := Experiment{Topo: tp, Sel: sel, K: k, PermSeed: 42, Sampling: cfg}.Run()
+			if got, want := vec.Accs[j].N(), res.Acc.N(); got != want {
+				t.Errorf("%s K=%d: multi-K sampled %d, per-cell %d", sel.Name(), k, got, want)
+			}
+			if d := relDiff(vec.Accs[j].Mean(), res.Acc.Mean()); d > 1e-12 {
+				t.Errorf("%s K=%d: multi-K mean %v vs per-cell %v (rel %g)", sel.Name(), k, vec.Accs[j].Mean(), res.Acc.Mean(), d)
+			}
+			if d := relDiff(vec.HalfWidths[j], res.HalfWidth); d > 1e-9 {
+				t.Errorf("%s K=%d: multi-K half-width %v vs per-cell %v", sel.Name(), k, vec.HalfWidths[j], res.HalfWidth)
+			}
+			if vec.Converged[j] != res.Converged {
+				t.Errorf("%s K=%d: converged %v vs per-cell %v", sel.Name(), k, vec.Converged[j], res.Converged)
+			}
+			if j > 0 && vec.Accs[j].N() != vec.Accs[0].N() {
+				sawDifferentN = true
+			}
+		}
+		if !sawDifferentN {
+			t.Logf("%s: all K columns converged at the same batch (freezing untested here)", sel.Name())
+		}
+	}
+}
+
+// TestLoadsTouchedClearing differential-tests the touched-link
+// clearing in both per-K evaluators against an independent naive
+// accumulation, across repeated calls with different matrices (the
+// second call must fully clear the first call's footprint).
+func TestLoadsTouchedClearing(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 3, 2}, []int{2, 2, 3})
+	n := tp.NumProcessors()
+	for _, sel := range []core.Selector{core.DModK{}, core.Disjoint{}, core.RandomK{}} {
+		r := core.NewRouting(tp, sel, 3, 11)
+		lazy := NewEvaluator(r)
+		c, err := core.CompileRouting(r, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp := NewCompiledEvaluator(c)
+		for sample := 0; sample < 3; sample++ {
+			rng := stats.Stream(7, int64(sample))
+			tm := traffic.FromPermutation(traffic.RandomPermutation(n, rng))
+			naive := make([]float64, tp.NumLinks())
+			for _, f := range tm.Flows() {
+				paths := r.Paths(f.Src, f.Dst)
+				links := core.AppendPathSetLinks(tp, f.Src, f.Dst, paths, nil)
+				share := f.Amount / float64(len(paths))
+				for _, l := range links {
+					naive[l] += share
+				}
+			}
+			wantMax := 0.0
+			for _, v := range naive {
+				if v > wantMax {
+					wantMax = v
+				}
+			}
+			gotL := lazy.Loads(tm)
+			for l := range naive {
+				if gotL[l] != naive[l] {
+					t.Fatalf("%s sample %d: lazy loads[%d] = %v, naive %v", sel.Name(), sample, l, gotL[l], naive[l])
+				}
+			}
+			if got := lazy.MaxLoad(tm); got != wantMax {
+				t.Fatalf("%s sample %d: lazy MaxLoad %v, naive %v", sel.Name(), sample, got, wantMax)
+			}
+			gotC := comp.Loads(tm)
+			for l := range naive {
+				if gotC[l] != naive[l] {
+					t.Fatalf("%s sample %d: compiled loads[%d] = %v, naive %v", sel.Name(), sample, l, gotC[l], naive[l])
+				}
+			}
+			if got := comp.MaxLoad(tm); got != wantMax {
+				t.Fatalf("%s sample %d: compiled MaxLoad %v, naive %v", sel.Name(), sample, got, wantMax)
+			}
+		}
+	}
+}
+
+// TestEvaluatorSteadyStateAllocs pins the zero-allocation steady state
+// of the evaluation hot paths, including random-K routing (whose
+// selector now draws inside the caller's path buffer instead of
+// allocating a map or permutation per pair).
+func TestEvaluatorSteadyStateAllocs(t *testing.T) {
+	tp := topology.MustNew(3, []int{2, 3, 2}, []int{2, 2, 3})
+	n := tp.NumProcessors()
+	tms := make([]*traffic.Matrix, 4)
+	for i := range tms {
+		tms[i] = traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(3, int64(i))))
+	}
+	for _, sel := range []core.Selector{core.Disjoint{}, core.RandomK{}} {
+		r := core.NewRouting(tp, sel, 3, 1)
+		lazy := NewEvaluator(r)
+		lazy.MaxLoad(tms[0]) // warm scratch
+		i := 0
+		if got := testing.AllocsPerRun(20, func() {
+			i++
+			lazy.MaxLoad(tms[i%len(tms)])
+		}); got != 0 {
+			t.Errorf("%s: lazy Evaluator.MaxLoad allocates %.1f/op in steady state", sel.Name(), got)
+		}
+		c, err := core.CompileRouting(r, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp := NewCompiledEvaluator(c)
+		comp.MaxLoad(tms[0])
+		if got := testing.AllocsPerRun(20, func() {
+			i++
+			comp.MaxLoad(tms[i%len(tms)])
+		}); got != 0 {
+			t.Errorf("%s: CompiledEvaluator.MaxLoad allocates %.1f/op in steady state", sel.Name(), got)
+		}
+		ks := []int{1, 2, 4, tp.MaxPaths()}
+		multi := NewMultiKEvaluator(core.NewRouting(tp, sel, tp.MaxPaths(), 1), ks)
+		out := make([]float64, len(ks))
+		multi.MaxLoads(tms[0], nil, out)
+		if got := testing.AllocsPerRun(20, func() {
+			i++
+			multi.MaxLoads(tms[i%len(tms)], nil, out)
+		}); got != 0 {
+			t.Errorf("%s: MultiKEvaluator.MaxLoads allocates %.1f/op in steady state", sel.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"sync"
+)
+
+// AdaptiveVecResult reports a vector adaptive sampling run: one
+// accumulator, convergence flag and confidence-interval half-width per
+// component, exactly as |dim| scalar SampleAdaptive runs would report.
+type AdaptiveVecResult struct {
+	Accs       []Accumulator
+	Converged  []bool
+	HalfWidths []float64
+}
+
+// SampleAdaptiveVec runs the adaptive protocol of SampleAdaptive over a
+// vector of jointly sampled components with common random numbers:
+// sample(i, out, active) must fill out[j] for every j with active[j]
+// true, deriving all randomness from the sample index i alone so that
+// results are independent of scheduling (components of one sample may
+// share the expensive common state — e.g. one traffic matrix serving a
+// whole K grid).
+//
+// Every component follows exactly the scalar schedule (initial batch,
+// doubling, cap) against the same sample-index stream. A component
+// whose confidence interval reaches the target after a batch is frozen:
+// its accumulator stops at precisely the sample count a scalar run over
+// the same stream would have stopped at, so per-component means, sample
+// counts, half-widths and convergence flags are identical to |dim|
+// independent scalar runs — the vector run merely evaluates the shared
+// sample once instead of |dim| times, and stops evaluating a component
+// as soon as it is frozen. The run ends when every component is frozen.
+func SampleAdaptiveVec(cfg AdaptiveConfig, dim int, sample func(i int, out []float64, active []bool)) AdaptiveVecResult {
+	cfg = cfg.withDefaults()
+	res := AdaptiveVecResult{
+		Accs:       make([]Accumulator, dim),
+		Converged:  make([]bool, dim),
+		HalfWidths: make([]float64, dim),
+	}
+	if dim == 0 {
+		return res
+	}
+	active := make([]bool, dim)
+	for j := range active {
+		active[j] = true
+	}
+	nActive := dim
+	next := 0
+	batch := cfg.InitialSamples
+	for nActive > 0 {
+		if next+batch > cfg.MaxSamples {
+			batch = cfg.MaxSamples - next
+		}
+		if batch > 0 {
+			vals := sampleVecParallel(next, batch, dim, cfg.Parallelism, active, sample)
+			for b := 0; b < batch; b++ {
+				row := vals[b*dim : (b+1)*dim]
+				for j, v := range row {
+					if active[j] {
+						res.Accs[j].Add(v)
+					}
+				}
+			}
+			next += batch
+		}
+		for j := 0; j < dim; j++ {
+			if !active[j] {
+				continue
+			}
+			if rel := res.Accs[j].RelativeCI(cfg.Confidence); rel <= cfg.RelPrecision {
+				res.Converged[j] = true
+				res.HalfWidths[j] = res.Accs[j].ConfidenceHalfWidth(cfg.Confidence)
+				active[j] = false
+				nActive--
+				continue
+			}
+			if next >= cfg.MaxSamples {
+				hw := res.Accs[j].ConfidenceHalfWidth(cfg.Confidence)
+				if math.IsInf(hw, 1) {
+					hw = 0
+				}
+				res.HalfWidths[j] = hw
+				active[j] = false
+				nActive--
+			}
+		}
+		// Double the total sample count, as in the paper.
+		batch = next
+	}
+	return res
+}
+
+// sampleVecParallel evaluates one batch of vector samples using at most
+// parallelism workers, returning the dim-strided values in index order.
+// Workers only read active; it is mutated between batches.
+func sampleVecParallel(start, n, dim, parallelism int, active []bool, sample func(i int, out []float64, active []bool)) []float64 {
+	vals := make([]float64, n*dim)
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			sample(start+i, vals[i*dim:(i+1)*dim], active)
+		}
+		return vals
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sample(i, vals[(i-start)*dim:(i-start+1)*dim], active)
+			}
+		}()
+	}
+	for i := start; i < start+n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return vals
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// vecComponent deterministically synthesizes a sample stream per
+// component with very different variances, so components converge
+// after different numbers of batches.
+func vecComponent(j, i int) float64 {
+	r := CheapStream(int64(j)*1009, int64(i))
+	switch j {
+	case 0:
+		return 10 + 0.01*r.Float64() // converges in the first batch
+	case 1:
+		return 5 + 2*r.Float64()
+	default:
+		return 1 + 10*r.Float64() // may hit the cap
+	}
+}
+
+// TestSampleAdaptiveVecMatchesScalar is the contract the multi-K
+// pipeline rests on: every component of a vector run must stop at
+// exactly the sample count, mean, half-width and convergence flag of
+// an independent scalar run over the same sample-index stream.
+func TestSampleAdaptiveVecMatchesScalar(t *testing.T) {
+	cfg := AdaptiveConfig{InitialSamples: 10, MaxSamples: 80, RelPrecision: 0.05, Parallelism: 3}
+	const dim = 3
+	vec := SampleAdaptiveVec(cfg, dim, func(i int, out []float64, active []bool) {
+		for j := 0; j < dim; j++ {
+			if active[j] {
+				out[j] = vecComponent(j, i)
+			}
+		}
+	})
+	sawDifferentN := false
+	for j := 0; j < dim; j++ {
+		ref := SampleAdaptive(cfg, func(i int) float64 { return vecComponent(j, i) })
+		if got, want := vec.Accs[j].N(), ref.Acc.N(); got != want {
+			t.Errorf("component %d: vector sampled %d, scalar %d", j, got, want)
+		}
+		if vec.Accs[j].Mean() != ref.Acc.Mean() {
+			t.Errorf("component %d: mean %v vs scalar %v", j, vec.Accs[j].Mean(), ref.Acc.Mean())
+		}
+		if vec.HalfWidths[j] != ref.HalfWidth {
+			t.Errorf("component %d: half-width %v vs scalar %v", j, vec.HalfWidths[j], ref.HalfWidth)
+		}
+		if vec.Converged[j] != ref.Converged {
+			t.Errorf("component %d: converged %v vs scalar %v", j, vec.Converged[j], ref.Converged)
+		}
+		if j > 0 && vec.Accs[j].N() != vec.Accs[0].N() {
+			sawDifferentN = true
+		}
+	}
+	if !sawDifferentN {
+		t.Error("test is vacuous: all components converged at the same batch; adjust vecComponent variances")
+	}
+}
+
+// TestSampleAdaptiveVecFreezing checks that frozen components are not
+// evaluated again: the per-component call count must equal the
+// component's final sample count.
+func TestSampleAdaptiveVecFreezing(t *testing.T) {
+	cfg := AdaptiveConfig{InitialSamples: 10, MaxSamples: 80, RelPrecision: 0.05, Parallelism: 1}
+	const dim = 3
+	var calls [dim]int64
+	vec := SampleAdaptiveVec(cfg, dim, func(i int, out []float64, active []bool) {
+		for j := 0; j < dim; j++ {
+			if active[j] {
+				atomic.AddInt64(&calls[j], 1)
+				out[j] = vecComponent(j, i)
+			}
+		}
+	})
+	for j := 0; j < dim; j++ {
+		if got, want := calls[j], int64(vec.Accs[j].N()); got != want {
+			t.Errorf("component %d: %d evaluations for %d samples", j, got, want)
+		}
+	}
+}
+
+// TestSampleAdaptiveVecEdgeCases covers dim 0 and a component whose
+// variance is exactly zero (half-width 0 after the first batch).
+func TestSampleAdaptiveVecEdgeCases(t *testing.T) {
+	res := SampleAdaptiveVec(AdaptiveConfig{}, 0, func(i int, out []float64, active []bool) {
+		t.Fatal("sample called for dim 0")
+	})
+	if len(res.Accs) != 0 {
+		t.Fatalf("dim 0: %d accumulators", len(res.Accs))
+	}
+	cfg := AdaptiveConfig{InitialSamples: 5, MaxSamples: 20, RelPrecision: 0.01, Parallelism: 1}
+	res = SampleAdaptiveVec(cfg, 1, func(i int, out []float64, active []bool) { out[0] = 3 })
+	if res.Accs[0].N() != 5 || !res.Converged[0] || res.Accs[0].Mean() != 3 {
+		t.Fatalf("constant component: %+v", res)
+	}
+	if !(res.HalfWidths[0] == 0 || math.IsNaN(res.HalfWidths[0]) == false) {
+		t.Fatalf("constant component half-width: %v", res.HalfWidths[0])
+	}
+}
