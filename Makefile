@@ -31,8 +31,8 @@ bench:
 # parse (bad bench output, interrupted run) cannot destroy the
 # baseline that `make bench-compare` diffs against.
 bench-json:
-	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep' -benchmem -benchtime 1x . | tee bench_output.txt
-	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad|MultiKLoads' \
+	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep|MegaFabricSweep' -benchmem -benchtime 1x -timeout 60m . | tee bench_output.txt
+	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad|MultiKLoads|BlockCompiledLoads' \
 		-benchmem . | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json.tmp
 	@if [ -f BENCH_flow.json ]; then cp BENCH_flow.json BENCH_flow.prev.json; fi
@@ -80,6 +80,12 @@ ci: vet
 		grep -q "\"$$key\"" ci-smoke/manifest.json || { echo "ci: manifest.json missing \"$$key\""; exit 1; }; \
 	done
 	@echo ci: manifest.json ok
+	rm -rf ci-mega ci-mega-cache
+	$(GO) run ./cmd/xgftpaper -exp mega -scale quick -table-cache ci-mega-cache -out ci-mega
+	$(GO) run ./cmd/xgftpaper -exp mega -scale quick -table-cache ci-mega-cache -out ci-mega
+	@grep -Eq '"core.segments_cache_hit": [1-9]' ci-mega/manifest.json \
+		|| { echo "ci: warm mega run recorded zero segment cache hits"; exit 1; }
+	@echo ci: mega segment cache ok
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -20
@@ -95,4 +101,4 @@ repro-full:
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_flit_output.txt
 	rm -f BENCH_flow.json.tmp BENCH_flit.json.tmp
-	rm -rf ci-smoke
+	rm -rf ci-smoke ci-mega ci-mega-cache

@@ -62,7 +62,7 @@ func main() {
 		deltas, regressed := Compare(oldRes, newRes, *threshold)
 		printDeltas(os.Stdout, deltas, *oldPath, *newPath)
 		if regressed {
-			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% detected\n", *threshold*100)
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op or bytes_per_op regression beyond %.0f%% detected\n", *threshold*100)
 			os.Exit(1)
 		}
 		return
@@ -166,20 +166,29 @@ func Parse(r io.Reader) ([]Result, error) {
 }
 
 // Delta is one benchmark's comparison row. Ratio is new/old ns/op;
-// zero when the benchmark is missing from one side.
+// zero when the benchmark is missing from one side. The bytes fields
+// mirror the ns ones for -benchmem's B/op column when both records
+// carry it (allocation regressions hide inside flat ns/op numbers on
+// allocation-bound paths, so -compare gates them separately).
 type Delta struct {
-	Name   string
-	OldNs  float64
-	NewNs  float64
-	Ratio  float64
-	Status string // "ok", "REGRESSED", "improved", "added", "removed"
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Ratio      float64
+	OldBytes   *int64
+	NewBytes   *int64
+	BytesRatio float64
+	Status     string // "ok", "REGRESSED", "REGRESSED(bytes)", "improved", "added", "removed"
 }
 
 // Compare matches benchmarks by name and classifies each ns/op ratio
 // against the regression threshold (a fraction: 0.10 flags slowdowns
-// beyond +10%). Improvements use the mirrored bound. Benchmarks
-// present on only one side are reported as added/removed and never
-// fail the comparison; only a REGRESSED row sets the second return.
+// beyond +10%). bytes_per_op, when present on both sides, is gated by
+// the same threshold: a benchmark whose speed held but whose B/op
+// grew past it is flagged "REGRESSED(bytes)". Improvements use the
+// mirrored ns bound. Benchmarks present on only one side are reported
+// as added/removed and never fail the comparison; only REGRESSED rows
+// set the second return.
 func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 	oldBy := make(map[string]Result, len(oldRes))
 	for _, r := range oldRes {
@@ -192,10 +201,10 @@ func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 		seen[n.Name] = true
 		o, ok := oldBy[n.Name]
 		if !ok {
-			deltas = append(deltas, Delta{Name: n.Name, NewNs: n.NsPerOp, Status: "added"})
+			deltas = append(deltas, Delta{Name: n.Name, NewNs: n.NsPerOp, NewBytes: n.BytesPerOp, Status: "added"})
 			continue
 		}
-		d := Delta{Name: n.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Status: "ok"}
+		d := Delta{Name: n.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, OldBytes: o.BytesPerOp, NewBytes: n.BytesPerOp, Status: "ok"}
 		if o.NsPerOp > 0 {
 			d.Ratio = n.NsPerOp / o.NsPerOp
 			switch {
@@ -206,11 +215,20 @@ func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 				d.Status = "improved"
 			}
 		}
+		if o.BytesPerOp != nil && n.BytesPerOp != nil && *o.BytesPerOp > 0 {
+			d.BytesRatio = float64(*n.BytesPerOp) / float64(*o.BytesPerOp)
+			if d.BytesRatio > 1+threshold {
+				if d.Status != "REGRESSED" {
+					d.Status = "REGRESSED(bytes)"
+				}
+				regressed = true
+			}
+		}
 		deltas = append(deltas, d)
 	}
 	for _, o := range oldRes {
 		if !seen[o.Name] {
-			deltas = append(deltas, Delta{Name: o.Name, OldNs: o.NsPerOp, Status: "removed"})
+			deltas = append(deltas, Delta{Name: o.Name, OldNs: o.NsPerOp, OldBytes: o.BytesPerOp, Status: "removed"})
 		}
 	}
 	return deltas, regressed
@@ -237,8 +255,11 @@ func printDeltas(w io.Writer, deltas []Delta, oldPath, newPath string) {
 		case "removed":
 			fmt.Fprintf(w, "%-40s %14.0f %12s ns/op  removed\n", d.Name, d.OldNs, "-")
 		default:
-			fmt.Fprintf(w, "%-40s %14.0f %12.0f ns/op  %+6.1f%%  %s\n",
-				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, d.Status)
+			fmt.Fprintf(w, "%-40s %14.0f %12.0f ns/op  %+6.1f%%", d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+			if d.BytesRatio > 0 {
+				fmt.Fprintf(w, "  B/op %+6.1f%%", (d.BytesRatio-1)*100)
+			}
+			fmt.Fprintf(w, "  %s\n", d.Status)
 		}
 	}
 }

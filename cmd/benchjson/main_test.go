@@ -94,3 +94,48 @@ func TestCompare(t *testing.T) {
 		t.Error("exactly +10% flagged as regression")
 	}
 }
+
+func TestCompareBytesPerOp(t *testing.T) {
+	b := func(v int64) *int64 { return &v }
+	oldRes := []Result{
+		{Name: "BenchmarkMem", NsPerOp: 1000, BytesPerOp: b(1000)},
+		{Name: "BenchmarkMemOK", NsPerOp: 1000, BytesPerOp: b(1000)},
+		{Name: "BenchmarkBoth", NsPerOp: 1000, BytesPerOp: b(1000)},
+		{Name: "BenchmarkNoMem", NsPerOp: 1000},
+	}
+	newRes := []Result{
+		// Flat ns/op with 50% more B/op: must be flagged on bytes alone.
+		{Name: "BenchmarkMem", NsPerOp: 1000, BytesPerOp: b(1500)},
+		// +5% bytes: within threshold.
+		{Name: "BenchmarkMemOK", NsPerOp: 1000, BytesPerOp: b(1050)},
+		// Both regress: ns/op status wins the label.
+		{Name: "BenchmarkBoth", NsPerOp: 2000, BytesPerOp: b(2000)},
+		// Bytes only on the new side: no bytes comparison possible.
+		{Name: "BenchmarkNoMem", NsPerOp: 1000, BytesPerOp: b(999999)},
+	}
+	deltas, regressed := Compare(oldRes, newRes, 0.10)
+	if !regressed {
+		t.Fatal("50% B/op growth not flagged as regression")
+	}
+	status := make(map[string]string, len(deltas))
+	for _, d := range deltas {
+		status[d.Name] = d.Status
+	}
+	want := map[string]string{
+		"BenchmarkMem":   "REGRESSED(bytes)",
+		"BenchmarkMemOK": "ok",
+		"BenchmarkBoth":  "REGRESSED",
+		"BenchmarkNoMem": "ok",
+	}
+	for name, st := range want {
+		if status[name] != st {
+			t.Errorf("%s classified %q, want %q", name, status[name], st)
+		}
+	}
+	// A bytes-only record pair without ns regression must still fail.
+	if _, reg := Compare(
+		[]Result{{Name: "BenchmarkOnly", NsPerOp: 100, BytesPerOp: b(100)}},
+		[]Result{{Name: "BenchmarkOnly", NsPerOp: 100, BytesPerOp: b(200)}}, 0.10); !reg {
+		t.Error("bytes-only regression not flagged")
+	}
+}

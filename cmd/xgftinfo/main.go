@@ -31,6 +31,8 @@ func main() {
 	k := flag.Int("k", 4, "path limit K for path listing")
 	seed := flag.Int64("seed", 0, "seed for randomized schemes")
 	draw := flag.Bool("draw", false, "render the topology level by level (paper Figures 1-3 style)")
+	budget := flag.Int64("table-budget", core.DefaultTableBudget, "resident routing-table byte budget for the regime prediction")
+	segBytes := flag.Int64("segment-bytes", 0, "block-mode segment size for the regime prediction (0: default)")
 	flag.Parse()
 
 	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
@@ -38,6 +40,9 @@ func main() {
 		fatal(err)
 	}
 	summarize(t)
+	if err := tableRegime(t, *scheme, *k, *seed, *budget, *segBytes); err != nil {
+		fatal(err)
+	}
 	if *draw {
 		fmt.Println()
 		t.Draw(os.Stdout, 16)
@@ -67,6 +72,45 @@ func summarize(t *topology.Topology) {
 	} else {
 		fmt.Printf("  InfiniBand can address all %d paths per pair\n", t.MaxPaths())
 	}
+}
+
+// tableRegime predicts how flow experiments will evaluate this
+// (topology, scheme, K): a fully compiled table when the estimate fits
+// the budget, the out-of-core block mode otherwise, with the lazy
+// fallback flow's Auto mode takes on fabrics past its sample cap.
+func tableRegime(t *topology.Topology, scheme string, k int, seed, budget, segBytes int64) error {
+	sel, err := core.SelectorByName(scheme)
+	if err != nil {
+		return err
+	}
+	r := core.NewRouting(t, sel, k, seed)
+	est := core.CompiledBytes(r)
+	fmt.Printf("  compiled routing table (%s, K=%d): %s estimated\n", sel.Name(), k, byteSize(est))
+	if est <= budget {
+		fmt.Printf("  fits table budget %s: full-compile regime\n", byteSize(budget))
+	} else {
+		blockSrcs, numSegments, seg := core.PlanBlocks(r, segBytes)
+		fmt.Printf("  exceeds table budget %s: block regime (%d segments x %s, %d sources each)\n",
+			byteSize(budget), numSegments, byteSize(seg), blockSrcs)
+	}
+	if t.NumProcessors() > 12800 {
+		fmt.Printf("  note: flow auto mode falls back to lazy evaluation here (%d nodes > 12800-sample cap); request block mode explicitly\n",
+			t.NumProcessors())
+	}
+	return nil
+}
+
+// byteSize renders a byte count in the closest binary unit.
+func byteSize(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.3g GiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.3g MiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.3g KiB", float64(b)/float64(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 func listPaths(t *topology.Topology, src, dst int, scheme string, k int, seed int64) error {

@@ -40,6 +40,7 @@ var order = []string{
 	"thm1", "thm2",
 	"tier", "lid", "diversity", "workload",
 	"adaptive", "alltoall", "worstcase", "model", "crossover", "buffers", "vcs",
+	"mega",
 }
 
 // aliases expand shorthand experiment names; members must be in order.
@@ -64,6 +65,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 2012, "base seed for sampled workloads")
 	flitSeeds := fs.Int("flit-seeds", 0, "override the scale's flit-level workload seed count (0 = scale default)")
 	workers := fs.Int("workers", 0, "max concurrent experiment cells (0 = GOMAXPROCS)")
+	tf := cliutil.AddTableFlags(fs)
 	prof := cliutil.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,6 +120,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		man.Scale = scale.Name
 		man.Seed = *seed
 		man.Workers = scale.Workers
+		tf.Stamp(man)
 	}
 	// finish seals and writes the manifest on every exit path, so even a
 	// crashed sweep leaves a record of what ran and what failed.
@@ -141,7 +144,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	for _, name := range selected {
 		before := reg.Snapshot()
 		start := time.Now()
-		tbl, perr := runCaptured(name, scale, *seed)
+		tbl, perr := runCaptured(name, scale, *seed, tf.Options())
 		elapsed := time.Since(start).Seconds()
 		if perr != nil {
 			if runnerLog != nil {
@@ -228,7 +231,7 @@ func selectExperiments(exp string) ([]string, error) {
 // runCaptured converts a panicking experiment into an error carrying
 // the failing cell's coordinates and stack, so a crashed sweep leaves
 // a diagnosable trail in runner.log instead of a bare crash.
-func runCaptured(name string, scale experiments.Scale, seed int64) (tbl *experiments.Table, err error) {
+func runCaptured(name string, scale experiments.Scale, seed int64, topt experiments.TableOptions) (tbl *experiments.Table, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if cp, ok := p.(*experiments.CellPanic); ok {
@@ -238,10 +241,10 @@ func runCaptured(name string, scale experiments.Scale, seed int64) (tbl *experim
 			}
 		}
 	}()
-	return run(name, scale, seed)
+	return run(name, scale, seed, topt)
 }
 
-func run(name string, scale experiments.Scale, seed int64) (*experiments.Table, error) {
+func run(name string, scale experiments.Scale, seed int64, topt experiments.TableOptions) (*experiments.Table, error) {
 	switch name {
 	case "fig4a", "fig4b", "fig4c", "fig4d":
 		t, err := experiments.Fig4Panel(name[len(name)-1:])
@@ -277,6 +280,8 @@ func run(name string, scale experiments.Scale, seed int64) (*experiments.Table, 
 		return experiments.BufferDepth(scale), nil
 	case "vcs":
 		return experiments.VirtualChannelDepth(scale), nil
+	case "mega":
+		return experiments.Mega(scale, seed, topt)
 	case "alltoall":
 		t, err := topology.FromPaper(topology.Paper8Port3Tree)
 		if err != nil {

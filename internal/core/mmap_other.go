@@ -1,0 +1,18 @@
+//go:build !unix
+
+package core
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unsupported off unix; SegmentCache.load falls back to
+// reading cache files onto the heap, which keeps the cache functional
+// (still skips recompilation) at the cost of one copy per load.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+// munmapFile never runs off unix: no mapping is ever created.
+func munmapFile(b []byte) {}

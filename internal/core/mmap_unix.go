@@ -1,0 +1,24 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping survives the
+// file descriptor being closed, which is what lets SegmentCache.load
+// defer-close immediately.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) {
+	_ = syscall.Munmap(b)
+}

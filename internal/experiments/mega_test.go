@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flow"
+	"xgftsim/internal/obs"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// TestMegaFabricSweepMatchesLazy pins the whole mega pipeline against
+// a direct lazy recomputation: with one worker the sharded
+// segment-ordered walk must reproduce per-sample lazy maxima bit for
+// bit, so the table means and half-widths match exactly.
+func TestMegaFabricSweepMatchesLazy(t *testing.T) {
+	topo := topology.MustNew(3, []int{4, 4, 4}, []int{1, 4, 4})
+	cfg := MegaConfig{
+		Topo:         topo,
+		Ks:           []int{1, 2, 4},
+		Samples:      6,
+		PermSeed:     17,
+		Schemes:      []core.Selector{core.DModK{}, core.Disjoint{}},
+		SegmentBytes: 32 << 10,
+		Workers:      1,
+	}
+	tbl, err := MegaFabricSweep(cfg)
+	if err != nil {
+		t.Fatalf("MegaFabricSweep: %v", err)
+	}
+	if len(tbl.XValues) != len(cfg.Ks) || len(tbl.Columns) != len(cfg.Schemes) {
+		t.Fatalf("table shape %dx%d, want %dx%d", len(tbl.XValues), len(tbl.Columns), len(cfg.Ks), len(cfg.Schemes))
+	}
+
+	n := topo.NumProcessors()
+	tms := make([]*traffic.Matrix, cfg.Samples)
+	for i := range tms {
+		tms[i] = traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(cfg.PermSeed, int64(i))))
+	}
+	for j, sel := range cfg.Schemes {
+		for row, k := range cfg.Ks {
+			ev := flow.NewEvaluator(core.NewRouting(topo, sel, k, 0))
+			var acc stats.Accumulator
+			for _, tm := range tms {
+				acc.Add(ev.MaxLoad(tm))
+			}
+			cell := tbl.Cells[row][j]
+			if cell.Mean != acc.Mean() {
+				t.Fatalf("%s K=%d: mega mean %v != lazy %v", sel.Name(), k, cell.Mean, acc.Mean())
+			}
+			if cell.HalfWidth != acc.ConfidenceHalfWidth(0.99) {
+				t.Fatalf("%s K=%d: mega half-width %v != lazy %v", sel.Name(), k, cell.HalfWidth, acc.ConfidenceHalfWidth(0.99))
+			}
+			if cell.Samples != cfg.Samples {
+				t.Fatalf("%s K=%d: %d samples, want %d", sel.Name(), k, cell.Samples, cfg.Samples)
+			}
+		}
+	}
+}
+
+// TestMegaFabricSweepParallelMatchesSequential checks shard-count
+// invariance: the same config at higher worker counts produces the
+// same table (shards merge by summation of disjoint segment ranges).
+func TestMegaFabricSweepParallelMatchesSequential(t *testing.T) {
+	topo := topology.MustNew(3, []int{4, 4, 4}, []int{1, 4, 4})
+	base := MegaConfig{
+		Topo:         topo,
+		Ks:           []int{1, 4},
+		Samples:      4,
+		PermSeed:     23,
+		Schemes:      []core.Selector{core.RandomK{}},
+		RandSeeds:    []int64{101, 202},
+		SegmentBytes: 32 << 10,
+		Workers:      1,
+	}
+	seq, err := MegaFabricSweep(base)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par := base
+	par.Workers = 4
+	got, err := MegaFabricSweep(par)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	for r := range seq.Cells {
+		for c := range seq.Cells[r] {
+			if seq.Cells[r][c].Mean != got.Cells[r][c].Mean {
+				t.Fatalf("cell (%d,%d): parallel %v != sequential %v", r, c, got.Cells[r][c].Mean, seq.Cells[r][c].Mean)
+			}
+		}
+	}
+}
+
+// TestMegaQuickScaleWithCache runs the quick-scale mega experiment
+// twice against one cache directory: identical tables, and the second
+// run must hit the segment cache.
+func TestMegaQuickScaleWithCache(t *testing.T) {
+	topt := TableOptions{CacheDir: t.TempDir(), SegmentBytes: 64 << 10}
+	sc := QuickScale()
+	sc.Workers = 2
+	cold, err := Mega(sc, 2012, topt)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	hits := obs.Default().Counter("core.segments_cache_hit")
+	before := hits.Value()
+	warm, err := Mega(sc, 2012, topt)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if hits.Value() == before {
+		t.Fatalf("warm mega run hit the segment cache zero times")
+	}
+	for r := range cold.Cells {
+		for c := range cold.Cells[r] {
+			if cold.Cells[r][c] != warm.Cells[r][c] {
+				t.Fatalf("cell (%d,%d) changed across cache reuse: %+v vs %+v", r, c, cold.Cells[r][c], warm.Cells[r][c])
+			}
+		}
+	}
+}

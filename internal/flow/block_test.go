@@ -1,0 +1,215 @@
+package flow
+
+import (
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/obs"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+func blockFlowTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.MustNew(3, []int{4, 4, 8}, []int{1, 4, 4})
+}
+
+// TestBlockEvaluatorMatchesLazy pins the bit-identity contract: for
+// source-sorted matrices, MaxLoadsBatch over streamed segments equals
+// the lazy per-K Evaluator's MaxLoad exactly (same shares, same add
+// order, so the same floating-point results bit for bit).
+func TestBlockEvaluatorMatchesLazy(t *testing.T) {
+	topo := blockFlowTopo(t)
+	n := topo.NumProcessors()
+	tms := []*traffic.Matrix{
+		traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(7, 0))),
+		traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(7, 1))),
+		traffic.FromPermutation(traffic.ShiftPermutation(n, 3)),
+		traffic.FromPermutation(traffic.Tornado(n)),
+	}
+	for _, tc := range []struct {
+		name string
+		sel  core.Selector
+		ks   []int
+	}{
+		{"disjoint", core.Disjoint{}, []int{1, 2, 4, 8}},
+		{"random", core.RandomK{}, []int{1, 3, 4}},
+		{"shift1", core.Shift1{}, []int{2, 4}},
+		{"dmodk", core.DModK{}, []int{1, 4}},
+		{"umulti", core.UMulti{}, []int{16}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			kmax := tc.ks[len(tc.ks)-1]
+			b := core.NewBlockCompiledRouting(core.NewRouting(topo, tc.sel, kmax, 11), core.BlockOptions{SegmentBytes: 64 << 10})
+			defer b.Close()
+			e := NewBlockEvaluator(b, tc.ks)
+			out := make([][]float64, len(tms))
+			for i := range out {
+				out[i] = make([]float64, len(tc.ks))
+			}
+			if err := e.MaxLoadsBatch(tms, out); err != nil {
+				t.Fatalf("MaxLoadsBatch: %v", err)
+			}
+			for j, k := range tc.ks {
+				ek := k
+				if cl := classify(tc.sel); cl == classUnlimited || cl == classSingle {
+					ek = kmax // lazy path ignores K differences within a class
+				}
+				lazy := NewEvaluator(core.NewRouting(topo, tc.sel, ek, 11))
+				for s, tm := range tms {
+					want := lazy.MaxLoad(tm)
+					if got := out[s][j]; got != want {
+						t.Fatalf("K=%d matrix %d: block %v != lazy %v", k, s, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBlockEvaluatorShardedMerge pins the sharded path: two disjoint
+// segment ranges accumulated by separate evaluators, merged by sparse
+// row union, equal the single-walk result exactly.
+func TestBlockEvaluatorShardedMerge(t *testing.T) {
+	topo := blockFlowTopo(t)
+	n := topo.NumProcessors()
+	tms := []*traffic.Matrix{
+		traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(3, 0))),
+	}
+	ks := []int{1, 4}
+	b := core.NewBlockCompiledRouting(core.NewRouting(topo, core.Disjoint{}, 4, 0), core.BlockOptions{SegmentBytes: 64 << 10})
+	defer b.Close()
+	if b.NumSegments() < 2 {
+		t.Fatalf("need >= 2 segments, got %d", b.NumSegments())
+	}
+
+	whole := NewBlockEvaluator(b, ks)
+	want := [][]float64{make([]float64, len(ks))}
+	if err := whole.MaxLoadsBatch(tms, want); err != nil {
+		t.Fatalf("MaxLoadsBatch: %v", err)
+	}
+
+	mid := b.NumSegments() / 2
+	shards := []*BlockEvaluator{NewBlockEvaluator(b, ks), NewBlockEvaluator(b, ks)}
+	if err := shards[0].AccumulateSegments(tms, 0, mid); err != nil {
+		t.Fatalf("shard 0: %v", err)
+	}
+	if err := shards[1].AccumulateSegments(tms, mid, b.NumSegments()); err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+	scratch := make([]float64, topo.NumLinks())
+	for j := range ks {
+		var union []int32
+		for _, sh := range shards {
+			row := sh.Row(0, j)
+			for _, l := range sh.RowTouched(0, j) {
+				if scratch[l] == 0 {
+					union = append(union, l)
+				}
+				scratch[l] += row[l]
+			}
+		}
+		mx := 0.0
+		for _, l := range union {
+			if v := scratch[l]; v > mx {
+				mx = v
+			}
+			scratch[l] = 0
+		}
+		if mx != want[0][j] {
+			t.Fatalf("K=%d: sharded merge %v != whole walk %v", ks[j], mx, want[0][j])
+		}
+	}
+}
+
+// TestExperimentBlockMatchesNever pins runBlock end to end: the block
+// experiment reproduces the lazy experiment's sampling result exactly
+// (same sample count, same mean bits) on deterministic and randomized
+// schemes.
+func TestExperimentBlockMatchesNever(t *testing.T) {
+	topo := blockFlowTopo(t)
+	for _, sel := range []core.Selector{core.Disjoint{}, core.RandomK{}} {
+		base := Experiment{
+			Topo:     topo,
+			Sel:      sel,
+			K:        4,
+			PermSeed: 99,
+			Sampling: stats.AdaptiveConfig{InitialSamples: 20, MaxSamples: 40, RelPrecision: 0.05},
+		}
+		never := base
+		never.Compile = CompileNever
+		block := base
+		block.Compile = CompileBlock
+		block.Block = BlockPolicy{SegmentBytes: 64 << 10}
+
+		rn := never.Run()
+		rb := block.Run()
+		if rn.Acc.N() != rb.Acc.N() {
+			t.Fatalf("%s: sample counts differ: never %d, block %d", sel.Name(), rn.Acc.N(), rb.Acc.N())
+		}
+		if rn.Acc.Mean() != rb.Acc.Mean() || rn.HalfWidth != rb.HalfWidth {
+			t.Fatalf("%s: block result (%v ± %v) != lazy (%v ± %v)",
+				sel.Name(), rb.Acc.Mean(), rb.HalfWidth, rn.Acc.Mean(), rn.HalfWidth)
+		}
+	}
+}
+
+// TestExperimentBlockUsesCache checks a warm-cache block run maps
+// segments back instead of recompiling them.
+func TestExperimentBlockUsesCache(t *testing.T) {
+	topo := blockFlowTopo(t)
+	cache, err := core.OpenSegmentCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenSegmentCache: %v", err)
+	}
+	x := Experiment{
+		Topo:     topo,
+		Sel:      core.Disjoint{},
+		K:        4,
+		PermSeed: 5,
+		Sampling: stats.AdaptiveConfig{InitialSamples: 4, MaxSamples: 4, RelPrecision: 0.5},
+		Compile:  CompileBlock,
+		Block:    BlockPolicy{SegmentBytes: 64 << 10, Cache: cache},
+	}
+	cold := x.Run()
+	hitsBefore := obsCounter(t, "core.segments_cache_hit")
+	warm := x.Run()
+	if warm.Acc.Mean() != cold.Acc.Mean() {
+		t.Fatalf("warm run mean %v != cold %v", warm.Acc.Mean(), cold.Acc.Mean())
+	}
+	if obsCounter(t, "core.segments_cache_hit") == hitsBefore {
+		t.Fatalf("warm block run hit the cache zero times")
+	}
+}
+
+// TestCompiledFallbacksAreCounted pins the Auto-mode observability
+// satellite: both silent compiled→lazy decisions (budget refusal,
+// amortization refusal) now increment dedicated counters.
+func TestCompiledFallbacksAreCounted(t *testing.T) {
+	topo := blockFlowTopo(t)
+	r := core.NewRouting(topo, core.Disjoint{}, 4, 0)
+
+	budgetBefore := met.compileFallbackBudget.Value()
+	x := Experiment{Topo: topo, Sel: core.Disjoint{}, K: 4, CompileBudget: 1}
+	if c := x.compiled(r); c != nil {
+		t.Fatalf("1-byte budget compiled a table")
+	}
+	if met.compileFallbackBudget.Value() != budgetBefore+1 {
+		t.Fatalf("budget fallback not counted")
+	}
+
+	amortBefore := met.compileFallbackAmortize.Value()
+	x = Experiment{Topo: topo, Sel: core.Disjoint{}, K: 4, Sampling: stats.AdaptiveConfig{MaxSamples: 8}}
+	if c := x.compiled(r); c != nil {
+		t.Fatalf("amortization cap compiled a table (%d nodes > %d samples)", topo.NumProcessors(), 8)
+	}
+	if met.compileFallbackAmortize.Value() != amortBefore+1 {
+		t.Fatalf("amortization fallback not counted")
+	}
+}
+
+func obsCounter(t *testing.T, name string) int64 {
+	t.Helper()
+	return obs.Default().Counter(name).Value()
+}

@@ -9,6 +9,7 @@ package flow
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"xgftsim/internal/core"
@@ -317,7 +318,34 @@ type Experiment struct {
 	// CompileBudget caps each compiled table's estimated size in
 	// bytes; 0 means DefaultCompileBudget.
 	CompileBudget int64
+	// Block configures CompileBlock mode; ignored otherwise.
+	Block BlockPolicy
 }
+
+// BlockPolicy configures the out-of-core block-compiled mode: segment
+// granularity and residency for the table itself and a separate bound
+// on evaluator load-row memory (which scales with batch size, not with
+// the table).
+type BlockPolicy struct {
+	// SegmentBytes is the target compiled size of one source-block
+	// segment; 0 means core.DefaultSegmentBytes.
+	SegmentBytes int64
+	// ResidentBytes caps the segment pool kept hot between walks; 0
+	// means the experiment's CompileBudget (block mode's whole point is
+	// that the budget bounds resident table memory, not table size).
+	ResidentBytes int64
+	// Cache, when non-nil, persists compiled segments on disk so later
+	// runs map them back instead of recompiling.
+	Cache *core.SegmentCache
+	// EvalBytes bounds the per-batch evaluator row memory (8 bytes ×
+	// links × batch × seeds); 0 means DefaultEvalBytes. Larger batches
+	// amortize segment fetches over more samples per walk.
+	EvalBytes int64
+}
+
+// DefaultEvalBytes bounds block-mode evaluator row memory when
+// BlockPolicy.EvalBytes is zero.
+const DefaultEvalBytes int64 = 256 << 20
 
 // CompileMode selects Experiment's use of compiled routing tables.
 type CompileMode int
@@ -331,6 +359,12 @@ const (
 	// CompileAlways precompiles whenever the table fits the budget,
 	// regardless of amortization.
 	CompileAlways
+	// CompileBlock streams the table as block-compiled segments
+	// (core.BlockCompiledRouting): samples are evaluated in
+	// segment-ordered batches and peak table memory stays near one
+	// segment per walker no matter how large the fabric. Never chosen
+	// automatically — out-of-core evaluation is an explicit decision.
+	CompileBlock
 )
 
 // DefaultCompileBudget bounds a compiled table's size when
@@ -356,11 +390,13 @@ func (x Experiment) compiled(r *core.Routing) *core.CompiledRouting {
 			ms = 12800 // stats.AdaptiveConfig's default cap
 		}
 		if x.Topo.NumProcessors() > ms {
+			met.compileFallbackAmortize.Inc()
 			return nil
 		}
 	}
 	c, err := core.CompileRouting(r, budget)
 	if err != nil {
+		met.compileFallbackBudget.Inc()
 		return nil // over budget: lazy fallback
 	}
 	return c
@@ -386,6 +422,9 @@ func (x Experiment) Run() stats.AdaptiveResult {
 			seeds = []int64{101, 202, 303, 404, 505}
 		}
 	}
+	if x.Compile == CompileBlock {
+		return x.runBlock(seeds)
+	}
 	pools := make([]*evalPool, len(seeds))
 	for i, s := range seeds {
 		r := core.NewRouting(x.Topo, x.Sel, x.K, s)
@@ -406,4 +445,113 @@ func (x Experiment) Run() stats.AdaptiveResult {
 		return sum / float64(len(pools))
 	}
 	return stats.SampleAdaptive(x.Sampling, sample)
+}
+
+// runBlock executes the experiment out-of-core: one block-compiled
+// table per seed, samples evaluated in segment-ordered batches so each
+// segment is fetched once per batch and peak table memory stays near
+// one segment. The adaptive protocol below mirrors
+// stats.SampleAdaptive batch for batch — same batch boundaries, same
+// accumulator feed order, same convergence checks — so for matching
+// seeds the result is bit-identical to a lazy or compiled run; only
+// the evaluation order inside a sample differs, and permutation
+// matrices are source-sorted so even that order matches.
+func (x Experiment) runBlock(seeds []int64) stats.AdaptiveResult {
+	budget := x.CompileBudget
+	if budget <= 0 {
+		budget = DefaultCompileBudget
+	}
+	resident := x.Block.ResidentBytes
+	if resident <= 0 {
+		resident = budget
+	}
+	opts := core.BlockOptions{
+		SegmentBytes:  x.Block.SegmentBytes,
+		ResidentBytes: resident,
+		Cache:         x.Block.Cache,
+	}
+	k := x.K
+	if mp := x.Topo.MaxPaths(); k <= 0 || k > mp {
+		k = mp
+	}
+	evals := make([]*BlockEvaluator, len(seeds))
+	for i, s := range seeds {
+		b := core.NewBlockCompiledRouting(core.NewRouting(x.Topo, x.Sel, x.K, s), opts)
+		defer b.Close()
+		evals[i] = NewBlockEvaluator(b, []int{k})
+	}
+
+	n := x.Topo.NumProcessors()
+	eb := x.Block.EvalBytes
+	if eb <= 0 {
+		eb = DefaultEvalBytes
+	}
+	chunk := int(eb / (8 * int64(x.Topo.NumLinks()) * int64(len(seeds))))
+	if chunk < 1 {
+		chunk = 1
+	}
+	tms := make([]*traffic.Matrix, 0, chunk)
+	outs := make([][]float64, 0, chunk)
+	sampleChunk := func(start int, vals []float64) {
+		tms = tms[:0]
+		for i := range vals {
+			rng := stats.Stream(x.PermSeed, int64(start+i))
+			tms = append(tms, traffic.FromPermutation(traffic.RandomPermutation(n, rng)))
+		}
+		for len(outs) < len(vals) {
+			outs = append(outs, make([]float64, 1))
+		}
+		for i := range vals {
+			vals[i] = 0
+		}
+		for _, e := range evals {
+			if err := e.MaxLoadsBatch(tms, outs[:len(vals)]); err != nil {
+				panic(fmt.Sprintf("flow: block evaluation: %v", err))
+			}
+			for i := range vals {
+				vals[i] += outs[i][0]
+			}
+		}
+		// Match Run's per-sample value: sum of per-seed maxima divided
+		// by the seed count (same operation, so same rounding).
+		for i := range vals {
+			vals[i] /= float64(len(seeds))
+		}
+	}
+
+	cfg := x.Sampling.WithDefaults()
+	var acc stats.Accumulator
+	next := 0
+	batch := cfg.InitialSamples
+	vals := make([]float64, 0, cfg.MaxSamples)
+	for {
+		if next+batch > cfg.MaxSamples {
+			batch = cfg.MaxSamples - next
+		}
+		if batch > 0 {
+			vals = vals[:0]
+			vals = append(vals, make([]float64, batch)...)
+			for off := 0; off < batch; off += chunk {
+				c := chunk
+				if off+c > batch {
+					c = batch - off
+				}
+				sampleChunk(next+off, vals[off:off+c])
+			}
+			acc.AddAll(vals)
+			next += batch
+		}
+		rel := acc.RelativeCI(cfg.Confidence)
+		if rel <= cfg.RelPrecision {
+			return stats.AdaptiveResult{Acc: acc, Converged: true, HalfWidth: acc.ConfidenceHalfWidth(cfg.Confidence)}
+		}
+		if next >= cfg.MaxSamples {
+			hw := acc.ConfidenceHalfWidth(cfg.Confidence)
+			if math.IsInf(hw, 1) {
+				hw = 0
+			}
+			return stats.AdaptiveResult{Acc: acc, Converged: false, HalfWidth: hw}
+		}
+		batch = next
+	}
 }

@@ -26,6 +26,13 @@ type AdaptiveConfig struct {
 	Parallelism int
 }
 
+// WithDefaults returns the config with every zero field replaced by
+// its documented default — the exact config SampleAdaptive runs under.
+// Exported for callers that replicate the adaptive protocol around a
+// batched sampler (see flow's block-compiled experiment runner) and
+// must match SampleAdaptive's decisions bit for bit.
+func (c AdaptiveConfig) WithDefaults() AdaptiveConfig { return c.withDefaults() }
+
 func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
 	if c.InitialSamples <= 0 {
 		c.InitialSamples = 50
