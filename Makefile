@@ -68,11 +68,15 @@ endif
 # allocation pins guarding the metrics and evaluation hot paths, the
 # multi-K correctness gates (selector prefix nesting, the multi-K
 # vs per-K differentials, the vector sampler's scalar equivalence),
-# and a quick-scale smoke run that must produce a manifest.json with
-# the required keys.
+# the race-instrumented control-plane suite (journal replay, churn
+# soak, degradation ladder) plus the kill -9 crash-recovery run of the
+# real xgftserve binary, and a quick-scale smoke run that must produce
+# a manifest.json with the required keys.
 ci: vet
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'Repair|Wedge|Drain|Degraded|Failure' ./internal/core ./internal/flit ./internal/flow ./internal/lid
+	$(GO) test -race -count=1 ./internal/serve/...
+	$(GO) test -count=1 -run 'TestKillDashNineRecovery' ./cmd/xgftserve
 	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit ./internal/flow
 	$(GO) test -run 'PrefixNesting|MultiK|SampleAdaptiveVec' -count=1 ./internal/core ./internal/flow ./internal/stats
 	rm -rf ci-smoke && $(GO) run ./cmd/xgftpaper -exp failures -scale quick -out ci-smoke

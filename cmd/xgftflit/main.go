@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"xgftsim/internal/cliutil"
 	"xgftsim/internal/core"
@@ -69,24 +71,56 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		man.Flags = cliutil.FlagValues(fs)
 		man.Seed = *seed
 	}
+	// seal writes the manifest exactly once, whether the run finishes,
+	// fails, or is interrupted by a signal racing the normal exit path.
+	var sealOnce sync.Once
+	seal := func(status *int, err error) {
+		sealOnce.Do(func() {
+			if man != nil {
+				man.Finish(*status, err)
+				if werr := man.WriteFile(*out); werr != nil {
+					fmt.Fprintln(stderr, "xgftflit:", werr)
+					if *status == 0 {
+						*status = 1
+					}
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "xgftflit:", err)
+			}
+		})
+	}
 	finish := func(status int, err error) int {
 		if perr := prof.Stop(); perr != nil && err == nil {
 			status, err = 1, perr
 		}
-		if man != nil {
-			man.Finish(status, err)
-			if werr := man.WriteFile(*out); werr != nil {
-				fmt.Fprintln(stderr, "xgftflit:", werr)
-				if status == 0 {
-					status = 1
-				}
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, "xgftflit:", err)
-		}
+		seal(&status, err)
 		return status
 	}
+
+	// A simulation run has no cell boundaries to cancel at, so the first
+	// SIGINT/SIGTERM seals the manifest with exit_status "interrupted"
+	// and exits 130; a second signal (after stop() restores the default
+	// disposition) kills the process outright.
+	ctx, stop := cliutil.WithInterrupt(context.Background())
+	defer stop()
+	workDone := make(chan struct{})
+	defer close(workDone)
+	go func() {
+		select {
+		case <-workDone:
+		case <-ctx.Done():
+			select {
+			case <-workDone:
+				return
+			default:
+			}
+			status := 130
+			seal(&status, cliutil.ErrInterrupted)
+			os.Exit(status)
+		}
+	}()
+
 	if err := prof.Start(); err != nil {
 		return finish(1, err)
 	}

@@ -14,17 +14,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"xgftsim/internal/cliutil"
 	"xgftsim/internal/core"
 	"xgftsim/internal/flow"
 	"xgftsim/internal/stats"
-	"xgftsim/internal/topology"
 	"xgftsim/internal/traffic"
 )
 
@@ -71,24 +72,56 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		man.Seed = *seed
 		tf.Stamp(man)
 	}
+	// seal writes the manifest exactly once, whether the run finishes,
+	// fails, or is interrupted by a signal racing the normal exit path.
+	var sealOnce sync.Once
+	seal := func(status *int, err error) {
+		sealOnce.Do(func() {
+			if man != nil {
+				man.Finish(*status, err)
+				if werr := man.WriteFile(*out); werr != nil {
+					fmt.Fprintln(stderr, "xgftflow:", werr)
+					if *status == 0 {
+						*status = 1
+					}
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "xgftflow:", err)
+			}
+		})
+	}
 	finish := func(status int, err error) int {
 		if perr := prof.Stop(); perr != nil && err == nil {
 			status, err = 1, perr
 		}
-		if man != nil {
-			man.Finish(status, err)
-			if werr := man.WriteFile(*out); werr != nil {
-				fmt.Fprintln(stderr, "xgftflow:", werr)
-				if status == 0 {
-					status = 1
-				}
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, "xgftflow:", err)
-		}
+		seal(&status, err)
 		return status
 	}
+
+	// A single evaluation has no cell boundaries to cancel at, so the
+	// first SIGINT/SIGTERM seals the manifest with exit_status
+	// "interrupted" and exits 130; a second signal (after stop()
+	// restores the default disposition) kills the process outright.
+	ctx, stop := cliutil.WithInterrupt(context.Background())
+	defer stop()
+	workDone := make(chan struct{})
+	defer close(workDone)
+	go func() {
+		select {
+		case <-workDone:
+		case <-ctx.Done():
+			select {
+			case <-workDone:
+				return
+			default:
+			}
+			status := 130
+			seal(&status, cliutil.ErrInterrupted)
+			os.Exit(status)
+		}
+	}()
+
 	if err := prof.Start(); err != nil {
 		return finish(1, err)
 	}
@@ -130,7 +163,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return finish(0, nil)
 	}
 
-	tm, err := buildMatrix(t, *pattern, *arg, *seed)
+	tm, err := traffic.BuildMatrix(t, *pattern, *arg, *seed)
 	if err != nil {
 		return finish(1, err)
 	}
@@ -166,53 +199,4 @@ func compileMode(s string) (flow.CompileMode, error) {
 		return flow.CompileBlock, nil
 	}
 	return 0, fmt.Errorf("unknown -compile mode %q (want auto, never, always or block)", s)
-}
-
-func buildMatrix(t *topology.Topology, pattern string, arg int, seed int64) (*traffic.Matrix, error) {
-	n := t.NumProcessors()
-	switch pattern {
-	case "shift":
-		return traffic.FromPermutation(traffic.ShiftPermutation(n, arg)), nil
-	case "bitcomp":
-		p, err := traffic.BitComplement(n)
-		if err != nil {
-			return nil, err
-		}
-		return traffic.FromPermutation(p), nil
-	case "bitrev":
-		p, err := traffic.BitReversal(n)
-		if err != nil {
-			return nil, err
-		}
-		return traffic.FromPermutation(p), nil
-	case "transpose":
-		p, err := traffic.Transpose(n)
-		if err != nil {
-			return nil, err
-		}
-		return traffic.FromPermutation(p), nil
-	case "tornado":
-		return traffic.FromPermutation(traffic.Tornado(n)), nil
-	case "neighbor":
-		p, err := traffic.NeighborExchange(n)
-		if err != nil {
-			return nil, err
-		}
-		return traffic.FromPermutation(p), nil
-	case "butterfly":
-		p, err := traffic.Butterfly(n)
-		if err != nil {
-			return nil, err
-		}
-		return traffic.FromPermutation(p), nil
-	case "uniform":
-		return traffic.Uniform(n), nil
-	case "hotspot":
-		return traffic.Hotspot(n, arg%n, 0), nil
-	case "adversarial":
-		return traffic.AdversarialDModK(t)
-	case "random":
-		return traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(seed, 0))), nil
-	}
-	return nil, fmt.Errorf("unknown pattern %q", pattern)
 }

@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +33,7 @@ import (
 	"xgftsim/internal/cliutil"
 	"xgftsim/internal/experiments"
 	"xgftsim/internal/obs"
+	"xgftsim/internal/serve/churn"
 	"xgftsim/internal/topology"
 )
 
@@ -40,7 +43,7 @@ var order = []string{
 	"thm1", "thm2",
 	"tier", "lid", "diversity", "workload",
 	"adaptive", "alltoall", "worstcase", "model", "crossover", "buffers", "vcs",
-	"mega",
+	"churnsoak", "mega",
 }
 
 // aliases expand shorthand experiment names; members must be in order.
@@ -90,6 +93,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		scale.FlitSeeds = *flitSeeds
 	}
 	scale.Workers = *workers
+
+	// The first SIGINT/SIGTERM cancels the sweep between cells: the run
+	// unwinds, seals the manifest with exit_status "interrupted" and
+	// exits 130. stop() restores the default disposition once the
+	// context fires, so a second signal kills the process immediately.
+	ctx, stop := cliutil.WithInterrupt(context.Background())
+	defer stop()
+	scale.Ctx = ctx
 	selected, err := selectExperiments(*exp)
 	if err != nil {
 		return usage(err)
@@ -142,10 +153,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	reg := obs.Default()
 	for _, name := range selected {
+		if ctx.Err() != nil {
+			return finish(130, fmt.Errorf("%w before experiment %s", cliutil.ErrInterrupted, name))
+		}
 		before := reg.Snapshot()
 		start := time.Now()
 		tbl, perr := runCaptured(name, scale, *seed, tf.Options())
 		elapsed := time.Since(start).Seconds()
+		if errors.Is(perr, experiments.ErrInterrupted) {
+			if man != nil {
+				man.Experiments = append(man.Experiments, cliutil.ExperimentRecord{
+					Name: name, WallSeconds: elapsed, Metrics: reg.Delta(before),
+				})
+			}
+			return finish(130, fmt.Errorf("%w during experiment %s", cliutil.ErrInterrupted, name))
+		}
 		if perr != nil {
 			if runnerLog != nil {
 				fmt.Fprintf(runnerLog, "%s exp=%s scale=%s seed=%d PANIC: %v\n",
@@ -280,6 +302,8 @@ func run(name string, scale experiments.Scale, seed int64, topt experiments.Tabl
 		return experiments.BufferDepth(scale), nil
 	case "vcs":
 		return experiments.VirtualChannelDepth(scale), nil
+	case "churnsoak":
+		return churn.Soak(scale, seed)
 	case "mega":
 		return experiments.Mega(scale, seed, topt)
 	case "alltoall":

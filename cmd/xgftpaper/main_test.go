@@ -99,7 +99,7 @@ func TestManifestSmoke(t *testing.T) {
 	if m.Tool != "xgftpaper" || m.Scale != "quick" || m.Seed != 7 || m.Workers != 2 {
 		t.Fatalf("manifest identity: %+v", m)
 	}
-	if m.ExitStatus != 0 || m.Error != "" {
+	if m.ExitCode != 0 || m.ExitStatus != "ok" || m.Error != "" {
 		t.Fatalf("manifest status: %+v", m)
 	}
 	if m.Flags["exp"] != "thm2" || m.Flags["flit-seeds"] != "0" {
@@ -156,7 +156,7 @@ func TestManifestWrittenOnFailure(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	if m.ExitStatus != 1 || m.Error == "" {
-		t.Fatalf("failure not recorded: status=%d error=%q", m.ExitStatus, m.Error)
+	if m.ExitCode != 1 || m.Error == "" {
+		t.Fatalf("failure not recorded: status=%d error=%q", m.ExitCode, m.Error)
 	}
 }

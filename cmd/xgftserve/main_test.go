@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRealMainFlagErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := realMain([]string{"-dir", t.TempDir()}, &out, &errw); code != 2 {
+		t.Errorf("no -fabric: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-fabric", "e:2;4,4;1,4"}, &out, &errw); code != 2 {
+		t.Errorf("no -dir: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-dir", t.TempDir(), "-fabric", "bad"}, &out, &errw); code != 2 {
+		t.Errorf("bad spec: exit %d, want 2", code)
+	}
+}
+
+// startServer launches the built binary on an ephemeral port and
+// returns its base URL and the running command.
+func startServer(t *testing.T, bin, dir string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-dir", dir,
+		"-addr", "127.0.0.1:0",
+		"-fabric", "edge:2;4,4;1,4:d-mod-k:4",
+		"-fabric", "pod:3;2,2,2;1,2,2:disjoint:2:7",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server did not print its address within 10s")
+		return "", nil
+	}
+}
+
+func fabricChecksum(t *testing.T, base, name string) (string, uint64) {
+	t.Helper()
+	var st struct {
+		Checksum string `json:"checksum"`
+		Gen      uint64 `json:"gen"`
+	}
+	resp, err := http.Get(base + "/fabrics/" + name + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Checksum, st.Gen
+}
+
+// TestKillDashNineRecovery is the crash-recovery acceptance run: boot
+// the real binary, inject faults, SIGKILL it mid-flight, restart on
+// the same journal directory and require the replayed table checksums
+// to match what the first process was serving.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped under -short")
+	}
+	bin := filepath.Join(t.TempDir(), "xgftserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+
+	base, cmd := startServer(t, bin, dir)
+	faults := []map[string]any{
+		{"op": "fail", "kind": "cable", "node": 2, "port": 0},
+		{"op": "fail", "kind": "switch", "node": 17},
+		{"op": "fail", "kind": "link", "link": 33},
+		{"op": "heal", "kind": "cable", "node": 2, "port": 0},
+	}
+	for _, f := range faults {
+		body, _ := json.Marshal(f)
+		resp, err := http.Post(base+"/fabrics/edge/faults", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 202 {
+			t.Fatalf("fault %v: %d", f, resp.StatusCode)
+		}
+	}
+	// Wait until the worker applied everything (staleness 0).
+	deadline := time.Now().Add(10 * time.Second)
+	var sum string
+	var gen uint64
+	for {
+		sum, gen = fabricChecksum(t, base, "edge")
+		if gen == uint64(len(faults)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never caught up: gen %d", gen)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	podSum, _ := fabricChecksum(t, base, "pod")
+
+	// kill -9: no graceful close, no journal seal. Only the per-event
+	// fsync protects the history.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	base2, cmd2 := startServer(t, bin, dir)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	sum2, gen2 := fabricChecksum(t, base2, "edge")
+	if gen2 != gen {
+		t.Errorf("replayed gen %d, want %d", gen2, gen)
+	}
+	if sum2 != sum {
+		t.Errorf("replayed edge checksum %s, want %s", sum2, sum)
+	}
+	if podSum2, _ := fabricChecksum(t, base2, "pod"); podSum2 != podSum {
+		t.Errorf("replayed pod checksum %s, want %s", podSum2, podSum)
+	}
+	// The restarted server keeps accepting events on the replayed
+	// sequence: heal everything and verify it converges to healthy.
+	heals := []map[string]any{
+		{"op": "heal", "kind": "switch", "node": 17},
+		{"op": "heal", "kind": "link", "link": 33},
+	}
+	for _, f := range heals {
+		body, _ := json.Marshal(f)
+		resp, err := http.Post(base2+"/fabrics/edge/faults", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 202 {
+			t.Fatalf("heal %v: %d", f, resp.StatusCode)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var hz struct {
+			Fabrics map[string]struct {
+				Staleness uint64 `json:"staleness"`
+				Degraded  bool   `json:"degraded"`
+			} `json:"fabrics"`
+		}
+		resp, err := http.Get(base2 + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&hz)
+		resp.Body.Close()
+		if f := hz.Fabrics["edge"]; f.Staleness == 0 && !f.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted server never settled after heals")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var st struct {
+		Unreachable int    `json:"unreachable"`
+		Gen         uint64 `json:"gen"`
+	}
+	resp, err := http.Get(base2 + "/fabrics/edge/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Unreachable != 0 {
+		t.Errorf("after healing all faults: %d unreachable pairs", st.Unreachable)
+	}
+	if want := uint64(len(faults) + len(heals)); st.Gen != want {
+		t.Errorf("gen %d, want %d (sequence continues across restart)", st.Gen, want)
+	}
+}

@@ -1,0 +1,19 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// WithInterrupt returns a context cancelled on the first SIGINT or
+// SIGTERM, for CLIs that want to unwind gracefully (stop scheduling
+// work, seal the manifest with exit_status "interrupted") instead of
+// dying mid-sweep. The returned stop deregisters the handler and
+// restores the default disposition, so calling it once the context has
+// fired makes a second signal kill the process immediately — the
+// escape hatch when a cancelled run takes too long to unwind.
+func WithInterrupt(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,9 +41,18 @@ type Manifest struct {
 	Experiments []ExperimentRecord `json:"experiments,omitempty"`
 	Results     map[string]any     `json:"results,omitempty"`
 	Metrics     obs.Snapshot       `json:"metrics,omitempty"`
-	ExitStatus  int                `json:"exit_status"`
-	Error       string             `json:"error,omitempty"`
+	// ExitCode is the process exit code; ExitStatus names the outcome:
+	// "ok", "error", or "interrupted" (the run was cancelled by
+	// SIGINT/SIGTERM but still sealed its manifest on the way out).
+	ExitCode   int    `json:"exit_code"`
+	ExitStatus string `json:"exit_status"`
+	Error      string `json:"error,omitempty"`
 }
+
+// ErrInterrupted marks a run cancelled by SIGINT/SIGTERM. CLIs pass it
+// (or an error wrapping it) to Finish so the manifest records
+// exit_status "interrupted" instead of a generic error.
+var ErrInterrupted = errors.New("interrupted")
 
 // ExperimentRecord is one experiment's slice of a run: its wall-clock,
 // output file, and the change in every registered metric while it ran.
@@ -106,14 +116,24 @@ func FlagValues(fs *flag.FlagSet) map[string]string {
 	return m
 }
 
-// Finish stamps the end time, exit status and error (nil for success),
-// and snapshots the shared metrics registry.
-func (m *Manifest) Finish(exitStatus int, err error) {
+// Finish stamps the end time, exit code and error (nil for success),
+// and snapshots the shared metrics registry. An error wrapping
+// ErrInterrupted records exit_status "interrupted".
+func (m *Manifest) Finish(exitCode int, err error) {
 	m.Finished = time.Now()
 	m.WallSeconds = m.Finished.Sub(m.Started).Seconds()
-	m.ExitStatus = exitStatus
-	if err != nil {
+	m.ExitCode = exitCode
+	switch {
+	case errors.Is(err, ErrInterrupted):
+		m.ExitStatus = "interrupted"
 		m.Error = err.Error()
+	case err != nil:
+		m.ExitStatus = "error"
+		m.Error = err.Error()
+	case exitCode != 0:
+		m.ExitStatus = "error"
+	default:
+		m.ExitStatus = "ok"
 	}
 	m.Metrics = obs.Default().Snapshot()
 }

@@ -39,7 +39,7 @@ func TestManifestWriteFile(t *testing.T) {
 	if got.Tool != "testtool" || got.Scale != "quick" || got.Seed != 2012 || got.Workers != 4 {
 		t.Fatalf("round-trip lost fields: %+v", got)
 	}
-	if got.ExitStatus != 0 || got.Error != "" {
+	if got.ExitCode != 0 || got.ExitStatus != "ok" || got.Error != "" {
 		t.Fatalf("unexpected status: %+v", got)
 	}
 	if len(got.Experiments) != 1 || got.Experiments[0].Name != "fig4a" {
@@ -70,7 +70,7 @@ func TestManifestRecordsFailure(t *testing.T) {
 	if err := json.Unmarshal(data, &got); err != nil {
 		t.Fatal(err)
 	}
-	if got.ExitStatus != 1 || got.Error != "experiment fig5 panicked" {
+	if got.ExitCode != 1 || got.ExitStatus != "error" || got.Error != "experiment fig5 panicked" {
 		t.Fatalf("failure not recorded: %+v", got)
 	}
 }

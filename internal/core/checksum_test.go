@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"xgftsim/internal/topology"
+)
+
+// TestChecksumDeterministicAndSensitive: the logical-content hash is
+// stable across independent compiles of the same routing, and changes
+// when a fault rewrites any pair.
+func TestChecksumDeterministicAndSensitive(t *testing.T) {
+	topo := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	r := NewRouting(topo, DModK{}, 4, 2012)
+	a, err := CompileRouting(r, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileRouting(NewRouting(topo, DModK{}, 4, 2012), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Error("independent compiles of identical routing hash differently")
+	}
+	if a.UnreachablePairs() != 0 {
+		t.Errorf("healthy table reports %d unreachable pairs", a.UnreachablePairs())
+	}
+
+	d, err := NewDeltaRepairer(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := topology.NewFaultSet(topo)
+	if err := fs.FailCable(topo.NodeAt(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	rr := r.MustRepair(fs)
+	patched, err := d.CompileRepairedDelta(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.Checksum() == a.Checksum() {
+		t.Error("fault that rewrites pairs left the checksum unchanged")
+	}
+	if got, want := patched.UnreachablePairs(), len(rr.DisconnectedPairs()); got != want {
+		t.Errorf("UnreachablePairs = %d, want %d (DisconnectedPairs)", got, want)
+	}
+}
+
+// TestChecksumIndependentOfMaterialization: a delta-patched table and
+// a second delta compiled by an independent repairer over an
+// independently compiled base hash identically — the hash covers
+// logical content, not layout, which is what crash-recovery
+// convergence checks depend on.
+func TestChecksumIndependentOfMaterialization(t *testing.T) {
+	topo := topology.MustNew(3, []int{2, 2, 2}, []int{1, 2, 2})
+	fs := topology.NewFaultSet(topo)
+	if err := fs.FailSwitch(topo.NodeAt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]uint64, 2)
+	for i := range sums {
+		r := NewRouting(topo, Disjoint{}, 2, 7)
+		base, err := CompileRouting(r, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDeltaRepairer(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched, err := d.CompileRepairedDelta(r.MustRepair(fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i] = patched.Checksum()
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("same faults, independent materializations: %016x vs %016x", sums[0], sums[1])
+	}
+}
+
+// TestSwitchClosureSubsumesIncidentCables: failing a switch plus a
+// cable already inside the switch's dead closure repairs and compiles
+// to exactly the table of the switch alone — overlapping fault classes
+// compose by closure, not by double-counting.
+func TestSwitchClosureSubsumesIncidentCables(t *testing.T) {
+	topo := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	r := NewRouting(topo, DModK{}, 4, 2012)
+	base, err := CompileRouting(r, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeltaRepairer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := topo.NodeAt(1, 0)
+	child := topo.Child(sw, 0)
+	up := topo.UpPortOf(child, sw)
+
+	fsSwitch := topology.NewFaultSet(topo)
+	if err := fsSwitch.FailSwitch(sw); err != nil {
+		t.Fatal(err)
+	}
+	fsBoth := topology.NewFaultSet(topo)
+	if err := fsBoth.FailSwitch(sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsBoth.FailCable(child, up); err != nil {
+		t.Fatal(err)
+	}
+
+	rrSwitch, rrBoth := r.MustRepair(fsSwitch), r.MustRepair(fsBoth)
+	n := topo.NumProcessors()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			a, b := rrSwitch.Paths(src, dst), rrBoth.Paths(src, dst)
+			if len(a) != len(b) {
+				t.Fatalf("(%d,%d): %v vs %v", src, dst, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("(%d,%d): %v vs %v", src, dst, a, b)
+				}
+			}
+		}
+	}
+	tSwitch, err := d.CompileRepairedDelta(rrSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBoth, err := d.CompileRepairedDelta(rrBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSwitch.Checksum() != tBoth.Checksum() {
+		t.Errorf("subsumed cable changed the compiled table: %016x vs %016x",
+			tSwitch.Checksum(), tBoth.Checksum())
+	}
+}

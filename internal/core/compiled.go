@@ -379,6 +379,68 @@ func (c *CompiledRouting) PathIndices(src, dst int) []int32 {
 	return c.pathIdx[c.pathOff[p]:c.pathOff[p+1]]
 }
 
+// UnreachablePairs returns the number of ordered distinct SD pairs the
+// table routes nowhere (zero compiled paths) — the traffic a degraded
+// fabric must report as undeliverable. Healthy tables always compile at
+// least one path per pair, and a delta overlay only ever rewrites the
+// pairs it patched, so the count is a scan of the patch rows alone:
+// O(patched pairs), not O(N²).
+func (c *CompiledRouting) UnreachablePairs() int {
+	if c.patch != nil {
+		n := 0
+		for i := 0; i+1 < len(c.pPathOff); i++ {
+			if c.pPathOff[i] == c.pPathOff[i+1] {
+				n++
+			}
+		}
+		return n
+	}
+	if c.rep == nil {
+		return 0
+	}
+	// Fully materialized repaired table: empty rows are the
+	// disconnected pairs.
+	n := 0
+	for p := 0; p < c.n*c.n; p++ {
+		if p/c.n != p%c.n && c.pathOff[p] == c.pathOff[p+1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Checksum returns an FNV-1a hash over the table's logical content:
+// every pair's path count, path indices and link lists in pair order.
+// Two tables that route identically hash identically regardless of how
+// they were materialized (full compile, delta patch, different worker
+// counts), which is what the control plane's crash-recovery check
+// needs: a journal replay must converge to a bit-identical table.
+func (c *CompiledRouting) Checksum() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(c.n))
+	for src := 0; src < c.n; src++ {
+		for dst := 0; dst < c.n; dst++ {
+			links, np := c.PairLinks(src, dst)
+			mix(uint64(np))
+			for _, idx := range c.PathIndices(src, dst) {
+				mix(uint64(uint32(idx)))
+			}
+			for _, l := range links {
+				mix(uint64(uint32(l)))
+			}
+		}
+	}
+	return h
+}
+
 // PortRoutes expands the pair's compiled paths into output-port
 // sequences for source routing, equivalent to Routing.PortRoutes but
 // without re-running the selector (or its RNG streams).

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -61,12 +62,35 @@ func (c *SegmentCache) path(key string, g int) string {
 	return filepath.Join(c.dir, fmt.Sprintf("%016x-%06d.seg", h.Sum64(), g))
 }
 
+// segTmpCounter distinguishes temp files created by this process.
+var segTmpCounter atomic.Uint64
+
+// tempFile creates a segment scratch file under an O_CREAT|O_EXCL name
+// unique across processes (pid) and within this process (a counter):
+// two writers persisting the same segment key — even from different
+// processes sharing the cache directory — can never interleave writes
+// on a shared temp path, because each owns its file exclusively until
+// the atomic rename. A leftover name from a crashed predecessor that
+// recycled our pid reads as EEXIST and is skipped, never reused.
+func (c *SegmentCache) tempFile() (*os.File, error) {
+	for attempts := 0; attempts < 1000; attempts++ {
+		name := filepath.Join(c.dir, fmt.Sprintf("seg-%d-%d.tmp", os.Getpid(), segTmpCounter.Add(1)))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		return f, err
+	}
+	return nil, fmt.Errorf("core: segment cache: cannot create a unique temp file in %s", c.dir)
+}
+
 // store writes the segment atomically. Concurrent writers of the same
-// segment race benignly: both produce identical bytes and the last
+// segment race benignly: each writes its own exclusively-owned temp
+// file (see tempFile), both produce identical bytes and the last
 // rename wins.
 func (c *SegmentCache) store(key string, g int, s *RoutingSegment) error {
 	hdr := buildSegHeader(key, g, s)
-	tmp, err := os.CreateTemp(c.dir, "seg-*.tmp")
+	tmp, err := c.tempFile()
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -39,6 +40,11 @@ type Scale struct {
 	// concurrently (each cell may itself parallelize its samples);
 	// 0 means GOMAXPROCS. Results are deterministic regardless.
 	Workers int
+	// Ctx, when non-nil, cancels a sweep between cells: on
+	// cancellation the runner stops scheduling new cells and the
+	// experiment aborts with ErrInterrupted (wrapped in a *CellPanic).
+	// Nil means run to completion.
+	Ctx context.Context
 }
 
 // QuickScale finishes each experiment in seconds; for smoke runs and

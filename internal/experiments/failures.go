@@ -117,7 +117,7 @@ func Failures(sc Scale, seed int64) *Table {
 		bases[pi] = make([]*flow.FailureBase, len(schemes))
 		onces[pi] = make([]sync.Once, len(schemes))
 	}
-	runCells(len(jobs), sc.Workers, func(x int) {
+	runCells(sc.Ctx, len(jobs), sc.Workers, func(x int) {
 		jb := jobs[x]
 		row := jb.pi*len(fracs) + jb.fi
 		t, frac := panels[jb.pi].topo, fracs[jb.fi]
@@ -175,7 +175,7 @@ func FailureSweep(t *topology.Topology, sc Scale, seed int64) *Table {
 	// As in Failures: one shared base per scheme column.
 	bases := make([]*flow.FailureBase, len(schemes))
 	onces := make([]sync.Once, len(schemes))
-	runCells(len(fracs)*len(schemes), sc.Workers, func(x int) {
+	runCells(sc.Ctx, len(fracs)*len(schemes), sc.Workers, func(x int) {
 		fi, col := x/len(schemes), x%len(schemes)
 		s := schemes[col]
 		x0 := flow.FailureExperiment{

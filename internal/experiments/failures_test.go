@@ -39,7 +39,7 @@ func TestRunCellsPanicCapture(t *testing.T) {
 					t.Errorf("workers=%d: error %q", workers, cp.Error())
 				}
 			}()
-			runCells(4, workers, func(i int) {
+			runCells(nil, 4, workers, func(i int) {
 				if i == 2 {
 					panic("boom")
 				}
@@ -57,9 +57,9 @@ func TestRunCellsPanicNested(t *testing.T) {
 			t.Fatalf("nested panic mangled: %+v", cp)
 		}
 	}()
-	runCells(2, 1, func(i int) {
+	runCells(nil, 2, 1, func(i int) {
 		if i == 1 {
-			runCells(5, 1, func(j int) {
+			runCells(nil, 5, 1, func(j int) {
 				if j == 3 {
 					panic("inner")
 				}

@@ -42,7 +42,7 @@ func Fig4Ks(t *topology.Topology, ks []int, sc Scale, permSeed int64) *Table {
 	eff, rowOf := effectiveKs(t, ks)
 	flat := make([]Cell, len(schemes))
 	multi := make([][]Cell, len(schemes)) // [col][effective-K index]
-	runCells(len(schemes), sc.Workers, func(j int) {
+	runCells(sc.Ctx, len(schemes), sc.Workers, func(j int) {
 		sel := schemes[j]
 		if !sel.MultiPath() {
 			res := flow.Experiment{

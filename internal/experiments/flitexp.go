@@ -93,7 +93,7 @@ func Table1(sc Scale) *Table {
 	for i := range cells {
 		cells[i] = make([]Cell, len(schemes))
 	}
-	runCells(len(jobs), sc.Workers, func(x int) {
+	runCells(sc.Ctx, len(jobs), sc.Workers, func(x int) {
 		jb := jobs[x]
 		k := 1
 		if jb.row >= 0 {

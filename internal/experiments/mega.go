@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -62,6 +63,8 @@ type MegaConfig struct {
 	// EvalBytes bounds total evaluator row memory across shards, which
 	// sets how many samples share one table walk; 0 means 512 MiB.
 	EvalBytes int64
+	// Ctx cancels the sweep between shard cells (see Scale.Ctx).
+	Ctx context.Context
 }
 
 // megaUnit is one (scheme, seed) measurement: a block-compiled table
@@ -247,7 +250,7 @@ func runMegaUnit(cfg MegaConfig, sel core.Selector, seed int64, eff []int, kmax 
 			tms = append(tms, traffic.FromPermutation(traffic.RandomPermutation(n, rng)))
 		}
 		nSeg := b.NumSegments()
-		runCells(shards, cfg.Workers, func(i int) {
+		runCells(cfg.Ctx, shards, cfg.Workers, func(i int) {
 			g0 := i * nSeg / shards
 			g1 := (i + 1) * nSeg / shards
 			errs[i] = evals[i].AccumulateSegments(tms, g0, g1)

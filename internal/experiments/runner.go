@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xgftsim/internal/obs"
@@ -53,8 +56,29 @@ type CellPanic struct {
 }
 
 func (p *CellPanic) Error() string {
+	if p.Cell < 0 {
+		return fmt.Sprintf("experiments: %v", p.Value)
+	}
 	return fmt.Sprintf("experiments: cell %d panicked: %v\n\ncell goroutine stack:\n%s", p.Cell, p.Value, p.Stack)
 }
+
+// Unwrap exposes a panic value that is itself an error (notably
+// ErrInterrupted), so errors.Is sees through the CellPanic wrapper and
+// any fmt %w wrapping the CLIs add on top.
+func (p *CellPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ErrInterrupted is the value runCells panics with (wrapped in a
+// *CellPanic with Cell -1) when its context is cancelled before every
+// cell has run. CLIs match it with errors.Is and translate it to their
+// manifest's interrupted status (cliutil.ErrInterrupted) — the
+// packages stay decoupled because cliutil already depends on
+// experiments for the table flags.
+var ErrInterrupted = errors.New("sweep interrupted before all cells ran")
 
 // runCells executes run(0..n-1) with at most `workers` concurrent
 // goroutines (0 or less means GOMAXPROCS). Cells are independent
@@ -63,7 +87,17 @@ func (p *CellPanic) Error() string {
 // identical to the sequential order regardless of scheduling. A panic
 // in any cell is re-raised in the caller after all cells finish,
 // wrapped in a *CellPanic carrying the cell index and its stack.
-func runCells(n, workers int, run func(i int)) {
+//
+// A nil ctx means run to completion. When ctx is cancelled, no new
+// cells are scheduled; cells already running finish (they are not
+// preempted — a cell is the unit of abandonable work), and runCells
+// panics with ErrInterrupted wrapped in a *CellPanic unless a cell
+// panic occurred first (the cell's own failure is the more useful
+// report).
+func runCells(ctx context.Context, n, workers int, run func(i int)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -72,6 +106,9 @@ func runCells(n, workers int, run func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				panic(&CellPanic{Cell: -1, Value: ErrInterrupted})
+			}
 			runCell(i, run)
 		}
 		return
@@ -80,9 +117,13 @@ func runCells(n, workers int, run func(i int)) {
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		first *CellPanic
+		ran   atomic.Int64
 	)
 	sem := make(chan struct{}, workers)
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -98,12 +139,19 @@ func runCells(n, workers int, run func(i int)) {
 					mu.Unlock()
 				}
 			}()
+			if ctx.Err() != nil {
+				return // cancelled while queued behind the semaphore
+			}
+			ran.Add(1)
 			observeCell(run, i)
 		}(i)
 	}
 	wg.Wait()
 	if first != nil {
 		panic(first)
+	}
+	if int(ran.Load()) < n {
+		panic(&CellPanic{Cell: -1, Value: ErrInterrupted})
 	}
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -15,7 +17,7 @@ import (
 func TestRunCellsMetrics(t *testing.T) {
 	before := obs.Default().Snapshot()
 	var concurrent, peak atomic.Int64
-	runCells(8, 4, func(i int) {
+	runCells(nil, 8, 4, func(i int) {
 		c := concurrent.Add(1)
 		for {
 			p := peak.Load()
@@ -51,7 +53,7 @@ func TestRunCellsMetricsSurvivePanic(t *testing.T) {
 	before := obs.Default().Snapshot()
 	func() {
 		defer func() { recover() }()
-		runCells(3, 1, func(i int) {
+		runCells(nil, 3, 1, func(i int) {
 			if i == 1 {
 				panic("boom")
 			}
@@ -63,5 +65,58 @@ func TestRunCellsMetricsSurvivePanic(t *testing.T) {
 	}
 	if n, _ := d["experiments.cells_done"].(int64); n < 2 {
 		t.Errorf("cells_done delta = %d, want >= 2", n)
+	}
+}
+
+// TestRunCellsCancellation: a cancelled context stops the sweep before
+// all cells run and surfaces as ErrInterrupted wrapped in a CellPanic;
+// a context cancelled only after the last cell is a clean completion.
+func TestRunCellsCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					cp, ok := p.(*CellPanic)
+					if !ok {
+						t.Fatalf("workers=%d: panic %v is not a *CellPanic", workers, p)
+					}
+					err = cp
+				}
+			}()
+			runCells(ctx, 64, workers, func(i int) {
+				if ran.Add(1) == 3 {
+					cancel() // cancel mid-sweep, from inside a cell
+				}
+			})
+			return nil
+		}()
+		cancel()
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled sweep completed without error", workers)
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("workers=%d: error %v does not wrap ErrInterrupted", workers, err)
+		}
+		if n := ran.Load(); n >= 64 {
+			t.Fatalf("workers=%d: all %d cells ran despite cancellation", workers, n)
+		}
+	}
+
+	// Cancellation after completion is not an interruption.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := func() (interrupted bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				interrupted = true
+			}
+		}()
+		runCells(ctx, 8, 4, func(i int) {})
+		return false
+	}()
+	cancel()
+	if done {
+		t.Fatal("completed sweep reported interruption")
 	}
 }

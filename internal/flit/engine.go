@@ -799,11 +799,11 @@ func (e *engine) stallDiagnosis() string {
 		why := "downstream buffers never free"
 		switch {
 		case e.failed[l]:
-			why = fmt.Sprintf("link %d itself is failed", l)
+			why = e.failedLinkWhy(l, "itself is failed")
 		case p.route != nil && p.hop < len(p.route)-1:
 			next := e.outLinks[e.linkDst[l]][p.route[p.hop+1]]
 			if e.failed[next] {
-				why = fmt.Sprintf("its next link %d is failed", next)
+				why = e.failedLinkWhy(next, "is its failed next link")
 			}
 		}
 		return fmt.Sprintf("%d packets in flight with no schedulable event; e.g. a packet for node %d queued on link %d (vc %d): %s",
@@ -817,6 +817,23 @@ func (e *engine) stallDiagnosis() string {
 		}
 	}
 	return fmt.Sprintf("%d packets in flight with no schedulable event and no queued location (accounting violation)", e.pktsInFlight)
+}
+
+// failedLinkWhy explains a failed link for the wedge diagnosis. When
+// the fault set covers an entire switch at either endpoint the whole
+// node is gone — naming it beats reporting its dead cables one wedge
+// at a time, and is what an operator acts on.
+func (e *engine) failedLinkWhy(link int32, role string) string {
+	l := topology.LinkID(link)
+	if f := e.cfg.faults; f != nil {
+		from, to := e.topo.LinkEndpoints(l)
+		for _, n := range [2]topology.NodeID{from, to} {
+			if f.SwitchDead(n) {
+				return fmt.Sprintf("switch %d is failed (link %d %s)", n, l, role)
+			}
+		}
+	}
+	return fmt.Sprintf("link %d %s", l, role)
 }
 
 // Run executes one flit-level simulation.

@@ -203,3 +203,26 @@ func TestRepairRoutesDropsDisconnected(t *testing.T) {
 		t.Fatalf("%d surviving packets stuck after drain", res.BacklogPackets)
 	}
 }
+
+// TestWedgeDiagnosisNamesFailedSwitch: when the fault set kills an
+// entire switch (not just one cable), the watchdog's diagnosis names
+// the switch — the unit an operator replaces — instead of enumerating
+// its dead links one wedge at a time.
+func TestWedgeDiagnosisNamesFailedSwitch(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 8}, []int{1, 4})
+	faults := topology.NewFaultSet(tp)
+	spine := tp.NodeAt(2, 0)
+	if err := faults.FailSwitch(spine); err != nil {
+		t.Fatal(err)
+	}
+	cfg := failureBase(tp)
+	cfg.Drain = true
+	cfg.Faults = faults
+	res := MustRun(cfg)
+	if !res.Wedged {
+		t.Fatal("oblivious traffic through a dead spine switch did not wedge")
+	}
+	if !strings.Contains(res.WedgeDiagnosis, "switch") {
+		t.Fatalf("diagnosis %q does not name the failed switch", res.WedgeDiagnosis)
+	}
+}

@@ -153,6 +153,35 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile returns a bucketed upper bound for the q-quantile of the
+// observations: the smallest bucket bound whose cumulative count
+// reaches q·Count. Observations in the overflow bucket report the
+// largest configured bound (the histogram does not track a maximum),
+// so a Quantile equal to the last bound means "at least this much".
+// Zero with no observations; q is clamped to [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target && i < len(s.Bounds) {
+			return s.Bounds[i]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of a registry: metric name to int64
 // (counters and gauges) or HistogramSnapshot. It is JSON-marshalable as
 // is.

@@ -1,0 +1,384 @@
+// Package churn is the fault-churn soak driver for the routing
+// control plane: it replays a seeded flap sequence (fail → heal →
+// refail) against a live server over HTTP, interleaves path queries,
+// and cross-checks every served path against a freshly repaired lazy
+// oracle built from the event history the server acknowledged. A soak
+// passes when no response routes over a link that was dead at the
+// response's generation, no query is dropped during table swaps, and
+// the server's repair lag stays bounded.
+package churn
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// Config drives one soak against one fabric of a running server.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Fabric names the fabric to churn.
+	Fabric string
+	// Topo / Scheme / K / Seed must match the server's fabric spec —
+	// the oracle rebuilds routing state independently from them.
+	Topo   *topology.Topology
+	Scheme core.Selector
+	K      int
+	Seed   int64
+	// Events is how many fault/heal events to replay.
+	Events int
+	// QueriesPerEvent is how many random path queries follow each
+	// event (default 3).
+	QueriesPerEvent int
+	// FlapSeed seeds the flap and query streams.
+	FlapSeed int64
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+	// SettleEvery, when > 0, waits for the fabric to report staleness
+	// 0 after every SettleEvery events (keeps the queue bounded on
+	// slow machines). Default 64.
+	SettleEvery int
+	// Settle bounds one settle wait. Default 30s.
+	Settle time.Duration
+}
+
+// Result summarizes a soak.
+type Result struct {
+	Events       int // accepted fault/heal events
+	Rejected     int // 429 backpressure responses (retried)
+	Queries      int
+	Mismatches   int // served paths != oracle paths at same gen
+	DeadLinkHits int // served paths crossing a link dead at that gen
+	Degraded     int // responses flagged degraded
+	MaxStaleness uint64
+}
+
+// flapUnit is one failure unit the flap sequence toggles.
+type flapUnit struct {
+	kind       string
+	node, port int
+	link       int
+}
+
+// pathResp mirrors the server's path response.
+type pathResp struct {
+	Paths     []int  `json:"paths"`
+	Gen       uint64 `json:"gen"`
+	Staleness uint64 `json:"staleness"`
+	Degraded  bool   `json:"degraded"`
+}
+
+// Run executes the soak: a seeded flap sequence with interleaved
+// oracle-checked path queries. It returns an error only on transport
+// or protocol failures; correctness violations are counted in Result
+// (callers assert on the counts so one soak reports every violation).
+func (c Config) Run() (*Result, error) {
+	if c.QueriesPerEvent <= 0 {
+		c.QueriesPerEvent = 3
+	}
+	if c.SettleEvery <= 0 {
+		c.SettleEvery = 64
+	}
+	if c.Settle <= 0 {
+		c.Settle = 30 * time.Second
+	}
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	t := c.Topo
+	rng := stats.Stream(c.FlapSeed, 0)
+	qrng := stats.Stream(c.FlapSeed, 1)
+	res := &Result{}
+
+	// history[i] = event with seq history[i].seq, in acknowledged
+	// order; the oracle replays a prefix of it to reconstruct the
+	// fault set at any generation.
+	type acked struct {
+		seq  uint64
+		op   string
+		unit flapUnit
+	}
+	var history []acked
+	oracle := newOracle(t, c.Scheme, c.K, c.Seed)
+
+	// failed tracks currently-failed units so heals and refails target
+	// real failures (the flap shape: fail fresh, heal failed, refail).
+	var failed []flapUnit
+	n := t.NumProcessors()
+
+	for sent := 0; sent < c.Events; sent++ {
+		var op string
+		var unit flapUnit
+		switch {
+		case len(failed) > 0 && rng.Intn(3) == 0: // heal one in three
+			op = "heal"
+			i := rng.Intn(len(failed))
+			unit = failed[i]
+			failed = append(failed[:i], failed[i+1:]...)
+		default:
+			op = "fail"
+			unit = randomUnit(t, rng)
+			failed = append(failed, unit)
+		}
+		seq, rejected, err := c.post(client, op, unit)
+		if err != nil {
+			return res, err
+		}
+		res.Rejected += rejected
+		res.Events++
+		history = append(history, acked{seq: seq, op: op, unit: unit})
+
+		for q := 0; q < c.QueriesPerEvent; q++ {
+			src, dst := qrng.Intn(n), qrng.Intn(n)
+			if src == dst {
+				dst = (dst + 1) % n
+			}
+			pr, err := c.queryPath(client, src, dst)
+			if err != nil {
+				return res, err
+			}
+			res.Queries++
+			if pr.Staleness > res.MaxStaleness {
+				res.MaxStaleness = pr.Staleness
+			}
+			if pr.Degraded {
+				res.Degraded++
+				continue // a degraded response is flagged, not checked
+			}
+			// Reconstruct the fault set at the response's generation
+			// and cross-check the served paths.
+			prefix := 0
+			for prefix < len(history) && history[prefix].seq <= pr.Gen {
+				prefix++
+			}
+			events := make([]oracleEvent, prefix)
+			for i := 0; i < prefix; i++ {
+				events[i] = oracleEvent{op: history[i].op, unit: history[i].unit}
+			}
+			want, deadCrossed := oracle.check(events, src, dst, pr.Paths)
+			if !want {
+				res.Mismatches++
+			}
+			if deadCrossed {
+				res.DeadLinkHits++
+			}
+		}
+
+		if (sent+1)%c.SettleEvery == 0 {
+			if err := c.waitSettled(client); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := c.waitSettled(client); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// randomUnit draws a flap unit: mostly cables, some switches, some
+// bare directed links — the overlapping fault classes the repair
+// closure must compose.
+func randomUnit(t *topology.Topology, rng *rand.Rand) flapUnit {
+	switch rng.Intn(6) {
+	case 0: // a switch (levels >= 1)
+		for {
+			node := rng.Intn(t.NumNodes())
+			if t.Level(topology.NodeID(node)) >= 1 {
+				return flapUnit{kind: "switch", node: node}
+			}
+		}
+	case 1: // one directed link
+		return flapUnit{kind: "link", link: rng.Intn(t.NumLinks())}
+	default: // a cable
+		for {
+			node := rng.Intn(t.NumNodes())
+			if np := t.NumParents(topology.NodeID(node)); np > 0 {
+				return flapUnit{kind: "cable", node: node, port: rng.Intn(np)}
+			}
+		}
+	}
+}
+
+// post submits one event, retrying on 429 backpressure (honoring
+// Retry-After) until accepted. Returns the acknowledged seq and how
+// many rejections were retried through.
+func (c Config) post(client *http.Client, op string, unit flapUnit) (uint64, int, error) {
+	body, _ := json.Marshal(map[string]any{
+		"op": op, "kind": unit.kind, "node": unit.node, "port": unit.port, "link": unit.link,
+	})
+	url := c.BaseURL + "/fabrics/" + c.Fabric + "/faults"
+	rejected := 0
+	for {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, rejected, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var ack struct {
+				Seq uint64 `json:"seq"`
+			}
+			if err := json.Unmarshal(data, &ack); err != nil {
+				return 0, rejected, fmt.Errorf("churn: bad ack: %v", err)
+			}
+			return ack.Seq, rejected, nil
+		case http.StatusTooManyRequests:
+			rejected++
+			wait := time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if wait < 50*time.Millisecond {
+				wait = 50 * time.Millisecond
+			}
+			time.Sleep(wait)
+		default:
+			return 0, rejected, fmt.Errorf("churn: POST faults: %s: %s", resp.Status, data)
+		}
+	}
+}
+
+// queryPath fetches one path response; any non-200 is a dropped query
+// and fails the soak immediately.
+func (c Config) queryPath(client *http.Client, src, dst int) (*pathResp, error) {
+	url := fmt.Sprintf("%s/fabrics/%s/path?src=%d&dst=%d", c.BaseURL, c.Fabric, src, dst)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("churn: dropped query %s: %s: %s", url, resp.Status, data)
+	}
+	var pr pathResp
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
+// waitSettled polls the fabric state until staleness reaches 0 (the
+// worker caught up with every acknowledged event).
+func (c Config) waitSettled(client *http.Client) error {
+	deadline := time.Now().Add(c.Settle)
+	url := c.BaseURL + "/fabrics/" + c.Fabric + "/state"
+	for {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Staleness uint64 `json:"staleness"`
+			Degraded  bool   `json:"degraded"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.Staleness == 0 && !st.Degraded {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("churn: fabric %s did not settle within %v (staleness %d, degraded %v)",
+				c.Fabric, c.Settle, st.Staleness, st.Degraded)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// oracleEvent is the oracle's view of one acknowledged event.
+type oracleEvent struct {
+	op   string
+	unit flapUnit
+}
+
+// oracle independently reconstructs the repaired routing at any event
+// prefix and verifies served paths. It memoizes by prefix length —
+// generations are monotone, so an LRU of one per distinct prefix
+// suffices for the soak's access pattern.
+type oracle struct {
+	topo   *topology.Topology
+	r      *core.Routing
+	lastN  int
+	lastRR *core.RepairedRouting
+	lastFS *topology.FaultSet
+}
+
+func newOracle(t *topology.Topology, sel core.Selector, k int, seed int64) *oracle {
+	return &oracle{topo: t, r: core.NewRouting(t, sel, k, seed), lastN: -1}
+}
+
+// check verifies served paths for (src, dst) at the fault state after
+// the given event prefix: match = indices equal the oracle's repaired
+// selection, deadCrossed = any served path crosses a currently-dead
+// link.
+func (o *oracle) check(events []oracleEvent, src, dst int, served []int) (match, deadCrossed bool) {
+	if len(events) != o.lastN {
+		fs := topology.NewFaultSet(o.topo)
+		counts := make(map[flapUnit]int)
+		for _, e := range events {
+			if e.op == "fail" {
+				counts[e.unit]++
+			} else if counts[e.unit] > 0 {
+				counts[e.unit]--
+			}
+		}
+		for u, c := range counts {
+			if c == 0 {
+				continue
+			}
+			switch u.kind {
+			case "cable":
+				fs.FailCable(topology.NodeID(u.node), u.port)
+			case "switch":
+				fs.FailSwitch(topology.NodeID(u.node))
+			case "link":
+				fs.FailLink(topology.LinkID(u.link))
+			}
+		}
+		o.lastFS = fs
+		o.lastRR = o.r.MustRepair(fs)
+		o.lastN = len(events)
+	}
+	want := o.lastRR.Paths(src, dst)
+	match = len(want) == len(served)
+	if match {
+		for i := range want {
+			if want[i] != served[i] {
+				match = false
+				break
+			}
+		}
+	}
+	k := o.topo.NCALevel(src, dst)
+	up := make([]int, 0, 8)
+	var links []topology.LinkID
+	for _, idx := range served {
+		up = core.DecodePathIndex(o.topo, k, idx, up[:0])
+		links = o.topo.AppendPathLinksNCA(links[:0], src, dst, k, up)
+		for _, l := range links {
+			if o.lastFS.LinkDown(l) {
+				deadCrossed = true
+			}
+		}
+	}
+	return match, deadCrossed
+}

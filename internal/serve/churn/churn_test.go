@@ -1,0 +1,74 @@
+package churn
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/serve"
+)
+
+// TestChurnSoak replays a seeded flap sequence of 500+ events against a
+// two-fabric server and cross-checks every served path against the
+// lazy oracle: zero mismatches, zero paths over dead links, zero
+// dropped queries (Run errors on any non-200), bounded repair lag.
+func TestChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is seconds-long; skipped under -short")
+	}
+	specs := []serve.FabricSpec{
+		{Name: "edge", XGFT: "2;4,4;1,4", Scheme: "d-mod-k", K: 4, Seed: 2012},
+		{Name: "pod", XGFT: "3;2,2,2;1,2,2", Scheme: "disjoint", K: 2, Seed: 7},
+	}
+	s, err := serve.New(serve.Config{Fabrics: specs, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	events := []int{500, 150} // edge takes the long soak, pod a shorter one
+	for i, spec := range specs {
+		topo, err := cliutil.ParseXGFT(spec.XGFT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := core.SelectorByName(spec.Scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Config{
+			BaseURL:  hs.URL,
+			Fabric:   spec.Name,
+			Topo:     topo,
+			Scheme:   sel,
+			K:        spec.K,
+			Seed:     spec.Seed,
+			Events:   events[i],
+			FlapSeed: 42 + int64(i),
+		}.Run()
+		if err != nil {
+			t.Fatalf("fabric %s: soak aborted (dropped query or transport error): %v", spec.Name, err)
+		}
+		t.Logf("fabric %s: %d events (%d retried through 429), %d queries, maxStaleness %d, %d degraded",
+			spec.Name, res.Events, res.Rejected, res.Queries, res.MaxStaleness, res.Degraded)
+		if res.Events != events[i] {
+			t.Errorf("fabric %s: %d events accepted, want %d", spec.Name, res.Events, events[i])
+		}
+		if res.Mismatches != 0 {
+			t.Errorf("fabric %s: %d served paths disagreed with the oracle", spec.Name, res.Mismatches)
+		}
+		if res.DeadLinkHits != 0 {
+			t.Errorf("fabric %s: %d served paths crossed dead links", spec.Name, res.DeadLinkHits)
+		}
+		if res.Degraded != 0 {
+			t.Errorf("fabric %s: %d degraded responses with the default budget", spec.Name, res.Degraded)
+		}
+	}
+}

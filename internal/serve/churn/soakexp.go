@@ -1,0 +1,95 @@
+package churn
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/experiments"
+	"xgftsim/internal/serve"
+)
+
+// Soak is the churn-soak experiment behind `xgftpaper -exp churnsoak`:
+// it boots an in-process control-plane server over two fabrics, drives
+// the seeded flap soak against each, and reports the oracle-checked
+// counters as a table. Quick scale replays ~150 events per fabric, the
+// full/paper scales ~600. Any violation (mismatch, dead-link hit,
+// dropped query) shows up as a non-zero cell; transport errors abort.
+func Soak(scale experiments.Scale, seed int64) (*experiments.Table, error) {
+	specs := []serve.FabricSpec{
+		{Name: "edge", XGFT: "2;4,4;1,4", Scheme: "d-mod-k", K: 4, Seed: 2012},
+		{Name: "pod", XGFT: "3;2,2,2;1,2,2", Scheme: "disjoint", K: 2, Seed: 7},
+	}
+	events := 150
+	if scale.Name == "full" || scale.Name == "paper" {
+		events = 600
+	}
+
+	dir, err := os.MkdirTemp("", "xgft-churnsoak-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.New(serve.Config{Fabrics: specs, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ctx := scale.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.Start(ctx)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	tab := &experiments.Table{
+		Title:   fmt.Sprintf("Churn soak: %d events/fabric, oracle-checked (scale %s)", events, scale.Name),
+		XLabel:  "fabric",
+		Columns: []string{"events", "429 retries", "queries", "mismatches", "dead-link hits", "degraded", "max staleness"},
+		Footnote: "mismatches/dead-link hits/degraded must be 0: every served path equals an " +
+			"independently repaired oracle's and crosses no dead link",
+	}
+	for i, spec := range specs {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		topo, err := cliutil.ParseXGFT(spec.XGFT)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := core.SelectorByName(spec.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Config{
+			BaseURL:  hs.URL,
+			Fabric:   spec.Name,
+			Topo:     topo,
+			Scheme:   sel,
+			K:        spec.K,
+			Seed:     spec.Seed,
+			Events:   events,
+			FlapSeed: seed + int64(i),
+		}.Run()
+		if err != nil {
+			return nil, fmt.Errorf("churn soak: fabric %s: %w", spec.Name, err)
+		}
+		tab.XValues = append(tab.XValues, spec.Name)
+		tab.Cells = append(tab.Cells, []experiments.Cell{
+			{Mean: float64(res.Events), Samples: res.Events},
+			{Mean: float64(res.Rejected)},
+			{Mean: float64(res.Queries), Samples: res.Queries},
+			{Mean: float64(res.Mismatches)},
+			{Mean: float64(res.DeadLinkHits)},
+			{Mean: float64(res.Degraded)},
+			{Mean: float64(res.MaxStaleness)},
+		})
+	}
+	return tab, nil
+}

@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+)
+
+// FabricSpec names one served fabric and its routing policy, parsed
+// from the CLI form NAME:XGFT[:SCHEME[:K[:SEED]]], e.g.
+// "edge:2;4,4;1,4:d-mod-k:4:2012". The XGFT spec field uses ';' and
+// ',' internally, so ':' is the field separator.
+type FabricSpec struct {
+	Name   string
+	XGFT   string
+	Scheme string
+	K      int
+	Seed   int64
+}
+
+// ParseFabricSpec parses the CLI fabric form, defaulting the scheme to
+// d-mod-k, K to 4 and the seed to 2012.
+func ParseFabricSpec(s string) (FabricSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return FabricSpec{}, fmt.Errorf("serve: fabric spec %q: want NAME:XGFT[:SCHEME[:K[:SEED]]]", s)
+	}
+	spec := FabricSpec{Name: parts[0], XGFT: parts[1], Scheme: "d-mod-k", K: 4, Seed: 2012}
+	if len(parts) > 2 && parts[2] != "" {
+		spec.Scheme = parts[2]
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		k, err := strconv.Atoi(parts[3])
+		if err != nil || k < 1 {
+			return FabricSpec{}, fmt.Errorf("serve: fabric spec %q: bad K %q", s, parts[3])
+		}
+		spec.K = k
+	}
+	if len(parts) > 4 && parts[4] != "" {
+		seed, err := strconv.ParseInt(parts[4], 10, 64)
+		if err != nil {
+			return FabricSpec{}, fmt.Errorf("serve: fabric spec %q: bad seed %q", s, parts[4])
+		}
+		spec.Seed = seed
+	}
+	if len(parts) > 5 {
+		return FabricSpec{}, fmt.Errorf("serve: fabric spec %q: too many fields", s)
+	}
+	return spec, nil
+}
+
+// fabState is one immutable published snapshot of a fabric: the table
+// and repaired routing reflecting events up to gen. States are swapped
+// in whole via an atomic pointer — readers pin a state once per
+// request and never observe a partial repair.
+type fabState struct {
+	// table is the CSR table to serve from: the healthy base table, or
+	// a delta-patched copy-on-write repair of it. Nil in lazy mode.
+	// When degraded it reflects tableGen < gen (the last good table).
+	table    *core.CompiledRouting
+	tableGen uint64
+	// rep is the repaired routing at gen; nil while the fabric is
+	// healthy. It is always fresh even when the table is stale, so path
+	// queries on a degraded fabric fall back to lazy per-pair repair
+	// instead of serving routes over links known to be dead.
+	rep    *core.RepairedRouting
+	faults *topology.FaultSet
+	gen    uint64
+	// degraded marks a state whose table could not be rebuilt (repair
+	// error, over-budget delta, or timeout): CSR-backed answers come
+	// from the stale table or lazy evaluation and responses carry the
+	// degraded flag until a later rebuild succeeds.
+	degraded    bool
+	lastErr     string
+	unreachable int
+	built       time.Time
+}
+
+// ErrQueueFull is returned by Submit when the fabric's bounded event
+// queue has no room; HTTP maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: event queue full")
+
+// Fabric is one served topology: its routing, compiled base table and
+// delta repairer, the write-ahead fault journal, a bounded event
+// queue, and the atomically-published serving state.
+type Fabric struct {
+	Spec FabricSpec
+
+	topo    *topology.Topology
+	routing *core.Routing
+	base    *core.CompiledRouting // nil in lazy mode
+	delta   *core.DeltaRepairer   // nil in lazy mode
+	journal *Journal
+	lazy    bool
+
+	state atomic.Pointer[fabState]
+
+	mu     sync.Mutex // guards seq and queue admission
+	seq    uint64     // last acknowledged (journaled) event seq
+	events chan Event
+
+	ackedSeq     atomic.Uint64
+	pendingSince atomic.Int64 // unix nanos of oldest unapplied admission; 0 = caught up
+
+	// Repair-loop tuning (fixed at construction).
+	repairTimeout time.Duration
+	backoffBase   time.Duration
+	backoffCap    time.Duration
+	maxAttempts   int
+	budget        int64
+
+	// counts is the worker-owned fault bookkeeping: live failure count
+	// per unit, so overlapping classes (a dead switch plus dead cables
+	// under it) and fail/heal flapping compose by reference counting.
+	counts map[eventKey]int
+}
+
+// fabricOptions bundles the serve-wide knobs New applies per fabric.
+type fabricOptions struct {
+	journalPath   string
+	queueSize     int
+	repairTimeout time.Duration
+	backoffBase   time.Duration
+	backoffCap    time.Duration
+	maxAttempts   int
+	budget        int64
+}
+
+// newFabric builds the fabric: topology, routing, compiled table
+// (lazy mode when the compile would exceed the byte budget), journal
+// replay, and the initial published state. Replayed faults are applied
+// synchronously, so a restarted server converges to the degraded state
+// it crashed in before it serves its first query.
+func newFabric(spec FabricSpec, opt fabricOptions) (*Fabric, error) {
+	t, err := cliutil.ParseXGFT(spec.XGFT)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fabric %s: %w", spec.Name, err)
+	}
+	sel, err := core.SelectorByName(spec.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fabric %s: %w", spec.Name, err)
+	}
+	r := core.NewRouting(t, sel, spec.K, spec.Seed)
+	// Reject schemes that cannot repair up front: a fabric that cannot
+	// apply fault events has no business in a fault-churn control plane.
+	if _, err := r.Repair(topology.NewFaultSet(t)); err != nil {
+		return nil, fmt.Errorf("serve: fabric %s: %w", spec.Name, err)
+	}
+	f := &Fabric{
+		Spec:          spec,
+		topo:          t,
+		routing:       r,
+		events:        make(chan Event, opt.queueSize),
+		repairTimeout: opt.repairTimeout,
+		backoffBase:   opt.backoffBase,
+		backoffCap:    opt.backoffCap,
+		maxAttempts:   opt.maxAttempts,
+		budget:        opt.budget,
+		counts:        make(map[eventKey]int),
+	}
+	if est := core.CompiledBytes(r); est <= opt.budget {
+		base, err := core.CompileRouting(r, opt.budget)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fabric %s: compile: %w", spec.Name, err)
+		}
+		d, err := core.NewDeltaRepairer(base)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fabric %s: %w", spec.Name, err)
+		}
+		f.base, f.delta = base, d
+	} else {
+		f.lazy = true // degradation ladder bottom: per-query path walks
+	}
+
+	j, history, err := OpenJournal(opt.journalPath)
+	if err != nil {
+		return nil, err
+	}
+	f.journal = j
+	for _, e := range history {
+		if err := validateEvent(t, e); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("serve: fabric %s: journal replay: %w", spec.Name, err)
+		}
+		f.applyToCounts(e)
+		if e.Seq > f.seq {
+			f.seq = e.Seq
+		}
+	}
+	f.ackedSeq.Store(f.seq)
+
+	st, err := f.buildState(f.seq)
+	if err != nil {
+		// Boot with a degraded healthy-table state rather than refusing
+		// to serve: the journal is intact, a later event retries.
+		st = &fabState{
+			table: f.base, tableGen: 0, gen: f.seq,
+			degraded: f.seq > 0, lastErr: err.Error(), built: time.Now(),
+		}
+	}
+	f.state.Store(st)
+	return f, nil
+}
+
+// State returns the current published state (never nil after New).
+func (f *Fabric) State() *fabState { return f.state.Load() }
+
+// Gen is the event generation the published state reflects.
+func (f *Fabric) Gen() uint64 { return f.State().gen }
+
+// Degraded reports whether the published state is serving with a
+// stale table after a failed rebuild.
+func (f *Fabric) Degraded() bool { return f.State().degraded }
+
+// Staleness is how many acknowledged events the published state does
+// not yet reflect.
+func (f *Fabric) Staleness() uint64 {
+	return f.ackedSeq.Load() - f.State().gen
+}
+
+// RepairLag is how long the oldest unapplied admission has been
+// waiting; 0 when caught up.
+func (f *Fabric) RepairLag() time.Duration {
+	since := f.pendingSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - since)
+}
+
+// QueueDepth is the current occupancy of the bounded event queue.
+func (f *Fabric) QueueDepth() int { return len(f.events) }
+
+// Topology returns the served topology.
+func (f *Fabric) Topology() *topology.Topology { return f.topo }
+
+// Mode names the serving mode of the degradation ladder this fabric
+// operates in: "compiled" (CSR base + delta repairs) or "lazy"
+// (per-query path walks; the table exceeded the byte budget).
+func (f *Fabric) Mode() string {
+	if f.lazy {
+		return "lazy"
+	}
+	return "compiled"
+}
+
+// Submit admits one fault/repair event: it is validated by the caller,
+// assigned the next sequence number, journaled durably, and only then
+// enqueued for the repair worker and acknowledged. A full queue
+// returns ErrQueueFull without consuming a sequence number — the
+// client retries after the worker drains.
+func (f *Fabric) Submit(e Event) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.events) == cap(f.events) {
+		met.eventsRejected.Inc()
+		return 0, ErrQueueFull
+	}
+	e.Seq = f.seq + 1
+	if err := f.journal.Append(e); err != nil {
+		return 0, err
+	}
+	f.seq = e.Seq
+	f.ackedSeq.Store(e.Seq)
+	f.pendingSince.CompareAndSwap(0, time.Now().UnixNano())
+	f.events <- e // room checked above; only Submit sends
+	met.eventsAccepted.Inc()
+	depth := int64(len(f.events))
+	met.queueDepth.Set(depth)
+	met.queueDepthMax.SetMax(depth)
+	return e.Seq, nil
+}
+
+// validateEvent rejects events that do not name a failure unit of t.
+func validateEvent(t *topology.Topology, e Event) error {
+	if e.Op != "fail" && e.Op != "heal" {
+		return fmt.Errorf("bad op %q (want fail or heal)", e.Op)
+	}
+	switch e.Kind {
+	case "cable":
+		if e.Node < 0 || e.Node >= t.NumNodes() {
+			return fmt.Errorf("cable node %d out of range [0,%d)", e.Node, t.NumNodes())
+		}
+		n := topology.NodeID(e.Node)
+		if np := t.NumParents(n); e.Port < 0 || e.Port >= np {
+			return fmt.Errorf("cable port %d out of range [0,%d) at node %d", e.Port, np, e.Node)
+		}
+	case "switch":
+		if e.Node < 0 || e.Node >= t.NumNodes() {
+			return fmt.Errorf("switch node %d out of range [0,%d)", e.Node, t.NumNodes())
+		}
+		if t.Level(topology.NodeID(e.Node)) == 0 {
+			return fmt.Errorf("node %d is a processor, not a switch", e.Node)
+		}
+	case "link":
+		if e.Link < 0 || e.Link >= t.NumLinks() {
+			return fmt.Errorf("link %d out of range [0,%d)", e.Link, t.NumLinks())
+		}
+	default:
+		return fmt.Errorf("bad kind %q (want cable, switch or link)", e.Kind)
+	}
+	return nil
+}
+
+// applyToCounts folds one event into the worker's reference counts.
+// Heals floor at zero, so healing a unit that was never failed (or
+// was failed once and healed twice) is a no-op, not corruption.
+func (f *Fabric) applyToCounts(e Event) {
+	k := e.key()
+	switch e.Op {
+	case "fail":
+		f.counts[k]++
+	case "heal":
+		if f.counts[k] > 0 {
+			f.counts[k]--
+		}
+		if f.counts[k] == 0 {
+			delete(f.counts, k)
+		}
+	}
+}
+
+// faultSet materializes the current counts as a FaultSet; nil when the
+// fabric is healthy.
+func (f *Fabric) faultSet() (*topology.FaultSet, error) {
+	if len(f.counts) == 0 {
+		return nil, nil
+	}
+	fs := topology.NewFaultSet(f.topo)
+	for k := range f.counts {
+		var err error
+		switch k.Kind {
+		case "cable":
+			err = fs.FailCable(topology.NodeID(k.Node), k.Port)
+		case "switch":
+			err = fs.FailSwitch(topology.NodeID(k.Node))
+		case "link":
+			err = fs.FailLink(topology.LinkID(k.Link))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// snapshotEvents renders the live counts as a compact replayable
+// history, each stamped with the current sequence number so a replayed
+// snapshot reports the same generation.
+func (f *Fabric) snapshotEvents(seq uint64) []Event {
+	var out []Event
+	for k, c := range f.counts {
+		for i := 0; i < c; i++ {
+			out = append(out, Event{Seq: seq, Op: "fail", Kind: k.Kind, Node: k.Node, Port: k.Port, Link: k.Link})
+		}
+	}
+	return out
+}
+
+// buildState computes the published state for the current counts at
+// generation gen: repair, delta-compile (compiled mode), and the
+// budget check. It is the synchronous core the worker wraps with
+// timeout and backoff.
+func (f *Fabric) buildState(gen uint64) (*fabState, error) {
+	fs, err := f.faultSet()
+	if err != nil {
+		return nil, err
+	}
+	if fs == nil {
+		return &fabState{table: f.base, tableGen: gen, gen: gen, built: time.Now()}, nil
+	}
+	rr, err := f.routing.Repair(fs)
+	if err != nil {
+		return nil, err
+	}
+	st := &fabState{rep: rr, faults: fs, gen: gen, built: time.Now()}
+	if f.lazy {
+		st.unreachable = len(rr.DisconnectedPairs())
+		return st, nil
+	}
+	table, err := f.delta.CompileRepairedDelta(rr)
+	if err != nil {
+		return nil, err
+	}
+	if b := table.Bytes(); b > f.budget {
+		// The repair succeeded; only the compiled artifact is over
+		// budget. Publish a degraded state that answers path queries
+		// from the fresh lazy repair and keeps the last good table for
+		// CSR-backed queries — correct answers, stale aggregates.
+		st.degraded = true
+		st.lastErr = fmt.Sprintf("serve: repaired table %d bytes exceeds budget %d", b, f.budget)
+		st.unreachable = len(rr.DisconnectedPairs())
+		if prev := f.state.Load(); prev != nil && prev.table != nil {
+			st.table, st.tableGen = prev.table, prev.tableGen
+		} else {
+			st.table, st.tableGen = f.base, 0
+		}
+		return st, nil
+	}
+	st.table, st.tableGen = table, gen
+	st.unreachable = table.UnreachablePairs()
+	return st, nil
+}
+
+// run is the fabric's repair worker: it drains the event queue in
+// coalesced batches, rebuilds the state, and publishes it atomically.
+// Rebuild failures and timeouts publish a degraded state that keeps
+// the last good table serving; retries back off exponentially (capped)
+// and give up after maxAttempts until the next event arrives.
+func (f *Fabric) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e := <-f.events:
+			f.applyToCounts(e)
+			gen := e.Seq
+			// Coalesce everything already queued: one rebuild covers
+			// the whole burst.
+			for {
+				select {
+				case e := <-f.events:
+					f.applyToCounts(e)
+					gen = e.Seq
+				default:
+					goto drained
+				}
+			}
+		drained:
+			met.queueDepth.Set(int64(len(f.events)))
+			f.rebuild(ctx, gen)
+		}
+	}
+}
+
+type buildResult struct {
+	st  *fabState
+	err error
+}
+
+// rebuild drives buildState with the per-fabric timeout, capped
+// exponential backoff, and bounded attempts. On timeout it publishes
+// the degraded state immediately (queries see the staleness right
+// away) and keeps waiting for the in-flight compile — a late success
+// still swaps in if no newer rebuild superseded it.
+func (f *Fabric) rebuild(ctx context.Context, gen uint64) {
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		ch := make(chan buildResult, 1)
+		go func() {
+			st, err := f.buildState(gen)
+			ch <- buildResult{st, err}
+		}()
+		var res buildResult
+		timer := time.NewTimer(f.repairTimeout)
+		select {
+		case res = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			met.repairTimeouts.Inc()
+			f.publishDegraded(fmt.Errorf("serve: repair exceeded %v", f.repairTimeout))
+			// The compile goroutine cannot be cancelled mid-flight;
+			// wait for it so a late success still lands. A newer event
+			// burst will supersede via a later rebuild anyway.
+			select {
+			case res = <-ch:
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+		met.repairSeconds.Observe(time.Since(start).Seconds())
+		if res.err == nil {
+			f.publish(res.st)
+			f.maybeCompact(gen)
+			return
+		}
+		met.repairFailures.Inc()
+		f.publishDegraded(res.err)
+		if attempt+1 >= f.maxAttempts {
+			return // stay degraded; the next event triggers a fresh rebuild
+		}
+		backoff := f.backoffBase << uint(attempt)
+		if backoff > f.backoffCap || backoff <= 0 {
+			backoff = f.backoffCap
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// publish swaps the new state in and clears the repair-lag clock when
+// the fabric is caught up.
+func (f *Fabric) publish(st *fabState) {
+	f.state.Store(st)
+	met.tableSwaps.Inc()
+	if st.gen == f.ackedSeq.Load() && len(f.events) == 0 {
+		f.pendingSince.Store(0)
+	}
+}
+
+// publishDegraded publishes a state that keeps the previous table (and
+// previous repaired routing, if any) serving while recording the
+// failure. The state still reflects the previous generation, so
+// staleness (ackedSeq - gen) counts exactly the events the served
+// answers miss.
+func (f *Fabric) publishDegraded(err error) {
+	prev := f.State()
+	st := &fabState{
+		table:       prev.table,
+		tableGen:    prev.tableGen,
+		rep:         prev.rep,
+		faults:      prev.faults,
+		gen:         prev.gen,
+		degraded:    true,
+		lastErr:     err.Error(),
+		unreachable: prev.unreachable,
+		built:       time.Now(),
+	}
+	f.state.Store(st)
+	met.tableSwaps.Inc()
+}
+
+// maybeCompact rewrites the journal as a snapshot once the history is
+// several times larger than the live fault set, bounding replay time
+// under sustained churn.
+func (f *Fabric) maybeCompact(seq uint64) {
+	live := 0
+	for _, c := range f.counts {
+		live += c
+	}
+	if f.journal.Records() <= 4*live+64 {
+		return
+	}
+	if err := f.journal.Compact(f.snapshotEvents(seq)); err == nil {
+		met.compactions.Inc()
+	}
+}
+
+// Close releases the fabric's journal.
+func (f *Fabric) Close() error { return f.journal.Close() }

@@ -1,0 +1,46 @@
+package serve
+
+import "xgftsim/internal/obs"
+
+// Control-plane metrics, registered in the shared obs registry the
+// /metrics endpoint exports: event admission and rejection, queue
+// occupancy, repair latency and failures, table swaps, and how stale
+// and degraded the served tables currently are. All are process-wide
+// (summed over fabrics); per-fabric detail lives on /healthz.
+var met = struct {
+	eventsAccepted    *obs.Counter
+	eventsRejected    *obs.Counter
+	queueDepth        *obs.Gauge
+	queueDepthMax     *obs.Gauge
+	tableSwaps        *obs.Counter
+	repairSeconds     *obs.Histogram
+	repairFailures    *obs.Counter
+	repairTimeouts    *obs.Counter
+	compactions       *obs.Counter
+	queries           *obs.Counter
+	degradedResponses *obs.Counter
+	staleness         *obs.Gauge
+}{
+	eventsAccepted:    obs.Default().Counter("serve.events_accepted"),
+	eventsRejected:    obs.Default().Counter("serve.events_rejected"),
+	queueDepth:        obs.Default().Gauge("serve.queue_depth"),
+	queueDepthMax:     obs.Default().Gauge("serve.queue_depth_max"),
+	tableSwaps:        obs.Default().Counter("serve.table_swaps"),
+	repairSeconds:     obs.Default().Histogram("serve.repair_seconds", []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60}),
+	repairFailures:    obs.Default().Counter("serve.repair_failures"),
+	repairTimeouts:    obs.Default().Counter("serve.repair_timeouts"),
+	compactions:       obs.Default().Counter("serve.journal_compactions"),
+	queries:           obs.Default().Counter("serve.queries"),
+	degradedResponses: obs.Default().Counter("serve.degraded_responses"),
+	staleness:         obs.Default().Gauge("serve.staleness_events"),
+}
+
+// updateStaleness recomputes the summed staleness gauge; called after
+// swaps and admissions (cheap: a load per fabric).
+func updateStaleness(fabrics []*Fabric) {
+	var total int64
+	for _, f := range fabrics {
+		total += int64(f.Staleness())
+	}
+	met.staleness.Set(total)
+}

@@ -167,6 +167,33 @@ func RandomSwitchFaults(t *Topology, seed int64, count int) (*FaultSet, error) {
 	return f, nil
 }
 
+// SwitchDead reports whether every link incident to switch n is down —
+// the closure FailSwitch leaves behind, however it was reached (one
+// FailSwitch call, or cable faults that happen to cover the switch).
+// Diagnostics use it to name the node instead of listing its cables.
+// Processing nodes are never "dead" (endpoint failures are workload
+// changes, not fabric faults).
+func (f *FaultSet) SwitchDead(n NodeID) bool {
+	t := f.topo
+	l, _ := t.LevelIndex(n)
+	if l == 0 || f.num == 0 {
+		return false
+	}
+	for p := 0; p < t.NumParents(n); p++ {
+		if !f.down[t.UpLink(n, p)] || !f.down[t.DownLink(n, p)] {
+			return false
+		}
+	}
+	childUpPort := t.LabelOf(n).Digit(l)
+	for c := 0; c < t.NumChildren(n); c++ {
+		ch := t.Child(n, c)
+		if !f.down[t.UpLink(ch, childUpPort)] || !f.down[t.DownLink(ch, childUpPort)] {
+			return false
+		}
+	}
+	return true
+}
+
 // PathAlive reports whether the shortest path from src to dst through
 // up-port choices up crosses no failed link. It mirrors the arithmetic
 // of AppendPathLinksNCA without materializing the links.

@@ -1,0 +1,73 @@
+package traffic
+
+import (
+	"fmt"
+
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+)
+
+// PatternNames lists the named matrix generators BuildMatrix accepts,
+// for CLI usage strings and HTTP error messages.
+func PatternNames() []string {
+	return []string{
+		"shift", "bitcomp", "bitrev", "transpose", "tornado", "neighbor",
+		"butterfly", "uniform", "hotspot", "adversarial", "random",
+	}
+}
+
+// BuildMatrix constructs the named traffic matrix on t: the structured
+// permutations (shift, bitcomp, bitrev, transpose, tornado, neighbor,
+// butterfly), uniform, hotspot (arg selects the hot node), the
+// Theorem 2 adversarial pattern for d-mod-k, or a seeded random
+// permutation. arg is the pattern argument (shift amount, hot node);
+// seed only matters for "random". Shared by the CLIs and the routing
+// service so a pattern name means the same demand everywhere.
+func BuildMatrix(t *topology.Topology, pattern string, arg int, seed int64) (*Matrix, error) {
+	n := t.NumProcessors()
+	switch pattern {
+	case "shift":
+		return FromPermutation(ShiftPermutation(n, arg)), nil
+	case "bitcomp":
+		p, err := BitComplement(n)
+		if err != nil {
+			return nil, err
+		}
+		return FromPermutation(p), nil
+	case "bitrev":
+		p, err := BitReversal(n)
+		if err != nil {
+			return nil, err
+		}
+		return FromPermutation(p), nil
+	case "transpose":
+		p, err := Transpose(n)
+		if err != nil {
+			return nil, err
+		}
+		return FromPermutation(p), nil
+	case "tornado":
+		return FromPermutation(Tornado(n)), nil
+	case "neighbor":
+		p, err := NeighborExchange(n)
+		if err != nil {
+			return nil, err
+		}
+		return FromPermutation(p), nil
+	case "butterfly":
+		p, err := Butterfly(n)
+		if err != nil {
+			return nil, err
+		}
+		return FromPermutation(p), nil
+	case "uniform":
+		return Uniform(n), nil
+	case "hotspot":
+		return Hotspot(n, arg%n, 0), nil
+	case "adversarial":
+		return AdversarialDModK(t)
+	case "random":
+		return FromPermutation(RandomPermutation(n, stats.Stream(seed, 0))), nil
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", pattern)
+}
