@@ -42,7 +42,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench_flit_output.txt -out BENCH_flit.json.tmp
 	@if [ -f BENCH_flit.json ]; then cp BENCH_flit.json BENCH_flit.prev.json; fi
 	mv BENCH_flit.json.tmp BENCH_flit.json
-	@echo wrote BENCH_flow.json BENCH_flit.json
+	$(GO) test -run xxx -bench 'ServeSingle|ServeBatch|ServeOpen' -benchmem ./internal/loadgen | tee bench_serve_output.txt
+	$(GO) run ./cmd/benchjson -in bench_serve_output.txt -out BENCH_serve.json.tmp
+	@if [ -f BENCH_serve.json ]; then cp BENCH_serve.json BENCH_serve.prev.json; fi
+	mv BENCH_serve.json.tmp BENCH_serve.json
+	@echo wrote BENCH_flow.json BENCH_flit.json BENCH_serve.json
 
 # Diff the two newest benchmark records of each suite (the current
 # BENCH_*.json against the *.prev.json rotated by bench-json), failing
@@ -53,7 +57,7 @@ bench-compare:
 ifdef OLD
 	$(GO) run ./cmd/benchjson -compare -old $(OLD) -new $(NEW) -threshold $(BENCH_THRESHOLD)
 else
-	@for f in flow flit; do \
+	@for f in flow flit serve; do \
 		if [ -f BENCH_$$f.prev.json ]; then \
 			$(GO) run ./cmd/benchjson -compare -old BENCH_$$f.prev.json -new BENCH_$$f.json -threshold $(BENCH_THRESHOLD) || exit 1; \
 		else \
@@ -69,15 +73,18 @@ endif
 # multi-K correctness gates (selector prefix nesting, the multi-K
 # vs per-K differentials, the vector sampler's scalar equivalence),
 # the race-instrumented control-plane suite (journal replay, churn
-# soak, degradation ladder) plus the kill -9 crash-recovery run of the
-# real xgftserve binary, and a quick-scale smoke run that must produce
-# a manifest.json with the required keys.
+# soak, degradation ladder), the race-enabled in-process servebench
+# smoke (closed/open-loop load harness against a live server), plus
+# the kill -9 crash-recovery run of the real xgftserve binary, and a
+# quick-scale smoke run that must produce a manifest.json with the
+# required keys.
 ci: vet
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'Repair|Wedge|Drain|Degraded|Failure' ./internal/core ./internal/flit ./internal/flow ./internal/lid
 	$(GO) test -race -count=1 ./internal/serve/...
+	$(GO) test -race -count=1 -run 'TestServeBenchSmoke' ./internal/loadgen
 	$(GO) test -count=1 -run 'TestKillDashNineRecovery' ./cmd/xgftserve
-	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit ./internal/flow
+	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit ./internal/flow ./internal/serve ./internal/stats
 	$(GO) test -run 'PrefixNesting|MultiK|SampleAdaptiveVec' -count=1 ./internal/core ./internal/flow ./internal/stats
 	rm -rf ci-smoke && $(GO) run ./cmd/xgftpaper -exp failures -scale quick -out ci-smoke
 	@for key in tool go_version flags seed workers experiments wall_seconds metrics exit_status; do \
@@ -103,6 +110,6 @@ repro-full:
 	$(GO) run ./cmd/xgftpaper -exp all -scale paper -out results
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_flit_output.txt
-	rm -f BENCH_flow.json.tmp BENCH_flit.json.tmp
+	rm -f cover.out test_output.txt bench_output.txt bench_flit_output.txt bench_serve_output.txt
+	rm -f BENCH_flow.json.tmp BENCH_flit.json.tmp BENCH_serve.json.tmp
 	rm -rf ci-smoke ci-mega ci-mega-cache

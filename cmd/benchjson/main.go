@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -169,16 +170,35 @@ func Parse(r io.Reader) ([]Result, error) {
 // zero when the benchmark is missing from one side. The bytes fields
 // mirror the ns ones for -benchmem's B/op column when both records
 // carry it (allocation regressions hide inside flat ns/op numbers on
-// allocation-bound paths, so -compare gates them separately).
+// allocation-bound paths, so -compare gates them separately). Custom
+// metrics with a recognizable direction (qps up, p99_ms down) are
+// gated too; MetricNotes lists each gated metric's change.
 type Delta struct {
-	Name       string
-	OldNs      float64
-	NewNs      float64
-	Ratio      float64
-	OldBytes   *int64
-	NewBytes   *int64
-	BytesRatio float64
-	Status     string // "ok", "REGRESSED", "REGRESSED(bytes)", "improved", "added", "removed"
+	Name        string
+	OldNs       float64
+	NewNs       float64
+	Ratio       float64
+	OldBytes    *int64
+	NewBytes    *int64
+	BytesRatio  float64
+	MetricNotes []string
+	Status      string // "ok", "REGRESSED", "REGRESSED(bytes)", "REGRESSED(<metric>)", "improved", "added", "removed"
+}
+
+// metricDir classifies a custom ReportMetric unit for gating: +1 when
+// bigger is better (throughput), -1 when smaller is better (latency),
+// 0 when the unit carries no recognizable direction and is ignored.
+// The conventions match the units the repo's benchmarks emit: "qps",
+// "*_per_sec" and "*/s" count rates; "*_ms"/"*_us"/"*_ns" (p50_ms,
+// p99_ms, ...) are durations.
+func metricDir(unit string) int {
+	switch {
+	case unit == "qps", strings.HasSuffix(unit, "_per_sec"), strings.HasSuffix(unit, "/s"):
+		return 1
+	case strings.HasSuffix(unit, "_ms"), strings.HasSuffix(unit, "_us"), strings.HasSuffix(unit, "_ns"):
+		return -1
+	}
+	return 0
 }
 
 // Compare matches benchmarks by name and classifies each ns/op ratio
@@ -224,6 +244,28 @@ func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 				regressed = true
 			}
 		}
+		// Directional custom metrics: a qps drop or a p99 climb past
+		// the threshold fails the comparison even when ns/op held
+		// (open-loop benchmarks have near-constant ns/op by design —
+		// the schedule fixes it — so tails only show up here).
+		for _, unit := range sortedUnits(n.Metrics) {
+			ov, ok := o.Metrics[unit]
+			if !ok || ov <= 0 {
+				continue
+			}
+			dir := metricDir(unit)
+			if dir == 0 {
+				continue
+			}
+			ratio := n.Metrics[unit] / ov
+			d.MetricNotes = append(d.MetricNotes, fmt.Sprintf("%s %+.1f%%", unit, (ratio-1)*100))
+			if (dir > 0 && ratio < 1-threshold) || (dir < 0 && ratio > 1+threshold) {
+				if !strings.HasPrefix(d.Status, "REGRESSED") {
+					d.Status = "REGRESSED(" + unit + ")"
+				}
+				regressed = true
+			}
+		}
 		deltas = append(deltas, d)
 	}
 	for _, o := range oldRes {
@@ -232,6 +274,17 @@ func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 		}
 	}
 	return deltas, regressed
+}
+
+// sortedUnits returns the metric names in stable order so comparison
+// output and the first-regression-wins status are deterministic.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 func loadRecord(path string) ([]Result, error) {
@@ -258,6 +311,9 @@ func printDeltas(w io.Writer, deltas []Delta, oldPath, newPath string) {
 			fmt.Fprintf(w, "%-40s %14.0f %12.0f ns/op  %+6.1f%%", d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
 			if d.BytesRatio > 0 {
 				fmt.Fprintf(w, "  B/op %+6.1f%%", (d.BytesRatio-1)*100)
+			}
+			for _, note := range d.MetricNotes {
+				fmt.Fprintf(w, "  %s", note)
 			}
 			fmt.Fprintf(w, "  %s\n", d.Status)
 		}

@@ -139,3 +139,79 @@ func TestCompareBytesPerOp(t *testing.T) {
 		t.Error("bytes-only regression not flagged")
 	}
 }
+
+func TestCompareDirectionalMetrics(t *testing.T) {
+	m := func(kv ...any) map[string]float64 {
+		out := make(map[string]float64)
+		for i := 0; i < len(kv); i += 2 {
+			out[kv[i].(string)] = kv[i+1].(float64)
+		}
+		return out
+	}
+	oldRes := []Result{
+		{Name: "BenchmarkQPSDrop", NsPerOp: 1000, Metrics: m("qps", 10000.0)},
+		{Name: "BenchmarkQPSOK", NsPerOp: 1000, Metrics: m("qps", 10000.0)},
+		{Name: "BenchmarkP99Climb", NsPerOp: 1000, Metrics: m("p99_ms", 2.0)},
+		{Name: "BenchmarkP99OK", NsPerOp: 1000, Metrics: m("p99_ms", 2.0)},
+		{Name: "BenchmarkPairs", NsPerOp: 1000, Metrics: m("pairs_per_sec", 50000.0)},
+		{Name: "BenchmarkUngated", NsPerOp: 1000, Metrics: m("widgets", 100.0)},
+		{Name: "BenchmarkNsWins", NsPerOp: 1000, Metrics: m("p99_ms", 2.0)},
+	}
+	newRes := []Result{
+		// qps fell 30%: regression even though ns/op held.
+		{Name: "BenchmarkQPSDrop", NsPerOp: 1000, Metrics: m("qps", 7000.0)},
+		// qps fell 5%: within threshold.
+		{Name: "BenchmarkQPSOK", NsPerOp: 1000, Metrics: m("qps", 9500.0)},
+		// p99 doubled: regression (lower is better).
+		{Name: "BenchmarkP99Climb", NsPerOp: 1000, Metrics: m("p99_ms", 4.0)},
+		// p99 *improved* 2x: not a regression.
+		{Name: "BenchmarkP99OK", NsPerOp: 1000, Metrics: m("p99_ms", 1.0)},
+		// pairs_per_sec fell 40%: regression via the _per_sec suffix.
+		{Name: "BenchmarkPairs", NsPerOp: 1000, Metrics: m("pairs_per_sec", 30000.0)},
+		// unknown unit halves: ignored, no direction.
+		{Name: "BenchmarkUngated", NsPerOp: 1000, Metrics: m("widgets", 50.0)},
+		// ns/op regression takes precedence in the label.
+		{Name: "BenchmarkNsWins", NsPerOp: 2000, Metrics: m("p99_ms", 4.0)},
+	}
+	deltas, regressed := Compare(oldRes, newRes, 0.10)
+	if !regressed {
+		t.Fatal("metric regressions not flagged")
+	}
+	status := make(map[string]string, len(deltas))
+	for _, d := range deltas {
+		status[d.Name] = d.Status
+	}
+	want := map[string]string{
+		"BenchmarkQPSDrop":  "REGRESSED(qps)",
+		"BenchmarkQPSOK":    "ok",
+		"BenchmarkP99Climb": "REGRESSED(p99_ms)",
+		"BenchmarkP99OK":    "ok",
+		"BenchmarkPairs":    "REGRESSED(pairs_per_sec)",
+		"BenchmarkUngated":  "ok",
+		"BenchmarkNsWins":   "REGRESSED",
+	}
+	for name, st := range want {
+		if status[name] != st {
+			t.Errorf("%s classified %q, want %q", name, status[name], st)
+		}
+	}
+	// Healthy records with directional metrics pass.
+	if _, reg := Compare(
+		[]Result{{Name: "BenchmarkOK", NsPerOp: 100, Metrics: m("qps", 1000.0, "p99_ms", 1.0)}},
+		[]Result{{Name: "BenchmarkOK", NsPerOp: 100, Metrics: m("qps", 1050.0, "p99_ms", 0.95)}}, 0.10); reg {
+		t.Error("healthy metrics flagged as regression")
+	}
+}
+
+func TestMetricDir(t *testing.T) {
+	cases := map[string]int{
+		"qps": 1, "pairs_per_sec": 1, "reqs/s": 1,
+		"p50_ms": -1, "p99_ms": -1, "p99_us": -1, "lat_ns": -1,
+		"maxload@Kmax": 0, "widgets": 0, "B/op": 0,
+	}
+	for unit, want := range cases {
+		if got := metricDir(unit); got != want {
+			t.Errorf("metricDir(%q) = %d, want %d", unit, got, want)
+		}
+	}
+}

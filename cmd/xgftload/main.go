@@ -1,0 +1,169 @@
+// Command xgftload drives a running xgftserve instance with the
+// internal/loadgen harness and prints throughput and latency
+// quantiles. Closed loop by default; -qps switches to the open loop,
+// which schedules requests at a fixed aggregate rate and charges each
+// latency from its scheduled send time (coordinated-omission safe).
+//
+// Usage:
+//
+//	xgftload -url http://127.0.0.1:8080 -fabric edge -endpoints 16 \
+//	         -c 8 -duration 5s -mix path=90,batch=5,maxload=5 -qps 2000
+//
+// -churn PERIOD flaps a cable fault in the background while measuring,
+// so the reported p99 includes repair-window queries. -json emits the
+// full result (histogram quantiles included) as one JSON object for
+// scripting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"xgftsim/internal/cliutil"
+	"xgftsim/internal/loadgen"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseMix reads "path=90,batch=5,maxload=5" (any subset, weights
+// non-negative) into a loadgen.Mix.
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q: want kind=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", v)
+		}
+		switch k {
+		case "path":
+			m.Path = w
+		case "batch":
+			m.Batch = w
+		case "maxload":
+			m.MaxLoad = w
+		default:
+			return m, fmt.Errorf("unknown mix kind %q (want path, batch or maxload)", k)
+		}
+	}
+	return m, nil
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xgftload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "base URL of the serve API (required), e.g. http://127.0.0.1:8080")
+	fabric := fs.String("fabric", "edge", "fabric name to query")
+	endpoints := fs.Int("endpoints", 0, "processor count of the fabric (required; sources/destinations draw from it)")
+	conc := fs.Int("c", 8, "concurrent workers")
+	duration := fs.Duration("duration", 5*time.Second, "measurement window")
+	requests := fs.Int("requests", 0, "stop after this many requests instead of -duration")
+	qps := fs.Float64("qps", 0, "open-loop target rate (0 = closed loop)")
+	mixFlag := fs.String("mix", "path=1", "request mix weights, e.g. path=90,batch=5,maxload=5")
+	batchSize := fs.Int("batch", 256, "pairs per batch request")
+	k := fs.Int("k", 0, "per-batch path limit (0 = all compiled paths)")
+	binary := fs.Bool("binary", false, "negotiate the binary batch frame")
+	churn := fs.Duration("churn", 0, "flap a cable fault every PERIOD while measuring (0 = off)")
+	churnNode := fs.Int("churn-node", 3, "child node of the flapped cable (with -churn)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	dir := fs.String("dir", "", "also write manifest.json and result.json here")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "xgftload:", err)
+		fs.Usage()
+		return 2
+	}
+	if *url == "" {
+		return usage(fmt.Errorf("need -url"))
+	}
+	if *endpoints < 2 {
+		return usage(fmt.Errorf("need -endpoints >= 2"))
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return usage(err)
+	}
+
+	ctx, stop := cliutil.WithInterrupt(context.Background())
+	defer stop()
+
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Fabric:      *fabric,
+		Endpoints:   *endpoints,
+		Concurrency: *conc,
+		Duration:    *duration,
+		Requests:    *requests,
+		TargetQPS:   *qps,
+		Mix:         mix,
+		BatchSize:   *batchSize,
+		K:           *k,
+		Binary:      *binary,
+		ChurnPeriod: *churn,
+		ChurnNode:   *churnNode,
+		Seed:        *seed,
+	}
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "xgftload:", err)
+		return 1
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(stderr, "xgftload:", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintln(stdout, res)
+	}
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "xgftload:", err)
+			return 1
+		}
+		man := cliutil.NewManifest("xgftload")
+		man.Flags = cliutil.FlagValues(fs)
+		man.Seed = *seed
+		man.Workers = *conc
+		man.Results = map[string]any{
+			"qps": res.QPS, "pairs_per_sec": res.PairsPerSec,
+			"p50_ns": int64(res.P50), "p95_ns": int64(res.P95), "p99_ns": int64(res.P99),
+			"requests": res.Requests, "errors": res.Errors,
+		}
+		if err := man.WriteFile(*dir); err != nil {
+			fmt.Fprintln(stderr, "xgftload:", err)
+			return 1
+		}
+		data, _ := json.MarshalIndent(res, "", "  ")
+		if err := os.WriteFile(*dir+"/result.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "xgftload:", err)
+			return 1
+		}
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(stderr, "xgftload: %d requests failed\n", res.Errors)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xgftsim/internal/serve"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("path=90,batch=5,maxload=5")
+	if err != nil || m.Path != 90 || m.Batch != 5 || m.MaxLoad != 5 {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+	if m, err = parseMix(""); err != nil || m.Path != 0 {
+		t.Fatalf("empty mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"path", "path=x", "path=-1", "widgets=3"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRealMainFlagErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := realMain([]string{"-endpoints", "16"}, &out, &errw); code != 2 {
+		t.Errorf("no -url: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-url", "http://x"}, &out, &errw); code != 2 {
+		t.Errorf("no -endpoints: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-url", "http://x", "-endpoints", "16", "-mix", "bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad mix: exit %d, want 2", code)
+	}
+}
+
+func TestRealMainEndToEnd(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Fabrics: []serve.FabricSpec{{Name: "edge", XGFT: "2;4,4;1,4", Scheme: "d-mod-k", K: 4, Seed: 2012}},
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-url", hs.URL, "-fabric", "edge", "-endpoints", "16",
+		"-c", "2", "-requests", "50", "-mix", "path=3,batch=1", "-batch", "16",
+		"-json", "-dir", dir,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	var res struct {
+		Requests int64
+		Errors   int64
+		QPS      float64
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, out.String())
+	}
+	if res.Requests != 50 || res.Errors != 0 || res.QPS <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	man, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(man), `"tool": "xgftload"`) {
+		t.Errorf("manifest missing tool stamp:\n%s", man)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "result.json")); err != nil {
+		t.Error(err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"xgftsim/internal/adversary"
 	"xgftsim/internal/cliutil"
 	"xgftsim/internal/experiments"
+	"xgftsim/internal/loadgen"
 	"xgftsim/internal/obs"
 	"xgftsim/internal/serve/churn"
 	"xgftsim/internal/topology"
@@ -43,7 +44,7 @@ var order = []string{
 	"thm1", "thm2",
 	"tier", "lid", "diversity", "workload",
 	"adaptive", "alltoall", "worstcase", "model", "crossover", "buffers", "vcs",
-	"churnsoak", "mega",
+	"churnsoak", "servebench", "mega",
 }
 
 // aliases expand shorthand experiment names; members must be in order.
@@ -304,6 +305,8 @@ func run(name string, scale experiments.Scale, seed int64, topt experiments.Tabl
 		return experiments.VirtualChannelDepth(scale), nil
 	case "churnsoak":
 		return churn.Soak(scale, seed)
+	case "servebench":
+		return loadgen.ServeBench(scale, seed)
 	case "mega":
 		return experiments.Mega(scale, seed, topt)
 	case "alltoall":

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -57,6 +58,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	repairTimeout := fs.Duration("repair-timeout", 30*time.Second, "per-rebuild time budget before the fabric is marked degraded")
 	wedgeAfter := fs.Duration("wedge-after", 10*time.Second, "repair lag past which /readyz reports the fabric wedged")
 	budget := fs.Int64("table-budget", 1<<30, "compiled-table byte budget per fabric (bigger fabrics serve lazily)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (off when empty; never on the query listener)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -104,6 +106,37 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	// Profiling stays on its own listener so it can bind a loopback
+	// or firewalled port while the query API is exposed; empty -pprof
+	// (the default) never registers the handlers anywhere.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "xgftserve: pprof:", err)
+			return 1
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(stdout, "pprof on %s\n", pln.Addr())
+		go func() {
+			ps := &http.Server{Handler: pmux}
+			ps.Serve(pln)
+		}()
+	}
+
+	// The journal directory is self-describing: a manifest stamps the
+	// exact flag values (including whether pprof was exposed) of the
+	// serving run. Best effort — serving proceeds if the write fails.
+	man := cliutil.NewManifest("xgftserve")
+	man.Flags = cliutil.FlagValues(fs)
+	if err := man.WriteFile(*dir); err != nil {
+		fmt.Fprintln(stderr, "xgftserve: manifest:", err)
+	}
 	for _, spec := range specs {
 		f := srv.Fabric(spec.Name)
 		fmt.Fprintf(stdout, "fabric %s: %s %s K=%d seed=%d mode=%s gen=%d\n",

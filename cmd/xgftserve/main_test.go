@@ -29,14 +29,14 @@ func TestRealMainFlagErrors(t *testing.T) {
 
 // startServer launches the built binary on an ephemeral port and
 // returns its base URL and the running command.
-func startServer(t *testing.T, bin, dir string) (string, *exec.Cmd) {
+func startServer(t *testing.T, bin, dir string, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(bin,
+	cmd := exec.Command(bin, append([]string{
 		"-dir", dir,
 		"-addr", "127.0.0.1:0",
 		"-fabric", "edge:2;4,4;1,4:d-mod-k:4",
 		"-fabric", "pod:3;2,2,2;1,2,2:disjoint:2:7",
-	)
+	}, extra...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +80,105 @@ func fabricChecksum(t *testing.T, base, name string) (string, uint64) {
 		t.Fatal(err)
 	}
 	return st.Checksum, st.Gen
+}
+
+// TestPprofAndManifest boots the real binary with -pprof on a second
+// ephemeral port and checks the three contract points: the profiler
+// answers on its own listener, the query listener does NOT expose
+// /debug/pprof/, and manifest.json in -dir stamps the flag values.
+func TestPprofAndManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped under -short")
+	}
+	bin := filepath.Join(t.TempDir(), "xgftserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(bin,
+		"-dir", dir,
+		"-addr", "127.0.0.1:0",
+		"-pprof", "127.0.0.1:0",
+		"-fabric", "edge:2;4,4;1,4:d-mod-k:4",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+	addrCh, pprofCh := make(chan string, 1), make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+				addrCh <- rest
+			} else if rest, ok := strings.CutPrefix(sc.Text(), "pprof on "); ok {
+				pprofCh <- rest
+			}
+		}
+	}()
+	var addr, paddr string
+	for addr == "" || paddr == "" {
+		select {
+		case addr = <-addrCh:
+		case paddr = <-pprofCh:
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not print both addresses within 10s")
+		}
+	}
+
+	resp, err := http.Get("http://" + paddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof listener: %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("query listener exposes pprof: %d, want 404", resp.StatusCode)
+	}
+
+	// The manifest is written right after the listeners come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err == nil {
+			var man struct {
+				Tool  string            `json:"tool"`
+				Flags map[string]string `json:"flags"`
+			}
+			if err := json.Unmarshal(data, &man); err != nil {
+				t.Fatalf("manifest: %v\n%s", err, data)
+			}
+			if man.Tool != "xgftserve" {
+				t.Errorf("manifest tool %q", man.Tool)
+			}
+			if man.Flags["pprof"] != "127.0.0.1:0" {
+				t.Errorf("manifest pprof flag %q", man.Flags["pprof"])
+			}
+			if man.Flags["dir"] != dir {
+				t.Errorf("manifest dir flag %q", man.Flags["dir"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manifest.json never appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // TestKillDashNineRecovery is the crash-recovery acceptance run: boot

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"xgftsim/internal/serve"
+)
+
+// The serve benchmarks drive a live in-process server end to end
+// (HTTP included) and report throughput and latency quantiles as
+// custom metrics, so `make bench-json` lands them in BENCH_serve.json
+// and `make bench-compare` gates qps (higher is better) and p99_ms
+// (lower is better) alongside ns/op. b.N is the request budget: the
+// closed-loop rows measure peak service rate, the open-loop row holds
+// a fixed schedule so its p99 includes queueing delay (coordinated-
+// omission safe).
+
+func benchServer(b *testing.B) string {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "xgft-servebench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	s, err := serve.New(serve.Config{
+		Fabrics: []serve.FabricSpec{{
+			Name: benchFabricName, XGFT: benchXGFT, Scheme: benchScheme, K: benchK, Seed: 2012,
+		}},
+		Dir: dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	s.Start(ctx)
+	hs := httptest.NewServer(s.Handler())
+	b.Cleanup(hs.Close)
+	return hs.URL
+}
+
+func runBench(b *testing.B, mut func(*Config)) {
+	url := benchServer(b)
+	cfg := Config{
+		BaseURL: url, Fabric: benchFabricName, Endpoints: benchEndpoints,
+		Concurrency: 8, Requests: b.N, BatchSize: 256, Seed: 7,
+	}
+	mut(&cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := Run(context.Background(), cfg)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 {
+		b.Fatalf("%d errors: %v", res.Errors, res)
+	}
+	b.ReportMetric(res.QPS, "qps")
+	b.ReportMetric(res.PairsPerSec, "pairs_per_sec")
+	b.ReportMetric(float64(res.P50)/1e6, "p50_ms")
+	b.ReportMetric(float64(res.P99)/1e6, "p99_ms")
+}
+
+func BenchmarkServeSingle(b *testing.B) {
+	runBench(b, func(c *Config) { c.Mix = Mix{Path: 1} })
+}
+
+func BenchmarkServeBatch(b *testing.B) {
+	runBench(b, func(c *Config) { c.Mix = Mix{Batch: 1} })
+}
+
+func BenchmarkServeBatchBinary(b *testing.B) {
+	runBench(b, func(c *Config) { c.Mix = Mix{Batch: 1}; c.Binary = true })
+}
+
+func BenchmarkServeOpenLoop(b *testing.B) {
+	runBench(b, func(c *Config) {
+		c.Mix = Mix{Path: 90, Batch: 5, MaxLoad: 5}
+		c.TargetQPS = 2000
+	})
+}
+
+func BenchmarkServeOpenChurn(b *testing.B) {
+	runBench(b, func(c *Config) {
+		c.Mix = Mix{Path: 90, Batch: 5, MaxLoad: 5}
+		c.TargetQPS = 2000
+		c.ChurnPeriod = 50 * time.Millisecond
+		c.ChurnNode = 3
+	})
+}

@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"xgftsim/internal/experiments"
+	"xgftsim/internal/serve"
+)
+
+// benchFabric is the fabric every servebench scenario queries: large
+// enough that path answers vary, small enough to boot instantly.
+const (
+	benchFabricName = "edge"
+	benchXGFT       = "2;8,8;1,8"
+	benchScheme     = "d-mod-k"
+	benchK          = 8
+	benchEndpoints  = 64
+)
+
+// scenario is one row of the servebench table.
+type scenario struct {
+	name string
+	mut  func(*Config)
+}
+
+// ServeBench is the experiment behind `xgftpaper -exp servebench`: it
+// boots an in-process control-plane server and measures the query
+// API's throughput and latency quantiles across five scenarios —
+// closed-loop single-pair, closed-loop batched (JSON and binary
+// frame), an open-loop mixed workload at a fixed target rate, and the
+// same open loop with background fault churn. The open-loop rows are
+// coordinated-omission safe: latency is charged from each request's
+// scheduled send time.
+func ServeBench(scale experiments.Scale, seed int64) (*experiments.Table, error) {
+	dur := 500 * time.Millisecond
+	conc := 8
+	if scale.Name == "full" || scale.Name == "paper" {
+		dur = 3 * time.Second
+	}
+
+	dir, err := os.MkdirTemp("", "xgft-servebench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.New(serve.Config{
+		Fabrics: []serve.FabricSpec{{
+			Name: benchFabricName, XGFT: benchXGFT, Scheme: benchScheme, K: benchK, Seed: 2012,
+		}},
+		Dir: dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ctx := scale.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.Start(ctx)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	base := Config{
+		BaseURL:     hs.URL,
+		Fabric:      benchFabricName,
+		Endpoints:   benchEndpoints,
+		Concurrency: conc,
+		Duration:    dur,
+		BatchSize:   256,
+		Seed:        seed,
+	}
+	// The open-loop target stays intentionally below the closed-loop
+	// ceiling so the schedule is sustainable and p99 measures queueing
+	// jitter, not saturation collapse.
+	openQPS := 2000.0
+	scenarios := []scenario{
+		{"single/closed", func(c *Config) { c.Mix = Mix{Path: 1} }},
+		{"batch/closed", func(c *Config) { c.Mix = Mix{Batch: 1} }},
+		{"batch/binary", func(c *Config) { c.Mix = Mix{Batch: 1}; c.Binary = true }},
+		{"mixed/open", func(c *Config) {
+			c.Mix = Mix{Path: 90, Batch: 5, MaxLoad: 5}
+			c.TargetQPS = openQPS
+		}},
+		{"mixed/open+churn", func(c *Config) {
+			c.Mix = Mix{Path: 90, Batch: 5, MaxLoad: 5}
+			c.TargetQPS = openQPS
+			c.ChurnPeriod = dur / 10
+			c.ChurnNode = 3
+		}},
+	}
+
+	tab := &experiments.Table{
+		Title:  fmt.Sprintf("Serve bench: %v/scenario, %d workers (scale %s)", dur, conc, scale.Name),
+		XLabel: "scenario",
+		Columns: []string{"qps", "pairs/s", "p50 us", "p95 us", "p99 us", "max us",
+			"errors", "churn evs"},
+		Footnote: "open-loop rows schedule " + fmt.Sprintf("%.0f", openQPS) + " req/s and charge latency " +
+			"from the scheduled send time (coordinated-omission safe); batch rows answer 256 pairs/request",
+	}
+	for i, sc := range scenarios {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		cfg := base
+		cfg.Seed = seed + int64(i)
+		sc.mut(&cfg)
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("servebench: %s: %w", sc.name, err)
+		}
+		if res.Requests == 0 {
+			return nil, fmt.Errorf("servebench: %s: no requests completed", sc.name)
+		}
+		tab.XValues = append(tab.XValues, sc.name)
+		tab.Cells = append(tab.Cells, []experiments.Cell{
+			{Mean: res.QPS, Samples: int(res.Requests)},
+			{Mean: res.PairsPerSec},
+			{Mean: float64(res.P50.Microseconds())},
+			{Mean: float64(res.P95.Microseconds())},
+			{Mean: float64(res.P99.Microseconds())},
+			{Mean: float64(res.Max.Microseconds())},
+			{Mean: float64(res.Errors)},
+			{Mean: float64(res.Churn)},
+		})
+	}
+	return tab, nil
+}

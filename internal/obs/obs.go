@@ -182,6 +182,26 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
+// ExpBuckets builds log-spaced histogram bounds: perDecade bounds per
+// factor of 10 from lo up to and including the first bound >= hi.
+// Useful for latency histograms whose interesting range spans several
+// orders of magnitude (e.g. 1e-6 .. 10 seconds). It panics on
+// non-positive lo/hi/perDecade or hi <= lo (construction-time
+// programming errors, like NewHistogram's).
+func ExpBuckets(lo, hi float64, perDecade int) []float64 {
+	if lo <= 0 || hi <= lo || perDecade <= 0 {
+		panic(fmt.Sprintf("obs: bad ExpBuckets(%g, %g, %d)", lo, hi, perDecade))
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for b := lo; ; b *= step {
+		out = append(out, b)
+		if b >= hi {
+			return out
+		}
+	}
+}
+
 // Snapshot is a point-in-time copy of a registry: metric name to int64
 // (counters and gauges) or HistogramSnapshot. It is JSON-marshalable as
 // is.

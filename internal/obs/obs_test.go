@@ -196,3 +196,26 @@ func TestDefaultRegistryShared(t *testing.T) {
 		t.Fatal("Default() is not stable")
 	}
 }
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 5)
+	if b[0] != 1e-6 {
+		t.Errorf("first bound %g, want 1e-6", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Errorf("last bound %g does not cover hi", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	// The generated bounds must be valid NewHistogram input.
+	NewHistogram(b).Observe(0.01)
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBuckets(0, ...) did not panic")
+		}
+	}()
+	ExpBuckets(0, 1, 5)
+}

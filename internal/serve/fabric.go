@@ -83,6 +83,73 @@ type fabState struct {
 	lastErr     string
 	unreachable int
 	built       time.Time
+	// cache memoizes answers derived from this snapshot (maxload per
+	// traffic pattern, LID tags per destination): repeated queries
+	// between repairs are O(1) map hits instead of full evaluations.
+	// The cache is dropped with the state on the next table swap.
+	cache *snapCache
+}
+
+// mlEntry is one memoized maxload answer (or its sticky error).
+type mlEntry struct {
+	load  float64
+	flows int
+	err   string
+}
+
+// tagEntry is one memoized LID tag answer (or its sticky error).
+type tagEntry struct {
+	tags []int
+	err  string
+}
+
+// snapCache memoizes per-snapshot derived answers. Lookups take one
+// short mutex hold and allocate nothing on a hit; misses compute
+// outside the lock and race benignly (last writer wins, values are
+// deterministic for a given snapshot).
+type snapCache struct {
+	mu      sync.Mutex
+	maxload map[string]map[int]mlEntry
+	tags    map[int]tagEntry
+}
+
+func newSnapCache() *snapCache { return &snapCache{} }
+
+func (c *snapCache) maxloadFor(pattern string, arg int) (mlEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.maxload[pattern][arg]
+	c.mu.Unlock()
+	return e, ok
+}
+
+func (c *snapCache) storeMaxload(pattern string, arg int, e mlEntry) {
+	c.mu.Lock()
+	if c.maxload == nil {
+		c.maxload = make(map[string]map[int]mlEntry)
+	}
+	m := c.maxload[pattern]
+	if m == nil {
+		m = make(map[int]mlEntry)
+		c.maxload[pattern] = m
+	}
+	m[arg] = e
+	c.mu.Unlock()
+}
+
+func (c *snapCache) tagsFor(dst int) (tagEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.tags[dst]
+	c.mu.Unlock()
+	return e, ok
+}
+
+func (c *snapCache) storeTags(dst int, e tagEntry) {
+	c.mu.Lock()
+	if c.tags == nil {
+		c.tags = make(map[int]tagEntry)
+	}
+	c.tags[dst] = e
+	c.mu.Unlock()
 }
 
 // ErrQueueFull is returned by Submit when the fabric's bounded event
@@ -205,6 +272,7 @@ func newFabric(spec FabricSpec, opt fabricOptions) (*Fabric, error) {
 		st = &fabState{
 			table: f.base, tableGen: 0, gen: f.seq,
 			degraded: f.seq > 0, lastErr: err.Error(), built: time.Now(),
+			cache: newSnapCache(),
 		}
 	}
 	f.state.Store(st)
@@ -376,13 +444,13 @@ func (f *Fabric) buildState(gen uint64) (*fabState, error) {
 		return nil, err
 	}
 	if fs == nil {
-		return &fabState{table: f.base, tableGen: gen, gen: gen, built: time.Now()}, nil
+		return &fabState{table: f.base, tableGen: gen, gen: gen, built: time.Now(), cache: newSnapCache()}, nil
 	}
 	rr, err := f.routing.Repair(fs)
 	if err != nil {
 		return nil, err
 	}
-	st := &fabState{rep: rr, faults: fs, gen: gen, built: time.Now()}
+	st := &fabState{rep: rr, faults: fs, gen: gen, built: time.Now(), cache: newSnapCache()}
 	if f.lazy {
 		st.unreachable = len(rr.DisconnectedPairs())
 		return st, nil
@@ -529,6 +597,9 @@ func (f *Fabric) publishDegraded(err error) {
 		lastErr:     err.Error(),
 		unreachable: prev.unreachable,
 		built:       time.Now(),
+		// The degraded state serves the same table and repair as prev,
+		// so its memoized answers stay valid — keep them.
+		cache: prev.cache,
 	}
 	f.state.Store(st)
 	met.tableSwaps.Inc()

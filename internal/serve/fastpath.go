@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xgftsim/internal/flow"
+	"xgftsim/internal/lid"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/traffic"
+)
+
+// The query hot path. GET path / lid / maxload answers are the
+// control plane's read traffic, and at production fan-out their cost
+// is dominated by per-request heap churn, not routing math: the
+// generic handlers burn a url.Values map, a reflective json.Encoder
+// and a fresh response struct per request. The handlers in this file
+// answer the same queries with zero heap allocation per request on the
+// compiled-table path after warmup (pinned by TestFastPathZeroAlloc):
+//
+//   - query parameters are scanned straight out of RawQuery (no map),
+//   - responses are appended into a pooled byte buffer with
+//     strconv appenders (no reflection),
+//   - compiled-table path answers encode directly from the table's
+//     CSR rows (PathIndices aliases, never copies),
+//   - maxload and LID-tag answers are memoized per published fabState
+//     snapshot, so repeated queries between repairs are O(1) map hits.
+//
+// Lazy-mode and degraded-path answers still allocate (they walk or
+// repair per pair); that is the documented cost of the degradation
+// ladder, not of the hot path.
+
+// jsonCT is the shared Content-Type value the fast path installs
+// without allocating a fresh one-element slice per request. Handlers
+// must never mutate it.
+var jsonCT = []string{"application/json"}
+
+// setJSONContentType installs the JSON content type allocation-free.
+func setJSONContentType(w http.ResponseWriter) {
+	h := w.Header()
+	if len(h["Content-Type"]) == 0 {
+		h["Content-Type"] = jsonCT
+	}
+}
+
+// respBuf is a pooled response scratch buffer. The pool holds pointers
+// so Get/Put never box.
+type respBuf struct {
+	b []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return &respBuf{b: make([]byte, 0, 4096)} }}
+
+// queryParam scans the raw query string for key and returns its value
+// without building a url.Values map. The value aliases raw and is not
+// percent-unescaped: the fast-path parameters (integers and pattern
+// names) never contain escapes, and anything else fails validation
+// downstream exactly as an escaped value would.
+func queryParam(raw, key string) (string, bool) {
+	for len(raw) > 0 {
+		var kv string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			kv, raw = raw, ""
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			if kv == key {
+				return "", true
+			}
+			continue
+		}
+		if kv[:eq] == key {
+			return kv[eq+1:], true
+		}
+	}
+	return "", false
+}
+
+// parseInt is strconv.Atoi without the error allocation on bad input.
+func parseInt(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		if len(s) == 1 {
+			return 0, false
+		}
+		neg, i = true, 1
+	}
+	n := 0
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<31 {
+			return 0, false
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// queryIntParam extracts an integer query parameter; ok is false when
+// the key is absent or not an integer.
+func queryIntParam(raw, key string) (int, bool) {
+	v, present := queryParam(raw, key)
+	if !present {
+		return 0, false
+	}
+	return parseInt(v)
+}
+
+// appendBool appends "true" or "false".
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// finishJSON writes the buffer as the 200 response and returns it to
+// the pool.
+func finishJSON(w http.ResponseWriter, rb *respBuf, b []byte) {
+	b = append(b, '\n')
+	setJSONContentType(w)
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	rb.b = b[:0]
+	bufPool.Put(rb)
+}
+
+// fastPath answers GET /fabrics/{name}/path?src=&dst= with the same
+// JSON the generic handler produced, zero-alloc on the compiled path.
+func (s *Server) fastPath(w http.ResponseWriter, r *http.Request, f *Fabric) {
+	raw := r.URL.RawQuery
+	if v, ok := queryParam(raw, "ports"); ok && v == "1" {
+		// Port-route expansion is inherently allocating; use the
+		// generic handler (which counts the query itself).
+		s.handlePath(w, r, f)
+		return
+	}
+	met.queries.Inc()
+	src, okS := queryIntParam(raw, "src")
+	dst, okD := queryIntParam(raw, "dst")
+	n := f.topo.NumProcessors()
+	if !okS || !okD || src < 0 || src >= n || dst < 0 || dst >= n {
+		writeError(w, http.StatusBadRequest, "want integer src,dst in [0,", n)
+		return
+	}
+	st := f.State()
+	if st.degraded {
+		met.degradedResponses.Inc()
+	}
+	rb := bufPool.Get().(*respBuf)
+	b := rb.b[:0]
+	b = append(b, `{"src":`...)
+	b = strconv.AppendInt(b, int64(src), 10)
+	b = append(b, `,"dst":`...)
+	b = strconv.AppendInt(b, int64(dst), 10)
+	b = append(b, `,"paths":[`...)
+	npaths := 0
+	switch {
+	case src == dst:
+	case st.rep != nil && (st.degraded || st.table == nil):
+		// Fresh lazy repair: correct even when the table is stale.
+		b, npaths = appendIntList(b, st.rep.Paths(src, dst))
+	case st.table != nil:
+		b, npaths = appendInt32List(b, st.table.PathIndices(src, dst))
+	default: // lazy mode, healthy
+		b, npaths = appendIntList(b, f.routing.Paths(src, dst))
+	}
+	b = append(b, `],"gen":`...)
+	b = strconv.AppendUint(b, st.gen, 10)
+	b = append(b, `,"staleness":`...)
+	b = strconv.AppendUint(b, f.ackedSeq.Load()-st.gen, 10)
+	b = append(b, `,"degraded":`...)
+	b = appendBool(b, st.degraded)
+	if npaths == 0 && src != dst {
+		b = append(b, `,"disconnected":true`...)
+	}
+	b = append(b, `,"unreachable_pairs":`...)
+	b = strconv.AppendInt(b, int64(st.unreachable), 10)
+	b = append(b, `,"mode":"`...)
+	b = append(b, f.Mode()...)
+	b = append(b, `"}`...)
+	finishJSON(w, rb, b)
+}
+
+func appendIntList(b []byte, xs []int) ([]byte, int) {
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return b, len(xs)
+}
+
+func appendInt32List(b []byte, xs []int32) ([]byte, int) {
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return b, len(xs)
+}
+
+// fastLID answers GET /fabrics/{name}/lid?dst=. Tag computation runs
+// the selector with its RNG streams and allocates, so the answer is
+// memoized per snapshot: the first query per destination pays, every
+// repeat between repairs is a map hit.
+func (s *Server) fastLID(w http.ResponseWriter, r *http.Request, f *Fabric) {
+	met.queries.Inc()
+	dst, ok := queryIntParam(r.URL.RawQuery, "dst")
+	n := f.topo.NumProcessors()
+	if !ok || dst < 0 || dst >= n {
+		writeError(w, http.StatusBadRequest, "want integer dst in [0,", n)
+		return
+	}
+	st := f.State()
+	e, hit := st.cache.tagsFor(dst)
+	if hit {
+		met.memoHits.Inc()
+	} else {
+		rng := stats.Stream(f.Spec.Seed, int64(dst))
+		var tags []int
+		var err error
+		if st.faults != nil {
+			tags, err = lid.DegradedDestinationTags(f.topo, f.routing.Selector(), dst, f.Spec.K, rng, st.faults)
+		} else {
+			tags, err = lid.DestinationTags(f.topo, f.routing.Selector(), dst, f.Spec.K, rng)
+		}
+		e = tagEntry{tags: tags}
+		if err != nil {
+			e = tagEntry{err: err.Error()}
+		}
+		st.cache.storeTags(dst, e)
+	}
+	if e.err != "" {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{e.err})
+		return
+	}
+	if st.degraded {
+		met.degradedResponses.Inc()
+	}
+	rb := bufPool.Get().(*respBuf)
+	b := rb.b[:0]
+	b = append(b, `{"dst":`...)
+	b = strconv.AppendInt(b, int64(dst), 10)
+	b = append(b, `,"tags":[`...)
+	b, _ = appendIntList(b, e.tags)
+	b = append(b, `],"gen":`...)
+	b = strconv.AppendUint(b, st.gen, 10)
+	b = append(b, `,"staleness":`...)
+	b = strconv.AppendUint(b, f.ackedSeq.Load()-st.gen, 10)
+	b = append(b, `,"degraded":`...)
+	b = appendBool(b, st.degraded)
+	b = append(b, '}')
+	finishJSON(w, rb, b)
+}
+
+// fastMaxLoad answers GET /fabrics/{name}/maxload?pattern=&arg=. A
+// maxload evaluation walks every flow of the traffic matrix, so it is
+// memoized per snapshot: repeated queries between repairs are O(1).
+// Only syntactically valid pattern names reach the 200 encoder (an
+// unknown pattern caches a sticky error and answers 400 through the
+// generic JSON writer), so the raw pattern substring can be embedded
+// in the response without escaping.
+func (s *Server) fastMaxLoad(w http.ResponseWriter, r *http.Request, f *Fabric) {
+	met.queries.Inc()
+	raw := r.URL.RawQuery
+	pattern, _ := queryParam(raw, "pattern")
+	arg := 1
+	if a, ok := queryParam(raw, "arg"); ok {
+		var okInt bool
+		if arg, okInt = parseInt(a); !okInt {
+			writeJSON(w, http.StatusBadRequest, errorBody{"bad arg"})
+			return
+		}
+	}
+	st := f.State()
+	e, hit := st.cache.maxloadFor(pattern, arg)
+	if hit {
+		met.memoHits.Inc()
+	} else {
+		e = f.evalMaxLoad(st, pattern, arg)
+		// Clone: pattern aliases the request's query string.
+		st.cache.storeMaxload(strings.Clone(pattern), arg, e)
+	}
+	if e.err != "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{e.err})
+		return
+	}
+	if st.degraded {
+		met.degradedResponses.Inc()
+	}
+	rb := bufPool.Get().(*respBuf)
+	b := rb.b[:0]
+	b = append(b, `{"pattern":"`...)
+	b = append(b, pattern...)
+	b = append(b, `","max_load":`...)
+	b = strconv.AppendFloat(b, e.load, 'g', -1, 64)
+	b = append(b, `,"flows":`...)
+	b = strconv.AppendInt(b, int64(e.flows), 10)
+	b = append(b, `,"gen":`...)
+	b = strconv.AppendUint(b, st.gen, 10)
+	b = append(b, `,"staleness":`...)
+	b = strconv.AppendUint(b, f.ackedSeq.Load()-st.gen, 10)
+	b = append(b, `,"degraded":`...)
+	b = appendBool(b, st.degraded)
+	b = append(b, `,"mode":"`...)
+	b = append(b, f.Mode()...)
+	b = append(b, `"}`...)
+	finishJSON(w, rb, b)
+}
+
+// evalMaxLoad computes one maxload answer against the pinned state —
+// the uncached slow half of fastMaxLoad.
+func (f *Fabric) evalMaxLoad(st *fabState, pattern string, arg int) mlEntry {
+	tm, err := traffic.BuildMatrix(f.topo, pattern, arg, f.Spec.Seed)
+	if err != nil {
+		return mlEntry{err: err.Error()}
+	}
+	var mload float64
+	switch {
+	case st.rep != nil && (st.degraded || st.table == nil):
+		mload = flow.NewDegradedEvaluator(st.rep).MaxLoad(tm)
+	case st.table != nil:
+		mload = flow.NewCompiledEvaluator(st.table).MaxLoad(tm)
+	default:
+		mload = flow.NewEvaluator(f.routing).MaxLoad(tm)
+	}
+	return mlEntry{load: mload, flows: tm.NumFlows()}
+}
+
+// writeError emits a {"error": "<msg><n>)"} body for the fast path's
+// range errors. It allocates (error paths may), but keeps the message
+// format of the generic handlers.
+func writeError(w http.ResponseWriter, status int, prefix string, n int) {
+	writeJSON(w, status, errorBody{prefix + strconv.Itoa(n) + ")"})
+}

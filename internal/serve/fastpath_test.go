@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xgftsim/internal/lid"
+	"xgftsim/internal/topology"
+)
+
+// nopResponseWriter is a reusable ResponseWriter for alloc pins: the
+// header map persists across requests (a real server allocates it per
+// request before the handler runs, outside the handler's alloc
+// budget) and the body buffer is recycled.
+type nopResponseWriter struct {
+	h      http.Header
+	status int
+	buf    []byte
+}
+
+func newNopRW() *nopResponseWriter { return &nopResponseWriter{h: make(http.Header)} }
+
+func (w *nopResponseWriter) Header() http.Header  { return w.h }
+func (w *nopResponseWriter) WriteHeader(code int) { w.status = code }
+func (w *nopResponseWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf[:0], p...)
+	return len(p), nil
+}
+
+// newBareServer builds an unstarted server (no workers, no listener)
+// for direct handler calls.
+func newBareServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if len(cfg.Fabrics) == 0 {
+		cfg.Fabrics = []FabricSpec{edgeSpec()}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestQueryParam(t *testing.T) {
+	raw := "src=3&dst=14&ports=1&pattern=shift&empty=&flag"
+	cases := []struct {
+		key, want string
+		present   bool
+	}{
+		{"src", "3", true},
+		{"dst", "14", true},
+		{"ports", "1", true},
+		{"pattern", "shift", true},
+		{"empty", "", true},
+		{"flag", "", true},
+		{"missing", "", false},
+		{"sr", "", false}, // no prefix matching
+		{"attern", "", false},
+	}
+	for _, c := range cases {
+		got, ok := queryParam(raw, c.key)
+		if got != c.want || ok != c.present {
+			t.Errorf("queryParam(%q) = %q,%v want %q,%v", c.key, got, ok, c.want, c.present)
+		}
+	}
+	if v, ok := parseInt("123"); !ok || v != 123 {
+		t.Errorf("parseInt(123) = %d,%v", v, ok)
+	}
+	if v, ok := parseInt("-7"); !ok || v != -7 {
+		t.Errorf("parseInt(-7) = %d,%v", v, ok)
+	}
+	for _, bad := range []string{"", "-", "1.5", "12x", "99999999999999999999"} {
+		if _, ok := parseInt(bad); ok {
+			t.Errorf("parseInt(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFastPathMatchesGenericHandlers drives the same queries through
+// the fast ServeHTTP route and the generic mux handlers and requires
+// field-identical JSON.
+func TestFastPathMatchesGenericHandlers(t *testing.T) {
+	s := newBareServer(t, Config{})
+	f := s.Fabric("edge")
+	n := f.Topology().NumProcessors()
+
+	get := func(h http.Handler, url string) (int, string) {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		return w.Code, w.Body.String()
+	}
+	for src := 0; src < n; src += 2 {
+		for dst := 0; dst < n; dst += 3 {
+			url := fmt.Sprintf("/fabrics/edge/path?src=%d&dst=%d", src, dst)
+			fastCode, fast := get(s, url)
+			muxCode, generic := get(s.mux, url)
+			if fastCode != muxCode {
+				t.Fatalf("%s: fast %d, generic %d", url, fastCode, muxCode)
+			}
+			var a, b map[string]any
+			if err := json.Unmarshal([]byte(fast), &a); err != nil {
+				t.Fatalf("%s: fast body not JSON: %v\n%s", url, err, fast)
+			}
+			if err := json.Unmarshal([]byte(generic), &b); err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("%s:\nfast    %v\ngeneric %v", url, a, b)
+			}
+		}
+	}
+	// LID and maxload answers agree too.
+	for _, url := range []string{
+		"/fabrics/edge/lid?dst=5",
+		"/fabrics/edge/maxload?pattern=shift&arg=3",
+		"/fabrics/edge/maxload?pattern=random",
+	} {
+		fastCode, fast := get(s, url)
+		muxCode, generic := get(s.mux, url)
+		if fastCode != muxCode || fastCode != 200 {
+			t.Fatalf("%s: fast %d, generic %d", url, fastCode, muxCode)
+		}
+		var a, b map[string]any
+		json.Unmarshal([]byte(fast), &a)
+		json.Unmarshal([]byte(generic), &b)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("%s:\nfast    %v\ngeneric %v", url, a, b)
+		}
+	}
+	// Errors keep their shapes and codes.
+	for _, c := range []struct {
+		url  string
+		code int
+	}{
+		{"/fabrics/edge/path?src=-1&dst=2", 400},
+		{"/fabrics/edge/path?src=0", 400},
+		{"/fabrics/edge/path?src=0&dst=999", 400},
+		{"/fabrics/edge/lid?dst=banana", 400},
+		{"/fabrics/edge/maxload?pattern=nope", 400},
+		{"/fabrics/edge/maxload?pattern=shift&arg=x", 400},
+		{"/fabrics/nope/path?src=0&dst=1", 404},
+	} {
+		code, body := get(s, c.url)
+		if code != c.code {
+			t.Errorf("%s: %d want %d (%s)", c.url, code, c.code, body)
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Errorf("%s: error body missing: %s", c.url, body)
+		}
+	}
+	// ports=1 still expands port routes through the generic handler.
+	code, body := get(s, "/fabrics/edge/path?src=0&dst=7&ports=1")
+	if code != 200 || !strings.Contains(body, `"port_routes"`) {
+		t.Errorf("ports=1: code %d body %s", code, body)
+	}
+}
+
+// TestFastPathZeroAlloc pins the tentpole claim: a single-pair path
+// query on the compiled-table fast path allocates nothing per request
+// after warmup; memoized maxload and LID answers are alloc-free too.
+func TestFastPathZeroAlloc(t *testing.T) {
+	s := newBareServer(t, Config{})
+	w := newNopRW()
+
+	pin := func(name, url string, want float64) {
+		req := httptest.NewRequest("GET", url, nil)
+		// Warmup: fill the buffer pool, the memo caches, and the
+		// response writer's buffer.
+		for i := 0; i < 8; i++ {
+			s.ServeHTTP(w, req)
+		}
+		if w.status != 200 {
+			t.Fatalf("%s: status %d body %s", name, w.status, w.buf)
+		}
+		allocs := testing.AllocsPerRun(500, func() {
+			s.ServeHTTP(w, req)
+		})
+		if allocs > want {
+			t.Errorf("%s allocates %.1f/request, want <= %.0f", name, allocs, want)
+		}
+	}
+	pin("path", "/fabrics/edge/path?src=0&dst=7", 0)
+	pin("path-disconnected-self", "/fabrics/edge/path?src=3&dst=3", 0)
+	pin("lid-memoized", "/fabrics/edge/lid?dst=5", 0)
+	pin("maxload-memoized", "/fabrics/edge/maxload?pattern=shift&arg=3", 0)
+	pin("maxload-default-arg", "/fabrics/edge/maxload?pattern=random", 0)
+}
+
+// TestMaxLoadMemoization checks the memo actually serves repeats (the
+// memo-hit counter moves) and that answers survive memoization
+// bit-identically across a fault/heal cycle's snapshot changes.
+func TestMaxLoadMemoization(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	f := s.Fabric("edge")
+
+	var first maxloadResponse
+	if code := getJSON(t, hs.URL+"/fabrics/edge/maxload?pattern=shift&arg=3", &first); code != 200 {
+		t.Fatalf("maxload: %d", code)
+	}
+	before := met.memoHits.Value()
+	var repeat maxloadResponse
+	getJSON(t, hs.URL+"/fabrics/edge/maxload?pattern=shift&arg=3", &repeat)
+	if met.memoHits.Value() <= before {
+		t.Error("repeat query did not hit the memo")
+	}
+	if repeat.MaxLoad != first.MaxLoad || repeat.Flows != first.Flows {
+		t.Errorf("memoized answer differs: %+v vs %+v", repeat, first)
+	}
+
+	// A fault publishes a fresh snapshot: the memo must not leak the
+	// healthy answer into the new state. The generic mux handler
+	// computes fresh on every call, so fast (memoized) vs generic
+	// (unmemoized) on the faulted snapshot catches a stale memo.
+	postFault(t, hs.URL, Event{Op: "fail", Kind: "cable", Node: 3, Port: 0})
+	waitSettled(t, f)
+	var faulted maxloadResponse
+	getJSON(t, hs.URL+"/fabrics/edge/maxload?pattern=shift&arg=3", &faulted)
+	if faulted.Gen != 1 {
+		t.Fatalf("faulted gen %d, want 1", faulted.Gen)
+	}
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, httptest.NewRequest("GET", "/fabrics/edge/maxload?pattern=shift&arg=3", nil))
+	var fresh maxloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if faulted.MaxLoad != fresh.MaxLoad || faulted.Flows != fresh.Flows {
+		t.Errorf("memoized faulted answer %+v differs from fresh computation %+v", faulted, fresh)
+	}
+	postFault(t, hs.URL, Event{Op: "heal", Kind: "cable", Node: 3, Port: 0})
+	waitSettled(t, f)
+	var healed maxloadResponse
+	getJSON(t, hs.URL+"/fabrics/edge/maxload?pattern=shift&arg=3", &healed)
+	if healed.MaxLoad != first.MaxLoad {
+		t.Errorf("healed maxload %g, want healthy %g", healed.MaxLoad, first.MaxLoad)
+	}
+}
+
+// TestLFTDumpGolden pins the LFT endpoint's output: byte-identical to
+// an offline lid build, stable header lines, and degraded-aware after
+// a fault.
+func TestLFTDumpGolden(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	f := s.Fabric("edge")
+
+	get := func() (string, *http.Response) {
+		resp, err := http.Get(hs.URL + "/fabrics/edge/lft")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp
+	}
+
+	body, resp := get()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if g := resp.Header.Get("X-XGFT-Gen"); g != "0" {
+		t.Errorf("gen header %q, want 0", g)
+	}
+	// Golden header: the dump format is a stable external contract
+	// (ParseFabric and OpenSM-style tooling consume it).
+	if !strings.HasPrefix(body, "# xgftsim LFT dump\n# topology XGFT(2; 4,4; 1,4) scheme d-mod-k K 4 lmc ") {
+		t.Fatalf("dump does not start with golden header:\n%s", body[:min(len(body), 200)])
+	}
+	// Byte-identical to the offline builder.
+	if off := offlineLFT(t, f, nil); body != off {
+		t.Fatalf("served dump differs from offline build:\nserved %d bytes, offline %d bytes", len(body), len(off))
+	}
+
+	// Degraded-aware: after a fault the dump reflects the fault set.
+	postFault(t, hs.URL, Event{Op: "fail", Kind: "cable", Node: 3, Port: 0})
+	waitSettled(t, f)
+	degraded, resp := get()
+	if g := resp.Header.Get("X-XGFT-Gen"); g != "1" {
+		t.Errorf("gen header %q, want 1", g)
+	}
+	if degraded == body {
+		t.Error("dump unchanged after cable fault")
+	}
+	if off := offlineLFT(t, f, f.State().faults); degraded != off {
+		t.Fatal("degraded dump differs from offline degraded build")
+	}
+}
+
+// offlineLFT builds the same dump the endpoint should serve, straight
+// from internal/lid.
+func offlineLFT(t *testing.T, f *Fabric, fs *topology.FaultSet) string {
+	t.Helper()
+	p, err := lid.NewPlan(f.topo, f.Spec.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lf *lid.Fabric
+	if fs != nil {
+		lf, err = lid.BuildDegradedFabric(p, f.routing.Selector(), f.Spec.Seed, fs)
+	} else {
+		lf, err = lid.BuildFabric(p, f.routing.Selector(), f.Spec.Seed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lf.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"xgftsim/internal/lid"
+)
+
+// handleLFT answers GET /fabrics/{name}/lft: the fabric's linear
+// forwarding tables in the OpenSM-style dump format of
+// internal/lid.WriteTo, built degraded-aware against the currently
+// published snapshot's fault set. The dump streams (bufio inside
+// WriteTo); gen and degraded travel as headers so the body stays
+// byte-compatible with `xgftlft` output and ParseFabric round-trips.
+func (s *Server) handleLFT(w http.ResponseWriter, r *http.Request, f *Fabric) {
+	st := f.State()
+	p, err := lid.NewPlan(f.topo, f.Spec.K)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	var lf *lid.Fabric
+	if st.faults != nil {
+		lf, err = lid.BuildDegradedFabric(p, f.routing.Selector(), f.Spec.Seed, st.faults)
+	} else {
+		lf, err = lid.BuildFabric(p, f.routing.Selector(), f.Spec.Seed)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-XGFT-Gen", strconv.FormatUint(st.gen, 10))
+	if st.degraded {
+		h.Set("X-XGFT-Degraded", "1")
+	}
+	met.lftDumps.Inc()
+	if _, err := lf.WriteTo(w); err != nil {
+		met.encodeErrors.Inc()
+	}
+}

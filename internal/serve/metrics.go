@@ -20,6 +20,13 @@ var met = struct {
 	queries           *obs.Counter
 	degradedResponses *obs.Counter
 	staleness         *obs.Gauge
+	encodeErrors      *obs.Counter
+	memoHits          *obs.Counter
+	batchQueries      *obs.Counter
+	batchPairs        *obs.Counter
+	batchRejected     *obs.Counter
+	batchAborted      *obs.Counter
+	lftDumps          *obs.Counter
 }{
 	eventsAccepted:    obs.Default().Counter("serve.events_accepted"),
 	eventsRejected:    obs.Default().Counter("serve.events_rejected"),
@@ -33,6 +40,13 @@ var met = struct {
 	queries:           obs.Default().Counter("serve.queries"),
 	degradedResponses: obs.Default().Counter("serve.degraded_responses"),
 	staleness:         obs.Default().Gauge("serve.staleness_events"),
+	encodeErrors:      obs.Default().Counter("serve.encode_errors"),
+	memoHits:          obs.Default().Counter("serve.memo_hits"),
+	batchQueries:      obs.Default().Counter("serve.batch_queries"),
+	batchPairs:        obs.Default().Counter("serve.batch_pairs"),
+	batchRejected:     obs.Default().Counter("serve.batch_rejected"),
+	batchAborted:      obs.Default().Counter("serve.batch_aborted"),
+	lftDumps:          obs.Default().Counter("serve.lft_dumps"),
 }
 
 // updateStaleness recomputes the summed staleness gauge; called after

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +45,9 @@ type Config struct {
 	// TableBudget caps compiled-table bytes per fabric; larger fabrics
 	// serve lazily. Default core's 1 GiB.
 	TableBudget int64
+	// MaxBatch bounds the pair count of one POST /fabrics/{name}/paths
+	// batch; larger batches are rejected whole with 413. Default 8192.
+	MaxBatch int
 }
 
 // Server is the multi-fabric routing control plane: an http.Handler
@@ -90,6 +94,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TableBudget <= 0 {
 		cfg.TableBudget = 1 << 30
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8192
 	}
 	s := &Server{cfg: cfg, fabrics: make(map[string]*Fabric)}
 	for _, spec := range cfg.Fabrics {
@@ -147,8 +154,38 @@ func (s *Server) Close() {
 	s.closeAll()
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API: the server itself, whose ServeHTTP
+// fast-routes the query hot path and delegates everything else to the
+// generic mux.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP routes requests. The single-pair query endpoints — the
+// read hot path — are matched with allocation-free string slicing and
+// dispatched to the pooled-buffer handlers in fastpath.go; everything
+// else (faults, state, health, batch, LFT dumps) goes through the
+// ServeMux. Unknown fabrics fall through to the mux's withFabric 404.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		if rest, ok := strings.CutPrefix(r.URL.Path, "/fabrics/"); ok {
+			if i := strings.IndexByte(rest, '/'); i > 0 {
+				if f := s.fabrics[rest[:i]]; f != nil {
+					switch rest[i+1:] {
+					case "path":
+						s.fastPath(w, r, f)
+						return
+					case "lid":
+						s.fastLID(w, r, f)
+						return
+					case "maxload":
+						s.fastMaxLoad(w, r, f)
+						return
+					}
+				}
+			}
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Fabric returns the named fabric, nil if absent (for tests and the
 // churn driver's oracle).
@@ -161,6 +198,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /fabrics/{name}/lid", s.withFabric(s.handleLID))
 	mux.HandleFunc("GET /fabrics/{name}/maxload", s.withFabric(s.handleMaxLoad))
 	mux.HandleFunc("GET /fabrics/{name}/state", s.withFabric(s.handleState))
+	mux.HandleFunc("GET /fabrics/{name}/lft", s.withFabric(s.handleLFT))
+	mux.HandleFunc("POST /fabrics/{name}/paths", s.withFabric(s.handleBatchPaths))
 	mux.HandleFunc("POST /fabrics/{name}/faults", s.withFabric(s.handleFaults))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -168,10 +207,18 @@ func (s *Server) buildMux() *http.ServeMux {
 	return mux
 }
 
+// writeJSON encodes v as the response body. The Content-Type header
+// must be installed before WriteHeader locks the headers in, and an
+// Encode failure (client gone mid-body, unencodable value) is counted
+// in serve.encode_errors rather than silently dropped — the status
+// line is already on the wire by then, so counting is all that is
+// left to do.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		met.encodeErrors.Inc()
+	}
 }
 
 type errorBody struct {

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math/bits"
+	"time"
+)
+
+// DurationHist is a log-linear latency histogram in the HDR spirit:
+// values bucket by their binary exponent, and each exponent splits into
+// durSubBuckets linear sub-buckets, so every recorded duration is
+// reproduced by Quantile to within 1/durSubBuckets relative error
+// (~3%) across the full int64 nanosecond range. Observe is a shift,
+// a mask and one increment — no allocation, no branching on magnitude
+// classes — so a load-generator worker can record every response.
+//
+// A DurationHist is NOT safe for concurrent use; give each worker its
+// own and Merge them when the run ends (merging is exact: buckets are
+// positional).
+type DurationHist struct {
+	counts [64 * durSubBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+const (
+	durSubShift   = 5 // log2(durSubBuckets)
+	durSubBuckets = 1 << durSubShift
+)
+
+// durIndex maps a non-negative nanosecond value to its bucket. Values
+// below 2·durSubBuckets index linearly (exact buckets); above that,
+// the leading bit picks the row and the durSubShift bits below it the
+// linear sub-bucket, so indices stay contiguous across the boundary.
+func durIndex(v int64) int {
+	if v < 2*durSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the leading bit
+	sub := int((v >> (uint(exp) - durSubShift)) & (durSubBuckets - 1))
+	return (exp-durSubShift)*durSubBuckets + sub + durSubBuckets
+}
+
+// durValue is the upper-edge nanosecond value of a bucket, the inverse
+// of durIndex up to sub-bucket resolution.
+func durValue(idx int) int64 {
+	if idx < 2*durSubBuckets {
+		return int64(idx)
+	}
+	exp := uint(idx>>durSubShift) + durSubShift - 1
+	sub := int64(idx & (durSubBuckets - 1))
+	step := int64(1) << (exp - durSubShift)
+	return int64(1)<<exp + (sub+1)*step - 1
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *DurationHist) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[durIndex(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *DurationHist) Count() int64 { return h.n }
+
+// Sum returns the total of all observations.
+func (h *DurationHist) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Max returns the exact largest observation (not bucketed).
+func (h *DurationHist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the average observation, 0 when empty.
+func (h *DurationHist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}
+
+// Merge folds o into h (bucket-exact; o is unchanged).
+func (h *DurationHist) Merge(o *DurationHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset clears the histogram for reuse.
+func (h *DurationHist) Reset() {
+	*h = DurationHist{}
+}
+
+// Quantile returns the upper edge of the bucket holding the
+// q-quantile observation (q clamped to [0,1]); the true value is at
+// most one sub-bucket width (~3%) below the returned one. The top
+// quantile is capped at Max, which is tracked exactly. Zero when
+// empty.
+func (h *DurationHist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := durValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

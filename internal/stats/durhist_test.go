@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestDurationHistIndexRoundTrip(t *testing.T) {
+	// Every value's bucket upper edge must be >= the value and within
+	// 1/durSubBuckets relative error.
+	vals := []int64{0, 1, 5, 31, 32, 33, 100, 999, 1 << 20, (1 << 20) + 12345, 1e9, 5e9, 1 << 40}
+	for _, v := range vals {
+		idx := durIndex(v)
+		up := durValue(idx)
+		if up < v {
+			t.Errorf("value %d: bucket edge %d below value", v, up)
+		}
+		if v >= durSubBuckets {
+			if rel := float64(up-v) / float64(v); rel > 2.0/durSubBuckets {
+				t.Errorf("value %d: bucket edge %d off by %.3f", v, up, rel)
+			}
+		}
+		// Monotone: the next bucket's edge is strictly larger.
+		if durValue(idx+1) <= up {
+			t.Errorf("bucket %d: edges not monotone", idx)
+		}
+	}
+}
+
+func TestDurationHistQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h DurationHist
+	n := 20000
+	raw := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Log-uniform latencies between 1µs and 100ms.
+		v := time.Duration(float64(time.Microsecond) * pow10(rng.Float64()*5))
+		h.Observe(v)
+		raw = append(raw, float64(v))
+	}
+	sort.Float64s(raw)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := raw[int(q*float64(n-1))]
+		got := float64(h.Quantile(q))
+		if got < exact*0.97 || got > exact*1.10 {
+			t.Errorf("q=%.3f: hist %v, exact %v (ratio %.3f)", q, time.Duration(got), time.Duration(exact), got/exact)
+		}
+	}
+	if h.Count() != int64(n) {
+		t.Errorf("count %d, want %d", h.Count(), n)
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q=1 (%v) != max (%v)", h.Quantile(1), h.Max())
+	}
+}
+
+func pow10(x float64) float64 {
+	v := 1.0
+	for x >= 1 {
+		v *= 10
+		x--
+	}
+	// Linear interpolation is fine for test data spread.
+	return v * (1 + 9*x/1)
+}
+
+func TestDurationHistMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var all, a, b DurationHist
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(int64(time.Second)))
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Max() != all.Max() {
+		t.Fatalf("merge totals differ: %d/%v/%v vs %d/%v/%v",
+			a.Count(), a.Sum(), a.Max(), all.Count(), all.Sum(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q=%.2f: merged %v, sequential %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestDurationHistEmptyAndNegative(t *testing.T) {
+	var h DurationHist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(-time.Second) // clamps, does not panic
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Errorf("negative observation: count %d q50 %v", h.Count(), h.Quantile(0.5))
+	}
+}
+
+func TestDurationHistObserveAllocs(t *testing.T) {
+	var h DurationHist
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(123456 * time.Nanosecond)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %.1f/op, want 0", allocs)
+	}
+}
