@@ -37,7 +37,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json.tmp
 	@if [ -f BENCH_flow.json ]; then cp BENCH_flow.json BENCH_flow.prev.json; fi
 	mv BENCH_flow.json.tmp BENCH_flow.json
-	$(GO) test -run xxx -bench 'Fig5' -benchmem -benchtime 1x . | tee bench_flit_output.txt
+	$(GO) test -run xxx -bench 'Fig5|AdaptiveK' -benchmem -benchtime 1x . | tee bench_flit_output.txt
 	$(GO) test -run xxx -bench 'FlitEngine' -benchmem . | tee -a bench_flit_output.txt
 	$(GO) run ./cmd/benchjson -in bench_flit_output.txt -out BENCH_flit.json.tmp
 	@if [ -f BENCH_flit.json ]; then cp BENCH_flit.json BENCH_flit.prev.json; fi
@@ -85,6 +85,7 @@ ci: vet
 	$(GO) test -race -count=1 -run 'TestServeBenchSmoke' ./internal/loadgen
 	$(GO) test -count=1 -run 'TestKillDashNineRecovery' ./cmd/xgftserve
 	$(GO) test -run 'Alloc' -count=1 ./internal/obs ./internal/flit ./internal/flow ./internal/serve ./internal/stats
+	$(GO) test -race -count=1 -run 'AdaptiveK' ./internal/flit ./internal/experiments
 	$(GO) test -run 'PrefixNesting|MultiK|SampleAdaptiveVec' -count=1 ./internal/core ./internal/flow ./internal/stats
 	rm -rf ci-smoke && $(GO) run ./cmd/xgftpaper -exp failures -scale quick -out ci-smoke
 	@for key in tool go_version flags seed workers experiments wall_seconds metrics exit_status; do \

@@ -180,6 +180,17 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveK regenerates the output-selector head-to-head:
+// oblivious-K vs adaptive-K vs full-adaptive saturation throughput on
+// XGFT(2;8,16;1,8).
+func BenchmarkAdaptiveK(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.AdaptiveK(sc)
+		b.ReportMetric(tbl.Cells[0][1].Mean, "thr:adaptivek@uniform")
+	}
+}
+
 // BenchmarkFig5 regenerates Figure 5: message delay vs offered load.
 func BenchmarkFig5(b *testing.B) {
 	sc := benchScale()

@@ -54,7 +54,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 2012, "simulation seed")
 	policy := fs.String("policy", "round-robin", "per-message path policy: round-robin | random")
 	adaptive := fs.Bool("adaptive", false, "use minimal adaptive routing instead of the oblivious scheme")
+	selector := fs.String("selector", "", "output selection: oblivious | adaptive | adaptive-k (overrides -adaptive)")
 	vcs := fs.Int("vcs", 1, "virtual channels per link (the paper uses 1)")
+	vcScheme := fs.String("vcscheme", "rr-injection", "VC assignment: rr-injection | dest-subtree | down-digit")
+	burst := fs.Float64("burst", 1, "mean burst size for bursty Poisson arrivals (1 = plain Poisson)")
 	out := fs.String("out", "", "directory for manifest.json (created if missing)")
 	prof := cliutil.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -143,6 +146,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	} else if *policy != "round-robin" {
 		return finish(1, fmt.Errorf("unknown path policy %q", *policy))
 	}
+	var outSel flit.OutputSelector
+	if *selector != "" {
+		if outSel, err = flit.ParseOutputSelector(*selector); err != nil {
+			return finish(1, err)
+		}
+	}
+	vcSch, err := flit.ParseVCScheme(*vcScheme)
+	if err != nil {
+		return finish(1, err)
+	}
 	base := flit.Config{
 		Routing:           core.NewRouting(t, sel, *k, *seed),
 		Pattern:           pattern,
@@ -155,6 +168,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Seed:              *seed,
 		PathPolicy:        pp,
 		Adaptive:          *adaptive,
+		Selector:          outSel,
+		VCScheme:          vcSch,
+		BurstMean:         *burst,
 		VirtualChannels:   *vcs,
 		DelayHistogram:    true,
 	}

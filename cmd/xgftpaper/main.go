@@ -44,7 +44,7 @@ var order = []string{
 	"thm1", "thm2",
 	"tier", "lid", "diversity", "workload",
 	"adaptive", "alltoall", "worstcase", "model", "crossover", "buffers", "vcs",
-	"churnsoak", "servebench", "mega",
+	"adaptivek", "churnsoak", "servebench", "mega",
 }
 
 // aliases expand shorthand experiment names; members must be in order.
@@ -303,6 +303,8 @@ func run(name string, scale experiments.Scale, seed int64, topt experiments.Tabl
 		return experiments.BufferDepth(scale), nil
 	case "vcs":
 		return experiments.VirtualChannelDepth(scale), nil
+	case "adaptivek":
+		return experiments.AdaptiveK(scale), nil
 	case "churnsoak":
 		return churn.Soak(scale, seed)
 	case "servebench":

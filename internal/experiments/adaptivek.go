@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/flit"
+	"xgftsim/internal/stats"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// adaptiveKTopology is the head-to-head fabric for the output-selector
+// comparison: the 2-level XGFT(2;8,16;1,8). It is chosen over the
+// paper's Table 1 tree because Theorem 2's adversarial construction
+// needs W = Πw_i >= M (per-subtree nodes), which XGFT(3;4,4,8;1,4,4)
+// violates; here W = M = 8 and every pair has 8 minimal paths, so a
+// K = 4 budget is a real restriction for both oblivious-K and
+// adaptive-K.
+func adaptiveKTopology() *topology.Topology {
+	return topology.MustNew(2, []int{8, 16}, []int{1, 8})
+}
+
+// adaptiveKScenario is one traffic row of the AdaptiveK table.
+type adaptiveKScenario struct {
+	name      string
+	pattern   func(t *topology.Topology) traffic.Pattern
+	vcs       int
+	vcScheme  flit.VCScheme
+	burstMean float64
+}
+
+// adversarialPattern overlays Theorem 2's worst-case flows on an
+// otherwise idle fabric: each source of the first height-(h-1) subtree
+// sends to its theorem destination, all of which d-mod-k maps through
+// one up link. Sources outside the construction stay silent (identity
+// entries generate no traffic), so the measured throughput isolates
+// the contended subtree.
+func adversarialPattern(t *topology.Topology) traffic.Pattern {
+	m, err := traffic.AdversarialDModK(t)
+	if err != nil {
+		panic(err)
+	}
+	perm := make([]int, t.NumProcessors())
+	for i := range perm {
+		perm[i] = i
+	}
+	for _, f := range m.Flows() {
+		perm[f.Src] = f.Dst
+	}
+	return traffic.NewPermutationPattern("adversarial(thm2)", perm)
+}
+
+func adaptiveKScenarios(t *topology.Topology) []adaptiveKScenario {
+	uniform := func(t *topology.Topology) traffic.Pattern {
+		return traffic.UniformPattern{N: t.NumProcessors()}
+	}
+	hotspot := func(t *topology.Topology) traffic.Pattern {
+		return traffic.HotspotPattern{N: t.NumProcessors(), Hot: 0, Fraction: 0.2}
+	}
+	return []adaptiveKScenario{
+		{name: "uniform", pattern: uniform},
+		{name: "hotspot", pattern: hotspot},
+		{name: "adversarial", pattern: adversarialPattern},
+		{name: "bursty", pattern: uniform, burstMean: 4},
+		{name: "hotspot 2vc/subtree", pattern: hotspot, vcs: 2, vcScheme: flit.VCDestSubtree},
+		{name: "hotspot 2vc/downdig", pattern: hotspot, vcs: 2, vcScheme: flit.VCDownDigit},
+	}
+}
+
+// adaptiveKSelectors lists the compared output-selection disciplines.
+// Oblivious-K and adaptive-K both run on the same Disjoint K-path
+// compile; full-adaptive ignores the compiled set and may use every
+// minimal path.
+func adaptiveKSelectors() []flit.OutputSelector {
+	return []flit.OutputSelector{flit.SelectOblivious, flit.SelectAdaptiveK, flit.SelectAdaptive}
+}
+
+// adaptiveKPaths is the per-pair path budget the K-limited selectors
+// compile with (half of the fabric's 8 minimal paths).
+const adaptiveKPaths = 4
+
+// AdaptiveK measures maximum accepted throughput head-to-head across
+// output-selection disciplines — oblivious K-path rotation, adaptive-K
+// (queue-occupancy steering restricted to the compiled K paths), and
+// full minimal-adaptive — on XGFT(2;8,16;1,8) under uniform, hotspot,
+// Theorem 2 adversarial, and bursty arrivals, plus hotspot with two
+// VCs under each VC-assignment scheme. Rows are traffic scenarios,
+// columns selectors.
+func AdaptiveK(sc Scale) *Table {
+	t := adaptiveKTopology()
+	scenarios := adaptiveKScenarios(t)
+	sels := adaptiveKSelectors()
+	tbl := &Table{
+		Title: fmt.Sprintf("Adaptive-K head-to-head: max throughput (fraction of capacity), %s, Disjoint K=%d",
+			t, adaptiveKPaths),
+		XLabel:  "traffic",
+		Columns: make([]string, len(sels)),
+	}
+	for j, s := range sels {
+		switch s {
+		case flit.SelectOblivious:
+			tbl.Columns[j] = "oblivious-K"
+		case flit.SelectAdaptiveK:
+			tbl.Columns[j] = "adaptive-K"
+		default:
+			tbl.Columns[j] = "adaptive"
+		}
+	}
+	cells := make([][]Cell, len(scenarios))
+	for i := range cells {
+		cells[i] = make([]Cell, len(sels))
+	}
+	runCells(sc.Ctx, len(scenarios)*len(sels), sc.Workers, func(x int) {
+		i, j := x/len(sels), x%len(sels)
+		sn := scenarios[i]
+		var acc stats.Accumulator
+		for s := 0; s < sc.FlitSeeds; s++ {
+			base := flit.Config{
+				Routing:         core.NewRouting(t, core.Disjoint{}, adaptiveKPaths, int64(s)),
+				Pattern:         sn.pattern(t),
+				Seed:            int64(s),
+				WarmupCycles:    sc.FlitWarmup,
+				MeasureCycles:   sc.FlitMeasure,
+				Selector:        sels[j],
+				VirtualChannels: sn.vcs,
+				VCScheme:        sn.vcScheme,
+				BurstMean:       sn.burstMean,
+			}
+			results, err := flit.Sweep(flit.SweepConfig{Base: base, Loads: sc.Loads})
+			if err != nil {
+				panic(err)
+			}
+			acc.Add(flit.MaxThroughput(results))
+		}
+		hw := 0.0
+		if acc.N() > 1 {
+			hw = acc.ConfidenceHalfWidth(0.95)
+		}
+		cells[i][j] = Cell{Mean: acc.Mean(), HalfWidth: hw, Samples: acc.N()}
+	})
+	for i, sn := range scenarios {
+		tbl.XValues = append(tbl.XValues, sn.name)
+		tbl.Cells = append(tbl.Cells, cells[i])
+	}
+	tbl.Footnote = fmt.Sprintf(
+		"%d workload seed(s); K=%d of %d minimal paths; hotspot: 20%% of traffic to node 0; bursty: geometric bursts, mean %d; adversarial: Theorem 2 flows, idle elsewhere",
+		sc.FlitSeeds, adaptiveKPaths, t.MaxPaths(), 4)
+	return tbl
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveKExperimentSmoke runs the selector head-to-head at a
+// trimmed scale and checks the table's shape and that every cell
+// measured real throughput.
+func TestAdaptiveKExperimentSmoke(t *testing.T) {
+	sc := Scale{
+		Name:        "smoke",
+		FlitWarmup:  500,
+		FlitMeasure: 1500,
+		FlitSeeds:   1,
+		Loads:       []float64{0.4, 0.8},
+		Workers:     4,
+	}
+	tbl := AdaptiveK(sc)
+	if got, want := len(tbl.Cells), 6; got != want {
+		t.Fatalf("rows %d, want %d", got, want)
+	}
+	if got, want := len(tbl.Columns), 3; got != want {
+		t.Fatalf("columns %d, want %d", got, want)
+	}
+	for i, row := range tbl.Cells {
+		for j, c := range row {
+			if c.Mean <= 0 || c.Mean > 1 {
+				t.Errorf("cell %s/%s: throughput %g out of (0,1]",
+					tbl.XValues[i], tbl.Columns[j], c.Mean)
+			}
+		}
+	}
+}

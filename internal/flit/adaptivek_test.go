@@ -1,0 +1,335 @@
+package flit
+
+// Adaptive-K selector tests: the differential equivalences pinning the
+// selector against its two neighbors (K = MaxPaths reproduces full
+// adaptive bit-for-bit, K = 1 reproduces the oblivious single path),
+// the path-budget restriction, the committed-send-only up-port
+// rotation, the dead-link drop accounting, and the VC queue schemes.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xgftsim/internal/core"
+	"xgftsim/internal/topology"
+	"xgftsim/internal/traffic"
+)
+
+// akTopo is the test tree: XGFT(2;4,8;1,4), 32 processors, 4 paths per
+// top-level pair.
+func akTopo() *topology.Topology {
+	return topology.MustNew(2, []int{4, 8}, []int{1, 4})
+}
+
+// akBase is a medium-contention base config over akTopo.
+func akBase(t *topology.Topology, sel core.Selector, k int) Config {
+	return Config{
+		Routing:       core.NewRouting(t, sel, k, 3),
+		Pattern:       traffic.UniformPattern{N: t.NumProcessors()},
+		OfferedLoad:   0.7,
+		WarmupCycles:  1000,
+		MeasureCycles: 8000,
+		Seed:          42,
+	}
+}
+
+// TestAdaptiveKMatchesFullAdaptiveAtMaxK: with the full path set (K =
+// MaxPaths) every up-port at every level below the NCA lies on some
+// compiled path, so adaptive-K's admissible set equals full adaptive's
+// and — both advancing the rotation identically on committed sends —
+// the two runs must be event-for-event identical.
+func TestAdaptiveKMatchesFullAdaptiveAtMaxK(t *testing.T) {
+	tp := akTopo()
+	for _, vcs := range []int{1, 2} {
+		base := akBase(tp, core.Disjoint{}, tp.MaxPaths())
+		base.VirtualChannels = vcs
+
+		ak := base
+		ak.Selector = SelectAdaptiveK
+		full := base
+		full.Adaptive = true // legacy spelling of SelectAdaptive
+
+		ra, rf := MustRun(ak), MustRun(full)
+		if !reflect.DeepEqual(ra, rf) {
+			t.Errorf("vcs=%d: adaptive-K at K=MaxPaths diverged from full adaptive:\n  adaptive-K: %+v\n  adaptive:   %+v", vcs, ra, rf)
+		}
+		if ra.MsgsCompleted == 0 {
+			t.Errorf("vcs=%d: no messages completed; equality is vacuous", vcs)
+		}
+	}
+}
+
+// TestAdaptiveKMatchesObliviousAtK1: with a single-path scheme the
+// mask admits exactly one port per hop — the oblivious route's port —
+// so delivery behavior matches the oblivious table walk exactly.
+func TestAdaptiveKMatchesObliviousAtK1(t *testing.T) {
+	tp := akTopo()
+	base := akBase(tp, core.DModK{}, 1)
+
+	ak := base
+	ak.Selector = SelectAdaptiveK
+
+	ro, ra := MustRun(base), MustRun(ak)
+	if ro.MsgsGenerated != ra.MsgsGenerated || ro.MsgsCompleted != ra.MsgsCompleted || ro.FlitsEjected != ra.FlitsEjected {
+		t.Errorf("adaptive-K at K=1 delivery diverged from oblivious:\n  oblivious:  %+v\n  adaptive-K: %+v", ro, ra)
+	}
+	if ro.MsgsCompleted == 0 {
+		t.Error("no messages completed; equality is vacuous")
+	}
+}
+
+// TestAdaptiveKRestrictedToCompiledPaths drives a single flow and
+// asserts, via the engine's per-link transmission tally, that the only
+// up-links the flow's leaf switch ever used are those whose up-digit
+// appears in the pair's K compiled path indices.
+func TestAdaptiveKRestrictedToCompiledPaths(t *testing.T) {
+	tp := akTopo()
+	const src, dst, k = 0, 20, 2
+	routing := core.NewRouting(tp, core.Disjoint{}, k, 3)
+	perm := make([]int, tp.NumProcessors())
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[src] = dst
+	cfg, err := Config{
+		Routing:       routing,
+		Pattern:       traffic.NewPermutationPattern("single", perm),
+		OfferedLoad:   0.5,
+		WarmupCycles:  0,
+		MeasureCycles: 20000,
+		Seed:          9,
+		Selector:      SelectAdaptiveK,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	e.run()
+
+	idxs := routing.Paths(src, dst)
+	if len(idxs) != k {
+		t.Fatalf("pair (%d,%d) got %d paths, want %d", src, dst, len(idxs), k)
+	}
+	// NCA level 2, so the digit at the leaf switch (level 1) is the
+	// least significant: idx % w_2.
+	allowed := map[int]bool{}
+	for _, idx := range idxs {
+		allowed[idx%tp.W(2)] = true
+	}
+	leaf := tp.NodeAt(1, 0)
+	used := 0
+	for p := 0; p < tp.W(2); p++ {
+		starts := e.linkStarts[tp.UpLink(leaf, p)]
+		switch {
+		case !allowed[p] && starts > 0:
+			t.Errorf("up-port %d is on no compiled path but carried %d transmissions", p, starts)
+		case allowed[p] && starts > 0:
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d of the %d compiled up-ports carried traffic; want adaptivity across the path budget", used, k)
+	}
+}
+
+// TestAdaptiveUpPortDistribution pins the committed-send-only rotation
+// advance: a lone low-load flow sees all up-port queues equally empty,
+// so the tie-breaking rotation alone decides, and every up-port must
+// carry a near-equal share. (Advancing the rotation on speculative,
+// uncommitted probes would skew this distribution.)
+func TestAdaptiveUpPortDistribution(t *testing.T) {
+	tp := akTopo()
+	const src, dst = 0, 20
+	perm := make([]int, tp.NumProcessors())
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[src] = dst
+	cfg, err := Config{
+		Routing:       core.NewRouting(tp, core.Disjoint{}, 4, 3),
+		Pattern:       traffic.NewPermutationPattern("single", perm),
+		OfferedLoad:   0.5,
+		WarmupCycles:  0,
+		MeasureCycles: 40000,
+		Seed:          11,
+		Adaptive:      true,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	e.run()
+
+	leaf := tp.NodeAt(1, 0)
+	ups := tp.W(2)
+	var total int64
+	starts := make([]int64, ups)
+	for p := 0; p < ups; p++ {
+		starts[p] = e.linkStarts[tp.UpLink(leaf, p)]
+		total += starts[p]
+	}
+	if total == 0 {
+		t.Fatal("the flow never left its leaf switch")
+	}
+	for p, s := range starts {
+		if s < total/int64(2*ups) {
+			t.Errorf("up-port %d carried %d of %d transmissions (ports: %v); want a near-uniform rotation share", p, s, total, starts)
+		}
+	}
+}
+
+// TestAdaptiveDeadDownLinkDrops covers the former wedge: a failed
+// forced downward link left adaptive flows blocked forever until the
+// watchdog fired. Both adaptive selectors must now discard the
+// affected messages, account them in MsgsUnroutable, name the dead
+// link, and keep the rest of the fabric flowing to a clean drain.
+func TestAdaptiveDeadDownLinkDrops(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	n := tp.NumProcessors()
+	const deadDst = 5
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + 4) % n // every flow crosses subtrees; node 1 targets deadDst
+	}
+	for _, sel := range []OutputSelector{SelectAdaptive, SelectAdaptiveK} {
+		res := MustRun(Config{
+			Routing:       core.NewRouting(tp, core.Disjoint{}, 4, 3),
+			Pattern:       traffic.NewPermutationPattern("shift", perm),
+			OfferedLoad:   0.4,
+			WarmupCycles:  500,
+			MeasureCycles: 5000,
+			Seed:          17,
+			Selector:      sel,
+			FailedLinks:   []topology.LinkID{tp.DownLink(deadDst, 0)},
+			Drain:         true,
+		})
+		if res.Wedged {
+			t.Errorf("%v: run wedged (%s); want unroutable messages dropped instead", sel, res.WedgeDiagnosis)
+		}
+		if res.MsgsUnroutable == 0 {
+			t.Errorf("%v: no messages accounted unroutable despite a dead forced downward link", sel)
+		}
+		if !strings.Contains(res.WedgeDiagnosis, "link") {
+			t.Errorf("%v: diagnosis %q does not name the dead link", sel, res.WedgeDiagnosis)
+		}
+		if res.MsgsCompleted == 0 {
+			t.Errorf("%v: unaffected flows made no progress", sel)
+		}
+		if res.BacklogPackets != 0 {
+			t.Errorf("%v: %d packets leaked after drain", sel, res.BacklogPackets)
+		}
+	}
+}
+
+// TestVCSchemeAssignment pins the per-scheme channel maps directly.
+func TestVCSchemeAssignment(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	base := Config{
+		Routing:         core.NewRouting(tp, core.Disjoint{}, 4, 0),
+		Pattern:         traffic.UniformPattern{N: tp.NumProcessors()},
+		OfferedLoad:     0.5,
+		VirtualChannels: 4,
+	}
+	for _, tc := range []struct {
+		scheme VCScheme
+		dst    int
+		want   int8
+	}{
+		// dest-subtree: dst / m_1 % vcs (4 processors per leaf subtree).
+		{VCDestSubtree, 3, 0},
+		{VCDestSubtree, 7, 1},
+		{VCDestSubtree, 13, 3},
+		// down-digit: dst % m_1 % vcs.
+		{VCDownDigit, 3, 3},
+		{VCDownDigit, 7, 3},
+		{VCDownDigit, 13, 1},
+	} {
+		cfg := base
+		cfg.VCScheme = tc.scheme
+		cfg, err := cfg.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newEngine(cfg)
+		if got := e.vcFor(0, tc.dst); got != tc.want {
+			t.Errorf("%v: vcFor(dst=%d) = %d, want %d", tc.scheme, tc.dst, got, tc.want)
+		}
+	}
+}
+
+// TestVCSchemesDeliver runs every (selector, VC scheme) combination at
+// two VCs and requires healthy delivery with a clean drain.
+func TestVCSchemesDeliver(t *testing.T) {
+	tp := akTopo()
+	for _, sel := range []OutputSelector{SelectOblivious, SelectAdaptive, SelectAdaptiveK} {
+		for _, scheme := range []VCScheme{VCRoundRobin, VCDestSubtree, VCDownDigit} {
+			res := MustRun(Config{
+				Routing:         core.NewRouting(tp, core.Disjoint{}, 4, 3),
+				Pattern:         traffic.UniformPattern{N: tp.NumProcessors()},
+				OfferedLoad:     0.4,
+				WarmupCycles:    500,
+				MeasureCycles:   4000,
+				Seed:            23,
+				Selector:        sel,
+				VCScheme:        scheme,
+				VirtualChannels: 2,
+				Drain:           true,
+			})
+			if res.MsgsCompleted == 0 || res.Wedged {
+				t.Errorf("%v/%v: msgs=%d/%d wedged=%v", sel, scheme, res.MsgsCompleted, res.MsgsGenerated, res.Wedged)
+			}
+			if res.BacklogPackets != 0 {
+				t.Errorf("%v/%v: %d packets leaked after drain", sel, scheme, res.BacklogPackets)
+			}
+		}
+	}
+}
+
+// TestBurstyArrivalsDeliver checks the bursty arrival process: load is
+// preserved in expectation and the run stays healthy.
+func TestBurstyArrivalsDeliver(t *testing.T) {
+	tp := akTopo()
+	base := Config{
+		Routing:       core.NewRouting(tp, core.Disjoint{}, 4, 3),
+		Pattern:       traffic.UniformPattern{N: tp.NumProcessors()},
+		OfferedLoad:   0.3,
+		WarmupCycles:  2000,
+		MeasureCycles: 20000,
+		Seed:          29,
+		Selector:      SelectAdaptiveK,
+		Drain:         true,
+	}
+	plain := MustRun(base)
+	bursty := base
+	bursty.BurstMean = 4
+	rb := MustRun(bursty)
+	if rb.MsgsCompleted == 0 || rb.Wedged {
+		t.Fatalf("bursty run unhealthy: %+v", rb)
+	}
+	if rb.BacklogPackets != 0 {
+		t.Errorf("bursty drain leaked %d packets", rb.BacklogPackets)
+	}
+	// Same offered load in expectation: generated message counts agree
+	// within 25% (bursty arrivals have higher variance).
+	lo, hi := plain.MsgsGenerated*3/4, plain.MsgsGenerated*5/4
+	if rb.MsgsGenerated < lo || rb.MsgsGenerated > hi {
+		t.Errorf("bursty run generated %d messages; plain Poisson generated %d (want within 25%%)",
+			rb.MsgsGenerated, plain.MsgsGenerated)
+	}
+}
+
+// TestAdaptiveKRejectsOverwideMask: the mask holds 64 paths; routings
+// that can assign more must be rejected up front.
+func TestAdaptiveKRejectsOverwideMask(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 128}) // 128 paths per top-level pair
+	_, err := Run(Config{
+		Routing:     core.NewRouting(tp, core.Disjoint{}, 128, 0),
+		Pattern:     traffic.UniformPattern{N: tp.NumProcessors()},
+		OfferedLoad: 0.5,
+		Selector:    SelectAdaptiveK,
+	})
+	if err == nil || !strings.Contains(err.Error(), "64-bit mask") {
+		t.Fatalf("got err=%v; want the 64-bit mask rejection", err)
+	}
+}

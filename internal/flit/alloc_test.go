@@ -97,3 +97,32 @@ func TestEngineAdaptiveSteadyStateAllocs(t *testing.T) {
 		t.Errorf("adaptive steady-state loop allocates %.0f times per 2000 cycles; want 0", allocs)
 	}
 }
+
+// TestEngineAdaptiveKSteadyStateAllocs covers the adaptive-K selector,
+// whose per-hop mask scatter and per-pair path-index cache must stay
+// off the allocator once every pair has been seen.
+func TestEngineAdaptiveKSteadyStateAllocs(t *testing.T) {
+	tp := topology.MustNew(2, []int{4, 4}, []int{1, 4})
+	perm := traffic.RandomDerangementish(tp.NumProcessors(), rand.New(rand.NewSource(13)))
+	cfg, err := Config{
+		Routing:       core.NewRouting(tp, core.Disjoint{}, 4, 0),
+		Pattern:       traffic.NewPermutationPattern("alloc-adaptivek", perm),
+		OfferedLoad:   0.6,
+		WarmupCycles:  1000,
+		MeasureCycles: 100_000_000,
+		Seed:          7,
+		Selector:      SelectAdaptiveK,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cfg)
+	e.start()
+	e.loop(200_000)
+	allocs := testing.AllocsPerRun(5, func() {
+		e.loop(e.now + 2000)
+	})
+	if allocs >= 1 {
+		t.Errorf("adaptive-K steady-state loop allocates %.0f times per 2000 cycles; want 0", allocs)
+	}
+}

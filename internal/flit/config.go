@@ -92,7 +92,8 @@ type Config struct {
 	// Routes optionally supplies a shared per-pair route cache so
 	// engines of a sweep stop re-expanding the same routing. Nil keeps
 	// an engine-local cache; flit.Sweep installs a shared table
-	// automatically. Ignored under Adaptive routing.
+	// automatically. Oblivious engines read port routes from it,
+	// adaptive-K engines read path indices; full adaptive ignores it.
 	Routes *RouteTable
 	// FailedLinks lists directed links that are down for the whole
 	// run: they never transmit. Oblivious routings stall the flows
@@ -111,16 +112,35 @@ type Config struct {
 	// each scheme's policy around dead links, and messages of
 	// disconnected pairs are dropped at injection and counted in
 	// Result.MsgsUnroutable instead of wedging the fabric. Ignored
-	// under Adaptive routing, which already steers around failures.
+	// under the adaptive selectors, which already steer around
+	// failures at run time.
 	RepairRoutes bool
-	// Adaptive switches from the Routing's oblivious source routing to
-	// minimal adaptive routing (the comparator of Gomez et al., IPDPS
-	// 2007): on the way up every switch sends the packet to its
-	// least-occupied upward output (any of them leads to a nearest
-	// common ancestor), and the forced downward path is followed from
-	// there. The Routing still supplies the topology; its path
-	// selection and PathPolicy are ignored.
+	// Adaptive is the legacy switch for minimal adaptive routing; it is
+	// equivalent to (and normalized into) Selector: SelectAdaptive.
+	// Setting both Adaptive and a non-oblivious Selector is fine as
+	// long as they agree.
 	Adaptive bool
+	// Selector chooses the per-hop output-selection discipline:
+	// SelectOblivious (default) walks the source route precomputed from
+	// the Routing's K-limited path sets; SelectAdaptive is full minimal
+	// adaptive routing ignoring the K-limit (the Routing still supplies
+	// the topology; its path selection and PathPolicy are ignored);
+	// SelectAdaptiveK steers by VC-queue occupancy among only the
+	// up-ports on one of the pair's K compiled paths. Adaptive-K
+	// requires the Routing's MaxPathsUsed to fit the 64-bit path mask.
+	Selector OutputSelector
+	// VCScheme selects how messages are assigned their virtual channel
+	// at injection: per-node round-robin (default), VC per destination
+	// top-level subtree, or a VOQ-ish channel keyed by the
+	// destination's lowest address digit. With one VC all schemes
+	// coincide.
+	VCScheme VCScheme
+	// BurstMean, when > 1, switches arrivals from plain Poisson to
+	// bursty: message-generation epochs stay Poisson but are spaced
+	// BurstMean times further apart, and each epoch emits a geometric
+	// burst of messages with mean BurstMean, preserving the offered
+	// load while clustering it. 0 or 1 keeps plain Poisson arrivals.
+	BurstMean float64
 	// DelayHistogram, when true, collects a message-delay histogram in
 	// the result.
 	DelayHistogram bool
@@ -200,13 +220,38 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RouterDelay < 0 || c.WarmupCycles < 0 || c.MeasureCycles < 1 {
 		return c, fmt.Errorf("flit: negative timing parameters")
 	}
+	// Normalize the legacy Adaptive flag and the Selector into one
+	// consistent pair so the engine and sweep sharing logic read either.
+	if c.Selector < SelectOblivious || c.Selector > SelectAdaptiveK {
+		return c, fmt.Errorf("flit: unknown output selector %d", int(c.Selector))
+	}
+	if c.Adaptive && c.Selector == SelectOblivious {
+		c.Selector = SelectAdaptive
+	}
+	if c.Selector == SelectAdaptive {
+		c.Adaptive = true
+	}
+	if c.Selector == SelectAdaptiveK {
+		if mp := c.Routing.MaxPathsUsed(); mp > 64 {
+			return c, fmt.Errorf("flit: adaptive-K tracks paths in a 64-bit mask; routing assigns up to %d paths per pair (lower K)", mp)
+		}
+	}
+	if c.VCScheme < VCRoundRobin || c.VCScheme > VCDownDigit {
+		return c, fmt.Errorf("flit: unknown VC scheme %d", int(c.VCScheme))
+	}
+	if c.BurstMean == 0 {
+		c.BurstMean = 1
+	}
+	if c.BurstMean < 1 {
+		return c, fmt.Errorf("flit: burst mean %g out of [1, inf) (1 = plain Poisson)", c.BurstMean)
+	}
 	if c.Faults != nil || len(c.FailedLinks) > 0 {
 		faults, err := c.combinedFaults()
 		if err != nil {
 			return c, err
 		}
 		c.faults = faults
-		if c.RepairRoutes && !c.Adaptive {
+		if c.RepairRoutes && c.Selector == SelectOblivious {
 			rr, err := c.Routing.Repair(faults)
 			if err != nil {
 				return c, err
@@ -241,8 +286,12 @@ type Result struct {
 	// measurement and message completions attributed to them.
 	MsgsGenerated, MsgsCompleted int64
 	// MsgsUnroutable counts messages (whole run, not just the window)
-	// dropped at injection because repaired routing found their SD pair
-	// disconnected by the fault set.
+	// dropped as permanently undeliverable: at injection because
+	// repaired routing found their SD pair disconnected, or — under the
+	// adaptive selectors — in transit because the packet reached a
+	// point whose every admissible next link is failed (typically a
+	// dead forced downward link). Each message counts once, even when
+	// several of its packets are discarded.
 	MsgsUnroutable int64
 	// FlitsEjected counts measured ejected flits.
 	FlitsEjected int64
@@ -269,7 +318,10 @@ type Result struct {
 	// in flight but no event could ever fire again (every one of them
 	// permanently blocked, typically behind a failed link), so the run
 	// terminated at WedgedAt instead of spinning to its cycle cap.
-	// WedgeDiagnosis names an exemplar stuck packet.
+	// WedgeDiagnosis names an exemplar stuck packet; when the run did
+	// NOT wedge but the adaptive selectors discarded unroutable
+	// messages (MsgsUnroutable > 0), it instead names the dead link
+	// behind the first drop.
 	Wedged         bool
 	WedgedAt       int64
 	WedgeDiagnosis string

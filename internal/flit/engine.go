@@ -34,14 +34,18 @@ type message struct {
 	genTime     int64
 	packetsLeft int
 	measured    bool
+	dropped     bool // a packet was discarded as permanently unroutable
 }
 
 type packet struct {
-	msg   int32 // message arena index
-	route []int // output port at the i-th node on the path; nil => adaptive
-	hop   int   // index into route of the link queue the packet is in
-	dst   int32 // destination processor
-	vc    int8  // virtual channel, fixed for the packet's lifetime
+	msg   int32   // message arena index
+	route []int   // output port at the i-th node on the path; nil => adaptive
+	pidx  []int32 // adaptive-K: the pair's compiled path indices (shared, immutable)
+	mask  uint64  // adaptive-K: bit i set while path pidx[i] is still reachable
+	hop   int     // index into route of the link queue the packet is in
+	dst   int32   // destination processor
+	nca   int8    // adaptive-K: the pair's nearest-common-ancestor level
+	vc    int8    // virtual channel, fixed for the packet's lifetime
 	flits int
 }
 
@@ -125,6 +129,13 @@ type engine struct {
 	rng  *rand.Rand
 	vcs  int
 
+	// Per-hop output selection (see selector.go): sel names the
+	// discipline, hop implements it, vcScheme maps destinations to
+	// virtual channels at injection.
+	sel      OutputSelector
+	hop      hopSelector
+	vcScheme VCScheme
+
 	// Timing wheel. All network events land within wheelSpan cycles,
 	// so bucket (t % wheelSpan) is unambiguous.
 	wheel     [][]wheelEvent
@@ -161,11 +172,18 @@ type engine struct {
 	nextArrival []float64 // fractional Poisson clocks
 	rrVC        []int8    // per-node VC assignment pointer
 
-	// Adaptive-routing tables (see adaptiveNext).
+	// Adaptive-routing tables (see the selectors in selector.go).
 	nodeLevel  []int8
 	subtreeIdx []int32 // height-l subtree copy a switch roots
 	adaptRR    []int32 // per-node up-port rotation for tie-breaking
 	mLow       []int   // mLow[l] = Π_{i=1..l} m_i
+	mArr       []int   // mArr[l] = m_l
+	w          []int   // w[l] = w_l (up-port count of a level l-1 node)
+	wprod      []int   // wprod[l] = Π_{i=1..l} w_i
+	h          int     // tree height
+	portMask   []uint64 // adaptive-K per-up-port path-mask scratch
+	pathIdx    map[int64]pathEntry // adaptive-K engine-local path-index cache
+	vcSubDiv   int     // processors per top-level subtree (VCDestSubtree)
 
 	// Routing caches. The round-robin pointers live in a dense array
 	// keyed by pair id for topologies up to rrDenseLimit pairs (a
@@ -176,9 +194,10 @@ type engine struct {
 	rrPath      map[int64]int     // ... the sparse fallback
 
 	// Workload parameters.
-	numProc int
-	msgRate float64 // messages per cycle per node
-	endTime int64
+	numProc   int
+	msgRate   float64 // messages per cycle per node
+	burstMean float64 // mean geometric burst length (1 = plain Poisson)
+	endTime   int64
 
 	// Event-loop state (split across start/loop/result so tests can
 	// pin the steady-state loop's allocation behavior mid-run).
@@ -197,8 +216,10 @@ type engine struct {
 	msgsDone       int64
 	msgsUnroutable int64
 	pktsInFlight   int64
-	vcStalls       int64 // VC-blocked transmission skips in tryStart
-	injHeapHW      int   // injection-heap high-water depth
+	vcStalls       int64   // VC-blocked transmission skips in tryStart
+	injHeapHW      int     // injection-heap high-water depth
+	linkStarts     []int64 // transmissions started per physical link
+	unroutableDiag string  // first permanently-unroutable drop, for Result
 
 	// Watchdog state (see run).
 	wedged    bool
@@ -271,11 +292,40 @@ func newEngine(cfg Config) *engine {
 	e.nodeLevel = make([]int8, nn)
 	e.subtreeIdx = make([]int32, nn)
 	e.adaptRR = make([]int32, nn)
-	e.mLow = make([]int, t.H()+1)
+	e.h = t.H()
+	e.mLow = make([]int, e.h+1)
+	e.mArr = make([]int, e.h+1)
+	e.w = make([]int, e.h+1)
+	e.wprod = make([]int, e.h+1)
 	e.mLow[0] = 1
-	for l := 1; l <= t.H(); l++ {
-		e.mLow[l] = e.mLow[l-1] * t.M(l)
+	e.wprod[0] = 1
+	maxW := 0
+	for l := 1; l <= e.h; l++ {
+		e.mArr[l] = t.M(l)
+		e.mLow[l] = e.mLow[l-1] * e.mArr[l]
+		e.w[l] = t.W(l)
+		e.wprod[l] = t.WProd(l)
+		if e.w[l] > maxW {
+			maxW = e.w[l]
+		}
 	}
+	e.vcSubDiv = e.mLow[e.h-1]
+	e.sel = cfg.Selector
+	e.vcScheme = cfg.VCScheme
+	e.burstMean = cfg.BurstMean
+	switch cfg.Selector {
+	case SelectAdaptive:
+		e.hop = adaptiveSel{}
+	case SelectAdaptiveK:
+		e.hop = adaptiveKSel{}
+		e.portMask = make([]uint64, maxW)
+		if cfg.Routes == nil {
+			e.pathIdx = make(map[int64]pathEntry)
+		}
+	default:
+		e.hop = obliviousSel{}
+	}
+	e.linkStarts = make([]int64, nl)
 	for n := topology.NodeID(0); int(n) < nn; n++ {
 		l, idx := t.LevelIndex(n)
 		e.nodeLevel[n] = int8(l)
@@ -379,6 +429,29 @@ func (e *engine) routesFor(pair int64, src, dst int) [][]int {
 	return r
 }
 
+// pathsFor returns the pair's compiled path indices and NCA level for
+// the adaptive-K selector, consulting the shared sweep-level table when
+// one is configured. The healthy path set is always used — adaptive-K
+// steers around failures at run time, not by reselection. The returned
+// slice is cached and immutable; packets alias it without copying.
+func (e *engine) pathsFor(pair int64, src, dst int) ([]int32, int8) {
+	if e.cfg.Routes != nil {
+		idxs, nca := e.cfg.Routes.PathIndicesFor(src, dst)
+		return idxs, int8(nca)
+	}
+	if ent, ok := e.pathIdx[pair]; ok {
+		return ent.idxs, ent.nca
+	}
+	ids := e.cfg.Routing.Paths(src, dst)
+	idxs := make([]int32, len(ids))
+	for i, id := range ids {
+		idxs[i] = int32(id)
+	}
+	ent := pathEntry{idxs: idxs, nca: int8(e.topo.NCALevel(src, dst))}
+	e.pathIdx[pair] = ent
+	return ent.idxs, ent.nca
+}
+
 // pickRoute applies the path policy to a non-empty route set.
 func (e *engine) pickRoute(routes [][]int, pair int64) []int {
 	if len(routes) == 1 {
@@ -400,9 +473,12 @@ func (e *engine) pickRoute(routes [][]int, pair int64) []int {
 }
 
 // scheduleArrival advances node's Poisson clock and queues the next
-// injection event, unless it falls beyond the simulation end.
+// injection event, unless it falls beyond the simulation end. Under
+// bursty arrivals (BurstMean > 1) the epochs are spaced BurstMean
+// times further apart; each epoch then emits a geometric burst of
+// messages with the same mean, so the offered load is preserved.
 func (e *engine) scheduleArrival(node int, now int64) {
-	e.nextArrival[node] += e.rng.ExpFloat64() / e.msgRate
+	e.nextArrival[node] += e.rng.ExpFloat64() * e.burstMean / e.msgRate
 	t := int64(e.nextArrival[node]) + 1
 	if t < now {
 		t = now // high-rate clocks may floor into the past
@@ -416,15 +492,53 @@ func (e *engine) scheduleArrival(node int, now int64) {
 	}
 }
 
-// inject creates one message at node and enqueues its packets, moving
-// as many as fit into the first link's queue.
+// inject handles one arrival epoch at node: a single message under
+// plain Poisson arrivals, or a geometric burst of them under bursty
+// arrivals (the burst-length draw keeps the RNG untouched when
+// BurstMean is 1, so default runs are bit-identical to the pre-burst
+// engine).
 func (e *engine) inject(node int, now int64) {
+	n := 1
+	if e.burstMean > 1 {
+		// Geometric with mean BurstMean: continue with p = 1 - 1/mean.
+		p := 1 - 1/e.burstMean
+		for e.rng.Float64() < p {
+			n++
+		}
+	}
+	for ; n > 0; n-- {
+		e.injectOne(node, now)
+	}
+}
+
+// vcFor assigns the message's virtual channel per the configured
+// scheme. With one VC every scheme returns 0 (and the round-robin
+// pointer arithmetic is a no-op).
+func (e *engine) vcFor(node, dst int) int8 {
+	switch e.vcScheme {
+	case VCDestSubtree:
+		return int8(dst / e.vcSubDiv % e.vcs)
+	case VCDownDigit:
+		return int8(dst % e.mArr[1] % e.vcs)
+	}
+	vc := e.rrVC[node]
+	e.rrVC[node] = int8((int(vc) + 1) % e.vcs)
+	return vc
+}
+
+// injectOne creates one message at node and enqueues its packets,
+// moving as many as fit into the first link's queue.
+func (e *engine) injectOne(node int, now int64) {
 	dst := e.cfg.Pattern.Dest(node, e.rng)
 	if dst == node {
 		return // pattern chose a self-destination; nothing to send
 	}
 	var route []int
-	if !e.cfg.Adaptive {
+	var pidx []int32
+	var mask uint64
+	var nca int8
+	switch e.sel {
+	case SelectOblivious:
 		pair := int64(node)*int64(e.numProc) + int64(dst)
 		routes := e.routesFor(pair, node, dst)
 		if len(routes) == 0 {
@@ -435,9 +549,16 @@ func (e *engine) inject(node int, now int64) {
 			return
 		}
 		route = e.pickRoute(routes, pair)
+	case SelectAdaptiveK:
+		pair := int64(node)*int64(e.numProc) + int64(dst)
+		pidx, nca = e.pathsFor(pair, node, dst)
+		if len(pidx) == 0 {
+			e.msgsUnroutable++
+			return
+		}
+		mask = fullMask(len(pidx))
 	}
-	vc := e.rrVC[node]
-	e.rrVC[node] = int8((int(vc) + 1) % e.vcs)
+	vc := e.vcFor(node, dst)
 	measured := now >= e.warmEnd && now < e.endTime
 	msg := e.allocMessage(message{
 		genTime:     now,
@@ -451,6 +572,9 @@ func (e *engine) inject(node int, now int64) {
 		idx := e.allocPacket(packet{
 			msg:   msg,
 			route: route,
+			pidx:  pidx,
+			mask:  mask,
+			nca:   nca,
 			dst:   int32(dst),
 			vc:    vc,
 			flits: e.cfg.FlitsPerPacket,
@@ -462,73 +586,55 @@ func (e *engine) inject(node int, now int64) {
 }
 
 // drainInjection moves injection-queue packets into their first link
-// queue while slots are available.
+// queue while slots are available. Every movement goes through the
+// configured hop selector; a hopDead packet (its forced first link is
+// down) is discarded so it cannot wedge the queue behind it.
 func (e *engine) drainInjection(node int, now int64) {
 	for len(e.injQueue[node]) > 0 {
 		idx := e.injQueue[node][0]
 		p := &e.packets[idx]
-		var l int32
-		if p.route != nil {
-			l = e.outLinks[node][p.route[0]]
-			if e.occ[e.qid(l, p.vc)] >= e.cfg.BufferPackets {
-				return
-			}
-		} else {
-			var ok bool
-			l, ok = e.adaptiveNext(topology.NodeID(node), int(p.dst), p.vc)
-			if !ok {
-				return
-			}
+		c := e.hop.next(e, topology.NodeID(node), p, 0, p.vc)
+		if c.status == hopBlocked {
+			return
 		}
 		q := e.injQueue[node]
 		copy(q, q[1:])
 		e.injQueue[node] = q[:len(q)-1]
-		qi := e.qid(l, p.vc)
+		if c.status == hopDead {
+			e.discard(idx, c.dead)
+			continue
+		}
+		e.hop.commit(e, topology.NodeID(node), p, c)
+		qi := e.qid(c.link, p.vc)
 		e.occ[qi]++
 		e.outQ[qi] = append(e.outQ[qi], idx)
-		e.tryStart(l, now)
+		e.tryStart(c.link, now)
 	}
 }
 
-// adaptiveNext picks the link a packet at node x heading to dst (on
-// the given VC) crosses next: the forced downward port once dst lies
-// in x's subtree, or the upward output whose VC queue is least
-// occupied otherwise (ties rotate per node). It reports false when
-// every admissible queue is full; the caller's retry machinery fires
-// when any of them frees a slot.
-func (e *engine) adaptiveNext(x topology.NodeID, dst int, vc int8) (int32, bool) {
-	l := int(e.nodeLevel[x])
-	if l > 0 && dst/e.mLow[l] == int(e.subtreeIdx[x]) {
-		// Downward: the child digit at level l addresses the subtree
-		// copy holding dst.
-		digit := dst / e.mLow[l-1] % e.topo.M(l)
-		port := digit
-		if l < e.topo.H() {
-			port += e.topo.W(l + 1)
-		}
-		next := e.outLinks[x][port]
-		if e.failed[next] || e.occ[e.qid(next, vc)] >= e.cfg.BufferPackets {
-			return 0, false // a failed forced downward link stalls the flow
-		}
-		return next, true
-	}
-	ups := e.topo.W(l + 1)
-	start := int(e.adaptRR[x])
-	best, bestOcc := int32(-1), e.cfg.BufferPackets
-	for i := 0; i < ups; i++ {
-		link := e.outLinks[x][(start+i)%ups]
-		if e.failed[link] {
-			continue // adaptivity routes around failed upward links
-		}
-		if o := e.occ[e.qid(link, vc)]; o < bestOcc {
-			best, bestOcc = link, o
+// discard releases a permanently-unroutable packet: its message is
+// accounted once in MsgsUnroutable, and the first drop of the run
+// records a diagnosis naming the dead link for Result.WedgeDiagnosis.
+func (e *engine) discard(idx int32, dead int32) {
+	p := &e.packets[idx]
+	e.pktsInFlight--
+	m := &e.msgs[p.msg]
+	if !m.dropped {
+		m.dropped = true
+		e.msgsUnroutable++
+		if e.unroutableDiag == "" && dead >= 0 {
+			e.unroutableDiag = fmt.Sprintf("messages for node %d dropped as unroutable: %s",
+				p.dst, e.failedLinkWhy(dead, "is their forced next link"))
 		}
 	}
-	if best < 0 {
-		return 0, false
+	m.packetsLeft--
+	if m.packetsLeft == 0 {
+		e.freeMsg = append(e.freeMsg, p.msg)
 	}
-	e.adaptRR[x] = int32((start + 1) % ups)
-	return best, true
+	p.msg = -1
+	p.route = nil
+	p.pidx = nil
+	e.freePkt = append(e.freePkt, idx)
 }
 
 // tryStart attempts to begin a transmission on link l, arbitrating
@@ -555,20 +661,27 @@ func (e *engine) tryStart(l int32, now int64) {
 		}
 		var next int32
 		if !last {
-			if p.route != nil {
-				next = e.outLinks[e.linkDst[l]][p.route[p.hop+1]]
-				if e.occ[e.qid(next, vc)] >= e.cfg.BufferPackets {
-					e.vcStalls++
-					continue // this VC blocked; let another VC use the wire
-				}
-			} else {
-				var ok bool
-				next, ok = e.adaptiveNext(e.linkDst[l], int(p.dst), vc)
-				if !ok {
-					e.vcStalls++
-					continue
-				}
+			c := e.hop.next(e, e.linkDst[l], p, p.hop+1, vc)
+			if c.status == hopBlocked {
+				e.vcStalls++
+				continue // this VC blocked; let another VC use the wire
 			}
+			if c.status == hopDead {
+				// Permanently unroutable from here (a failed forced
+				// downward link, or every admissible up-port dead):
+				// discard the packet so the queue keeps draining
+				// instead of wedging the fabric behind it. The slot it
+				// held drains through the ordinary evFree path, which
+				// also re-arms this link and unblocks upstream feeders.
+				qq := e.outQ[q]
+				copy(qq, qq[1:])
+				e.outQ[q] = qq[:len(qq)-1]
+				e.schedule(now, now+1, evFree, q, -1)
+				e.discard(idx, c.dead)
+				return
+			}
+			next = c.link
+			e.hop.commit(e, e.linkDst[l], p, c)
 			e.occ[e.qid(next, vc)]++
 		}
 		// Commit: pop, busy the link, free our slot when the tail
@@ -579,6 +692,7 @@ func (e *engine) tryStart(l int32, now int64) {
 		e.outQ[q] = qq[:len(qq)-1]
 		e.linkFree[l] = now + f
 		e.linkRR[l] = int32((int(vc) + 1) % e.vcs)
+		e.linkStarts[l]++
 		e.schedule(now, now+f, evFree, q, -1)
 		if last {
 			e.schedule(now, now+f, evDeliver, q, idx)
@@ -629,7 +743,7 @@ func (e *engine) deliver(idx int32, now int64) {
 	m := &e.msgs[p.msg]
 	m.packetsLeft--
 	if m.packetsLeft == 0 {
-		if m.measured && now < e.endTime {
+		if m.measured && !m.dropped && now < e.endTime {
 			e.msgsDone++
 			d := float64(now - m.genTime)
 			e.delay.Add(d)
@@ -644,6 +758,7 @@ func (e *engine) deliver(idx int32, now int64) {
 	}
 	p.msg = -1
 	p.route = nil
+	p.pidx = nil
 	e.freePkt = append(e.freePkt, idx)
 }
 
@@ -759,6 +874,11 @@ func (e *engine) result() Result {
 		Wedged:         e.wedged,
 		WedgedAt:       e.wedgedAt,
 		WedgeDiagnosis: e.wedgeDiag,
+	}
+	if res.WedgeDiagnosis == "" {
+		// Not wedged, but the adaptive selectors may have discarded
+		// unroutable messages: surface the first drop's diagnosis.
+		res.WedgeDiagnosis = e.unroutableDiag
 	}
 	if e.hist != nil {
 		res.P95Delay = e.hist.Percentile(95)

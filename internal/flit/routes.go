@@ -21,6 +21,16 @@ type RouteTable struct {
 
 	mu     sync.RWMutex
 	routes map[int64][][]int
+	paths  map[int64]pathEntry // adaptive-K: per-pair path indices + NCA level
+}
+
+// pathEntry caches one pair's compiled path indices for the adaptive-K
+// selector: the canonical path-index slice (immutable, aliased by
+// every packet of the pair) and the pair's nearest-common-ancestor
+// level, which fixes the mixed-radix digit decomposition.
+type pathEntry struct {
+	idxs []int32
+	nca  int8
 }
 
 // NewRouteTable creates a shared route cache for r. compiled may be
@@ -35,6 +45,7 @@ func NewRouteTable(r *core.Routing, compiled *core.CompiledRouting) *RouteTable 
 		compiled: compiled,
 		n:        r.Topology().NumProcessors(),
 		routes:   make(map[int64][][]int),
+		paths:    make(map[int64]pathEntry),
 	}
 }
 
@@ -64,6 +75,7 @@ func NewRepairedRouteTable(rr *core.RepairedRouting, compiled *core.CompiledRout
 		compiled: compiled,
 		n:        rr.Topology().NumProcessors(),
 		routes:   make(map[int64][][]int),
+		paths:    make(map[int64]pathEntry),
 	}
 }
 
@@ -95,4 +107,39 @@ func (rt *RouteTable) RoutesFor(src, dst int) [][]int {
 	}
 	rt.mu.Unlock()
 	return r
+}
+
+// PathIndicesFor returns the pair's canonical path indices and NCA
+// level for the adaptive-K selector, computing and caching them on
+// first use. Indices hydrate from a healthy compiled table when one is
+// attached; otherwise (including repaired tables) they come from the
+// healthy routing's enumeration — adaptive-K steers around failures at
+// run time, so repair never narrows its path budget. Safe for
+// concurrent use; the returned slice is immutable.
+func (rt *RouteTable) PathIndicesFor(src, dst int) ([]int32, int) {
+	key := int64(src)*int64(rt.n) + int64(dst)
+	rt.mu.RLock()
+	ent, ok := rt.paths[key]
+	rt.mu.RUnlock()
+	if !ok {
+		var idxs []int32
+		if rt.compiled != nil && rt.compiled.Repaired() == nil {
+			idxs = rt.compiled.PathIndices(src, dst)
+		} else {
+			ids := rt.routing.Paths(src, dst)
+			idxs = make([]int32, len(ids))
+			for i, id := range ids {
+				idxs[i] = int32(id)
+			}
+		}
+		ent = pathEntry{idxs: idxs, nca: int8(rt.routing.Topology().NCALevel(src, dst))}
+		rt.mu.Lock()
+		if prev, ok := rt.paths[key]; ok {
+			ent = prev
+		} else {
+			rt.paths[key] = ent
+		}
+		rt.mu.Unlock()
+	}
+	return ent.idxs, int(ent.nca)
 }

@@ -43,17 +43,31 @@ func Sweep(sc SweepConfig) ([]Result, error) {
 	}
 	// All points share one routing, so share one route cache: paths are
 	// expanded once for the whole sweep instead of once per load point.
-	if sc.Base.Routes == nil && !sc.Base.Adaptive && sc.Base.Routing != nil {
-		if sc.Base.RepairRoutes {
-			// Repaired expansion, so every engine of the sweep shares
-			// the fault-avoiding routes. Invalid fault configurations
-			// fall through to each run's own validation error.
-			if faults, err := sc.Base.combinedFaults(); err == nil {
-				if rr, err := sc.Base.Routing.Repair(faults); err == nil {
-					sc.Base.Routes = NewRepairedRouteTable(rr, repairedTable(rr))
+	// (withDefaults has not normalized the config yet, so resolve the
+	// effective selector from both the Selector and the legacy flag.)
+	effSel := sc.Base.Selector
+	if effSel == SelectOblivious && sc.Base.Adaptive {
+		effSel = SelectAdaptive
+	}
+	if sc.Base.Routes == nil && sc.Base.Routing != nil {
+		switch effSel {
+		case SelectOblivious:
+			if sc.Base.RepairRoutes {
+				// Repaired expansion, so every engine of the sweep shares
+				// the fault-avoiding routes. Invalid fault configurations
+				// fall through to each run's own validation error.
+				if faults, err := sc.Base.combinedFaults(); err == nil {
+					if rr, err := sc.Base.Routing.Repair(faults); err == nil {
+						sc.Base.Routes = NewRepairedRouteTable(rr, repairedTable(rr))
+					}
 				}
+			} else {
+				sc.Base.Routes = NewRouteTable(sc.Base.Routing, nil)
 			}
-		} else {
+		case SelectAdaptiveK:
+			// Adaptive-K consults only the healthy per-pair path indices
+			// (failures are steered around at run time), so the shared
+			// cache never involves repair.
 			sc.Base.Routes = NewRouteTable(sc.Base.Routing, nil)
 		}
 	}

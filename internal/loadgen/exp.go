@@ -100,7 +100,7 @@ func ServeBench(scale experiments.Scale, seed int64) (*experiments.Table, error)
 		Title:  fmt.Sprintf("Serve bench: %v/scenario, %d workers (scale %s)", dur, conc, scale.Name),
 		XLabel: "scenario",
 		Columns: []string{"qps", "pairs/s", "p50 us", "p95 us", "p99 us", "max us",
-			"errors", "churn evs"},
+			"errors", "429s", "churn evs"},
 		Footnote: "open-loop rows schedule " + fmt.Sprintf("%.0f", openQPS) + " req/s and charge latency " +
 			"from the scheduled send time (coordinated-omission safe); batch rows answer 256 pairs/request",
 	}
@@ -127,6 +127,7 @@ func ServeBench(scale experiments.Scale, seed int64) (*experiments.Table, error)
 			{Mean: float64(res.P99.Microseconds())},
 			{Mean: float64(res.Max.Microseconds())},
 			{Mean: float64(res.Errors)},
+			{Mean: float64(res.Query429)},
 			{Mean: float64(res.Churn)},
 		})
 	}

@@ -78,7 +78,8 @@ type Config struct {
 type Result struct {
 	Requests int64         // requests completed with 200
 	Pairs    int64         // pairs answered (batch counts BatchSize per request)
-	Errors   int64         // non-200 responses and transport errors
+	Errors   int64         // non-2xx (except 429) responses and transport errors
+	Query429 int64         // query throttles (429) retried after Retry-After
 	Churn    int64         // churn events admitted in the background
 	Churn429 int64         // churn events rejected by backpressure
 	Elapsed  time.Duration // wall time of the measurement window
@@ -92,10 +93,10 @@ type Result struct {
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("%d req (%d pairs) in %v: %.0f qps, %.0f pairs/s, p50 %v p95 %v p99 %v max %v, %d errors",
+	return fmt.Sprintf("%d req (%d pairs) in %v: %.0f qps, %.0f pairs/s, p50 %v p95 %v p99 %v max %v, %d errors, %d throttled",
 		r.Requests, r.Pairs, r.Elapsed.Round(time.Millisecond), r.QPS, r.PairsPerSec,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
-		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond), r.Errors)
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond), r.Errors, r.Query429)
 }
 
 // reqKind is one drawn request type.
@@ -120,6 +121,7 @@ type worker struct {
 	requests int64
 	pairs    int64
 	errors   int64
+	query429 int64
 }
 
 func (w *worker) draw() reqKind {
@@ -141,12 +143,15 @@ func (w *worker) draw() reqKind {
 var maxloadPatterns = []string{"shift", "random", "bitcomp"}
 
 // issue sends one request and reports whether it succeeded; the
-// response body is drained so the connection is reused.
-func (w *worker) issue(kind reqKind) bool {
+// response body is drained so the connection is reused. A 429 from the
+// server is backpressure, not a failure: it is tallied separately, the
+// worker honors the Retry-After header (bounded), and the request is
+// retried until it resolves or the run window closes.
+func (w *worker) issue(ctx context.Context, kind reqKind) bool {
 	cfg := w.cfg
 	client := cfg.Client
-	var req *http.Request
-	var err error
+	var method, url string
+	var body []byte
 	switch kind {
 	case kindBatch:
 		w.body.Reset()
@@ -160,10 +165,8 @@ func (w *worker) issue(kind reqKind) bool {
 		w.body.WriteString(`],"k":`)
 		w.body.WriteString(strconv.Itoa(cfg.K))
 		w.body.WriteByte('}')
-		req, err = http.NewRequest("POST", cfg.BaseURL+"/fabrics/"+cfg.Fabric+"/paths", &w.body)
-		if err == nil && cfg.Binary {
-			req.Header.Set("Accept", serve.BinaryBatchContentType)
-		}
+		method, url = "POST", cfg.BaseURL+"/fabrics/"+cfg.Fabric+"/paths"
+		body = w.body.Bytes()
 	case kindMaxLoad:
 		w.url = w.url[:0]
 		w.url = append(w.url, cfg.BaseURL...)
@@ -173,7 +176,7 @@ func (w *worker) issue(kind reqKind) bool {
 		w.url = append(w.url, maxloadPatterns[w.rng.Intn(len(maxloadPatterns))]...)
 		w.url = append(w.url, "&arg="...)
 		w.url = strconv.AppendInt(w.url, int64(1+w.rng.Intn(cfg.Endpoints-1)), 10)
-		req, err = http.NewRequest("GET", string(w.url), nil)
+		method, url = "GET", string(w.url)
 	default:
 		w.url = w.url[:0]
 		w.url = append(w.url, cfg.BaseURL...)
@@ -183,30 +186,74 @@ func (w *worker) issue(kind reqKind) bool {
 		w.url = strconv.AppendInt(w.url, int64(w.rng.Intn(cfg.Endpoints)), 10)
 		w.url = append(w.url, "&dst="...)
 		w.url = strconv.AppendInt(w.url, int64(w.rng.Intn(cfg.Endpoints)), 10)
-		req, err = http.NewRequest("GET", string(w.url), nil)
+		method, url = "GET", string(w.url)
 	}
-	if err != nil {
-		w.errors++
-		return false
+	for {
+		// A fresh reader per attempt: a retried POST must resend the
+		// full body, which a consumed bytes.Buffer cannot.
+		var br io.Reader
+		if body != nil {
+			br = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, br)
+		if err != nil {
+			w.errors++
+			return false
+		}
+		if kind == kindBatch && cfg.Binary {
+			req.Header.Set("Accept", serve.BinaryBatchContentType)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			w.errors++
+			return false
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if cerr != nil {
+			w.errors++
+			return false
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			w.requests++
+			if kind == kindBatch {
+				w.pairs += int64(cfg.BatchSize)
+			} else {
+				w.pairs++
+			}
+			return true
+		case http.StatusTooManyRequests:
+			w.query429++
+			select {
+			case <-time.After(retryAfterDelay(retryAfter)):
+			case <-ctx.Done():
+				return false
+			}
+		default:
+			w.errors++
+			return false
+		}
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		w.errors++
-		return false
+}
+
+// retryAfterDelay converts a Retry-After header (delta-seconds form)
+// into a wait. Missing or malformed headers fall back to a short
+// pause, and the wait is bounded so a hostile or confused server
+// cannot park a worker past the run window.
+func retryAfterDelay(h string) time.Duration {
+	const fallback = 10 * time.Millisecond
+	const maxWait = 2 * time.Second
+	secs, err := strconv.ParseFloat(h, 64)
+	if err != nil || secs < 0 {
+		return fallback
 	}
-	_, cerr := io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if cerr != nil || resp.StatusCode != http.StatusOK {
-		w.errors++
-		return false
+	d := time.Duration(secs * float64(time.Second))
+	if d > maxWait {
+		return maxWait
 	}
-	w.requests++
-	if kind == kindBatch {
-		w.pairs += int64(cfg.BatchSize)
-	} else {
-		w.pairs++
-	}
-	return true
+	return d
 }
 
 // Run executes the configured load and blocks until the measurement
@@ -281,7 +328,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 							return
 						}
 					}
-					if w.issue(w.draw()) {
+					if w.issue(ctx, w.draw()) {
 						w.hist.Observe(time.Since(sched))
 					}
 				}
@@ -295,7 +342,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				defer wg.Done()
 				for take() {
 					t0 := time.Now()
-					if w.issue(w.draw()) {
+					if w.issue(ctx, w.draw()) {
 						w.hist.Observe(time.Since(t0))
 					}
 				}
@@ -313,6 +360,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Requests += w.requests
 		res.Pairs += w.pairs
 		res.Errors += w.errors
+		res.Query429 += w.query429
 		res.Hist.Merge(&w.hist)
 	}
 	if sec := elapsed.Seconds(); sec > 0 {

@@ -2,7 +2,9 @@ package loadgen
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,6 +122,58 @@ func TestRunChurn(t *testing.T) {
 	}
 	if res.Errors != 0 {
 		t.Errorf("%d query errors during churn", res.Errors)
+	}
+}
+
+// TestQuery429RetryAfter serves alternating 429 (with Retry-After: 0)
+// and 200 responses: every request must eventually complete, the
+// throttles must land in Query429, and none of them may count as an
+// error.
+func TestQuery429RetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer hs.Close()
+	res, err := Run(context.Background(), Config{
+		BaseURL: hs.URL, Fabric: "edge", Endpoints: 16,
+		Concurrency: 2, Requests: 40, Duration: 5 * time.Second, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors; throttles must not count as errors: %v", res.Errors, res)
+	}
+	if res.Requests != 40 {
+		t.Fatalf("completed %d requests, want 40 (throttled requests must retry to completion)", res.Requests)
+	}
+	if res.Query429 == 0 {
+		t.Fatal("no 429s tallied despite the server throttling every other request")
+	}
+}
+
+func TestRetryAfterDelay(t *testing.T) {
+	for _, tc := range []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 10 * time.Millisecond},
+		{"garbage", 10 * time.Millisecond},
+		{"-1", 10 * time.Millisecond},
+		{"0", 0},
+		{"0.05", 50 * time.Millisecond},
+		{"1", time.Second},
+		{"3600", 2 * time.Second}, // bounded
+	} {
+		if got := retryAfterDelay(tc.h); got != tc.want {
+			t.Errorf("retryAfterDelay(%q) = %v, want %v", tc.h, got, tc.want)
+		}
 	}
 }
 
