@@ -25,27 +25,32 @@ bench:
 
 # Machine-readable benchmark records: the paper-artifact sweeps once
 # each plus the hot-path micro-benchmarks, parsed into BENCH_flow.json
-# and BENCH_flit.json (see cmd/benchjson). Each record is parsed into a
-# temp file first; only once benchjson succeeds is the previous record
-# rotated to *.prev.json and the temp moved into place, so a failed
-# parse (bad bench output, interrupted run) cannot destroy the
-# baseline that `make bench-compare` diffs against.
+# and BENCH_flit.json (see cmd/benchjson). Every bench invocation
+# carries an explicit -timeout: the sweeps are minutes-to-hours on slow
+# machines (the go test default of 10m used to kill everything but the
+# first line), the micro suites get a generous hour.
+#
+# rotate-record parses $(2) into BENCH_$(1).json via a temp file; only
+# once benchjson succeeds is the previous record rotated to *.prev.json
+# and the temp moved into place, so a failed parse (bad bench output,
+# interrupted run) cannot destroy the baseline `make bench-compare`
+# diffs against.
+define rotate-record
+$(GO) run ./cmd/benchjson -in $(2) -out BENCH_$(1).json.tmp
+@if [ -f BENCH_$(1).json ]; then cp BENCH_$(1).json BENCH_$(1).prev.json; fi
+mv BENCH_$(1).json.tmp BENCH_$(1).json
+endef
+
 bench-json:
 	$(GO) test -run xxx -bench 'Fig4|Table1|FailureSweep|MegaFabricSweep' -benchmem -benchtime 1x -timeout 60m . | tee bench_output.txt
 	$(GO) test -run xxx -bench 'FlowEvaluator|LoadsCompiled|CompileRouting|CompileRepaired|DeltaRepair|PathSelection|PathLinks|OptimalLoad|MultiKLoads|BlockCompiledLoads' \
-		-benchmem . | tee -a bench_output.txt
-	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_flow.json.tmp
-	@if [ -f BENCH_flow.json ]; then cp BENCH_flow.json BENCH_flow.prev.json; fi
-	mv BENCH_flow.json.tmp BENCH_flow.json
-	$(GO) test -run xxx -bench 'Fig5|AdaptiveK' -benchmem -benchtime 1x . | tee bench_flit_output.txt
-	$(GO) test -run xxx -bench 'FlitEngine' -benchmem . | tee -a bench_flit_output.txt
-	$(GO) run ./cmd/benchjson -in bench_flit_output.txt -out BENCH_flit.json.tmp
-	@if [ -f BENCH_flit.json ]; then cp BENCH_flit.json BENCH_flit.prev.json; fi
-	mv BENCH_flit.json.tmp BENCH_flit.json
-	$(GO) test -run xxx -bench 'ServeSingle|ServeBatch|ServeOpen' -benchmem ./internal/loadgen | tee bench_serve_output.txt
-	$(GO) run ./cmd/benchjson -in bench_serve_output.txt -out BENCH_serve.json.tmp
-	@if [ -f BENCH_serve.json ]; then cp BENCH_serve.json BENCH_serve.prev.json; fi
-	mv BENCH_serve.json.tmp BENCH_serve.json
+		-benchmem -timeout 60m . | tee -a bench_output.txt
+	$(call rotate-record,flow,bench_output.txt)
+	$(GO) test -run xxx -bench 'Fig5|AdaptiveK' -benchmem -benchtime 1x -timeout 60m . | tee bench_flit_output.txt
+	$(GO) test -run xxx -bench 'FlitEngine' -benchmem -timeout 60m . | tee -a bench_flit_output.txt
+	$(call rotate-record,flit,bench_flit_output.txt)
+	$(GO) test -run xxx -bench 'ServeSingle|ServeBatch|ServeOpen' -benchmem -timeout 60m ./internal/loadgen | tee bench_serve_output.txt
+	$(call rotate-record,serve,bench_serve_output.txt)
 	@echo wrote BENCH_flow.json BENCH_flit.json BENCH_serve.json
 
 # Diff the two newest benchmark records of each suite (the current
@@ -77,7 +82,12 @@ endif
 # smoke (closed/open-loop load harness against a live server), plus
 # the kill -9 crash-recovery run of the real xgftserve binary, and a
 # quick-scale smoke run that must produce a manifest.json with the
-# required keys.
+# required keys. The Alloc line also covers the block-prefetch
+# steady-state pin (prefetch admission adds no allocations to
+# AccumulateSegments); the tail runs race-instrumented mega smokes for
+# the prefetch pipeline (nonzero segments_prefetched, no stall wedge —
+# the run completing is the wedge check) and the delta-segment cache
+# (nonzero bytes saved).
 ci: vet
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'Repair|Wedge|Drain|Degraded|Failure' ./internal/core ./internal/flit ./internal/flow ./internal/lid
@@ -98,6 +108,15 @@ ci: vet
 	@grep -Eq '"core.segments_cache_hit": [1-9]' ci-mega/manifest.json \
 		|| { echo "ci: warm mega run recorded zero segment cache hits"; exit 1; }
 	@echo ci: mega segment cache ok
+	rm -rf ci-prefetch ci-delta ci-delta-cache
+	$(GO) run -race ./cmd/xgftpaper -exp mega -scale quick -prefetch 4 -out ci-prefetch
+	@grep -Eq '"core.segments_prefetched": [1-9]' ci-prefetch/manifest.json \
+		|| { echo "ci: prefetch smoke run served zero segments from the pipeline"; exit 1; }
+	@echo ci: prefetch pipeline ok
+	$(GO) run ./cmd/xgftpaper -exp mega -scale quick -segment-delta -table-cache ci-delta-cache -out ci-delta
+	@grep -Eq '"core.segment_delta_bytes_saved": [1-9]' ci-delta/manifest.json \
+		|| { echo "ci: delta mega run saved zero segment-cache bytes"; exit 1; }
+	@echo ci: delta segments ok
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -20
@@ -113,4 +132,4 @@ repro-full:
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_flit_output.txt bench_serve_output.txt
 	rm -f BENCH_flow.json.tmp BENCH_flit.json.tmp BENCH_serve.json.tmp
-	rm -rf ci-smoke ci-mega ci-mega-cache
+	rm -rf ci-smoke ci-mega ci-mega-cache ci-prefetch ci-delta ci-delta-cache

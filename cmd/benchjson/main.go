@@ -250,7 +250,13 @@ func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 		// the schedule fixes it — so tails only show up here).
 		for _, unit := range sortedUnits(n.Metrics) {
 			ov, ok := o.Metrics[unit]
-			if !ok || ov <= 0 {
+			if !ok {
+				// A metric the baseline lacks can't be compared, but
+				// staying silent about it hides instrumentation drift.
+				d.MetricNotes = append(d.MetricNotes, unit+" added")
+				continue
+			}
+			if ov <= 0 {
 				continue
 			}
 			dir := metricDir(unit)
@@ -264,6 +270,11 @@ func Compare(oldRes, newRes []Result, threshold float64) ([]Delta, bool) {
 					d.Status = "REGRESSED(" + unit + ")"
 				}
 				regressed = true
+			}
+		}
+		for _, unit := range sortedUnits(o.Metrics) {
+			if _, ok := n.Metrics[unit]; !ok {
+				d.MetricNotes = append(d.MetricNotes, unit+" removed")
 			}
 		}
 		deltas = append(deltas, d)

@@ -203,6 +203,30 @@ func TestCompareDirectionalMetrics(t *testing.T) {
 	}
 }
 
+// TestCompareNotesAddedRemovedMetrics pins the drift notes: a custom
+// metric present on only one side gets a one-line note instead of
+// vanishing silently, and never fails the comparison by itself.
+func TestCompareNotesAddedRemovedMetrics(t *testing.T) {
+	oldRes := []Result{{Name: "BenchmarkDrift", NsPerOp: 1000,
+		Metrics: map[string]float64{"qps": 10000.0, "old_only": 5.0}}}
+	newRes := []Result{{Name: "BenchmarkDrift", NsPerOp: 1000,
+		Metrics: map[string]float64{"qps": 10000.0, "new_only": 7.0}}}
+	deltas, regressed := Compare(oldRes, newRes, 0.10)
+	if regressed {
+		t.Fatal("metric drift alone flagged as regression")
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	notes := strings.Join(deltas[0].MetricNotes, "; ")
+	if !strings.Contains(notes, "new_only added") {
+		t.Errorf("notes %q missing %q", notes, "new_only added")
+	}
+	if !strings.Contains(notes, "old_only removed") {
+		t.Errorf("notes %q missing %q", notes, "old_only removed")
+	}
+}
+
 func TestMetricDir(t *testing.T) {
 	cases := map[string]int{
 		"qps": 1, "pairs_per_sec": 1, "reqs/s": 1,

@@ -33,6 +33,7 @@ func main() {
 	draw := flag.Bool("draw", false, "render the topology level by level (paper Figures 1-3 style)")
 	budget := flag.Int64("table-budget", core.DefaultTableBudget, "resident routing-table byte budget for the regime prediction")
 	segBytes := flag.Int64("segment-bytes", 0, "block-mode segment size for the regime prediction (0: default)")
+	deltaBase := flag.String("delta-base", "", "base scheme to predict delta-segment cache savings against (empty: none)")
 	flag.Parse()
 
 	t, err := cliutil.BuildTopology(*spec, *mport, *ntree)
@@ -42,6 +43,11 @@ func main() {
 	summarize(t)
 	if err := tableRegime(t, *scheme, *k, *seed, *budget, *segBytes); err != nil {
 		fatal(err)
+	}
+	if *deltaBase != "" {
+		if err := deltaPrediction(t, *deltaBase, *scheme, *k, *seed); err != nil {
+			fatal(err)
+		}
 	}
 	if *draw {
 		fmt.Println()
@@ -97,6 +103,38 @@ func tableRegime(t *topology.Topology, scheme string, k int, seed, budget, segBy
 		fmt.Printf("  note: flow auto mode falls back to lazy evaluation here (%d nodes > 12800-sample cap); request block mode explicitly\n",
 			t.NumProcessors())
 	}
+	return nil
+}
+
+// deltaPrediction prints what delta-encoding the -scheme table against
+// -delta-base would save in segment-cache bytes (core.DeltaSavings) —
+// the number to check before turning on -segment-delta for a sweep.
+func deltaPrediction(t *topology.Topology, baseName, varName string, k int, seed int64) error {
+	baseSel, err := core.SelectorByName(baseName)
+	if err != nil {
+		return err
+	}
+	varSel, err := core.SelectorByName(varName)
+	if err != nil {
+		return err
+	}
+	base := core.NewRouting(t, baseSel, k, seed)
+	variant := core.NewRouting(t, varSel, k, seed)
+	full, delta, ok := core.DeltaSavings(base, variant)
+	if !ok {
+		fmt.Printf("  delta vs %s: incompatible (topology or per-level path counts differ); variants cache full-fat\n", baseSel.Name())
+		return nil
+	}
+	shared, _ := core.DeltaSharedLevels(base, variant)
+	var levels []string
+	for lvl := 1; lvl < len(shared); lvl++ {
+		if shared[lvl] {
+			levels = append(levels, fmt.Sprintf("%d", lvl))
+		}
+	}
+	fmt.Printf("  delta vs %s: shared NCA levels {%s}; cache record %s instead of %s (%.1f%% saved)\n",
+		baseSel.Name(), strings.Join(levels, ","), byteSize(delta), byteSize(full),
+		100*(1-float64(delta)/float64(full)))
 	return nil
 }
 

@@ -35,9 +35,12 @@ type Manifest struct {
 	// Routing-table policy of the run (see TableFlags): where segments
 	// were cached, the resident byte budget, and the block-mode segment
 	// size. Zero values mean the tool ran with defaults / no cache.
-	TableCache   string `json:"table_cache,omitempty"`
-	TableBudget  int64  `json:"table_budget,omitempty"`
-	SegmentBytes int64  `json:"segment_bytes,omitempty"`
+	TableCache         string `json:"table_cache,omitempty"`
+	TableCacheMaxBytes int64  `json:"table_cache_max_bytes,omitempty"`
+	TableBudget        int64  `json:"table_budget,omitempty"`
+	SegmentBytes       int64  `json:"segment_bytes,omitempty"`
+	Prefetch           int    `json:"prefetch,omitempty"`
+	SegmentDelta       bool   `json:"segment_delta,omitempty"`
 	Experiments []ExperimentRecord `json:"experiments,omitempty"`
 	Results     map[string]any     `json:"results,omitempty"`
 	Metrics     obs.Snapshot       `json:"metrics,omitempty"`

@@ -12,24 +12,38 @@ import (
 // bytes of table may stay resident, and the segment granularity of the
 // out-of-core block mode.
 type TableFlags struct {
-	CacheDir     string
-	Budget       int64
-	SegmentBytes int64
+	CacheDir      string
+	CacheMaxBytes int64
+	Budget        int64
+	SegmentBytes  int64
+	Prefetch      int
+	SegmentDelta  bool
 }
 
-// AddTableFlags registers -table-cache, -table-budget and
-// -segment-bytes on fs and returns the destination struct.
+// AddTableFlags registers -table-cache, -table-cache-max-bytes,
+// -table-budget, -segment-bytes, -prefetch and -segment-delta on fs
+// and returns the destination struct.
 func AddTableFlags(fs *flag.FlagSet) *TableFlags {
 	tf := &TableFlags{}
 	fs.StringVar(&tf.CacheDir, "table-cache", "", "directory caching compiled routing segments across runs (empty: no cache)")
+	fs.Int64Var(&tf.CacheMaxBytes, "table-cache-max-bytes", 0, "cap on segment-cache disk bytes, oldest records evicted on write (0: unbounded)")
 	fs.Int64Var(&tf.Budget, "table-budget", core.DefaultTableBudget, "resident routing-table byte budget (full compile must fit it; block mode pools segments under it)")
 	fs.Int64Var(&tf.SegmentBytes, "segment-bytes", 0, "compiled bytes per source-block segment in block mode (0: experiment default)")
+	fs.IntVar(&tf.Prefetch, "prefetch", 0, "segments compiled ahead of the evaluator by the async worker pool (0: synchronous)")
+	fs.BoolVar(&tf.SegmentDelta, "segment-delta", false, "delta-encode compatible schemes' segments against the sweep's base scheme, in memory and in the cache")
 	return tf
 }
 
 // Options converts the flags to the experiments-layer table policy.
 func (tf *TableFlags) Options() experiments.TableOptions {
-	return experiments.TableOptions{CacheDir: tf.CacheDir, Budget: tf.Budget, SegmentBytes: tf.SegmentBytes}
+	return experiments.TableOptions{
+		CacheDir:      tf.CacheDir,
+		CacheMaxBytes: tf.CacheMaxBytes,
+		Budget:        tf.Budget,
+		SegmentBytes:  tf.SegmentBytes,
+		Prefetch:      tf.Prefetch,
+		SegmentDelta:  tf.SegmentDelta,
+	}
 }
 
 // OpenCache opens the segment cache named by -table-cache, or returns
@@ -38,12 +52,20 @@ func (tf *TableFlags) OpenCache() (*core.SegmentCache, error) {
 	if tf.CacheDir == "" {
 		return nil, nil
 	}
-	return core.OpenSegmentCache(tf.CacheDir)
+	c, err := core.OpenSegmentCache(tf.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	c.SetMaxBytes(tf.CacheMaxBytes)
+	return c, nil
 }
 
 // Stamp records the effective table policy in the run manifest.
 func (tf *TableFlags) Stamp(m *Manifest) {
 	m.TableCache = tf.CacheDir
+	m.TableCacheMaxBytes = tf.CacheMaxBytes
 	m.TableBudget = tf.Budget
 	m.SegmentBytes = tf.SegmentBytes
+	m.Prefetch = tf.Prefetch
+	m.SegmentDelta = tf.SegmentDelta
 }

@@ -31,6 +31,9 @@ func TestBlockCompiledMatchesCompiled(t *testing.T) {
 		{"disjoint-k4", Disjoint{}, 4},
 		{"random-k4", RandomK{}, 4},
 		{"dmodk-k1", DModK{}, 1},
+		{"smodk-k1", SModK{}, 1},
+		{"shift1-k3", Shift1{}, 3},
+		{"random-single", RandomSingle{}, 1},
 		{"umulti", UMulti{}, 0},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,161 @@
+package core
+
+// Async segment prefetch: a bounded worker pool materializes segments
+// ahead of the evaluator so compile (or cache mmap) overlaps load
+// accumulation instead of serializing with it. The pipeline is
+// advisory — Prefetch never blocks and never fails; a prefetch that
+// cannot be admitted is simply dropped and the segment compiles
+// synchronously when Segment asks for it.
+//
+// Admission is budget-aware: an admitted prefetch charges its
+// estimated bytes against ResidentBytes alongside the resident pool,
+// so prefetched segments can never push peak table memory past the
+// budget the caller configured. Rejections are counted by
+// core.prefetch_stalls; segments actually materialized by a worker by
+// core.segments_prefetched.
+
+// maxPrefetchWorkers caps the compile-worker pool regardless of
+// BlockOptions.Prefetch: prefetch depth beyond the worker count only
+// queues, and a handful of compile-bound workers saturate any machine
+// this code targets.
+const maxPrefetchWorkers = 8
+
+// prefetchEntry tracks one admitted prefetch. done closes after the
+// worker either deposited the segment into the pool or gave up; the
+// deposit (under b.mu) strictly precedes the close, so a waiter that
+// observed the entry re-checks the pool after done.
+type prefetchEntry struct {
+	done chan struct{}
+}
+
+// segEstBytes is the admission estimate for segment g — the planning
+// estimate, not the exact compiled size, so admission needs no
+// compile-time information.
+func (b *BlockCompiledRouting) segEstBytes(g int) int64 {
+	lo, hi := b.SegmentSpan(g)
+	return int64(hi-lo)*b.perSrcBytes + 16
+}
+
+// Prefetch asks the worker pool to materialize segment g ahead of use.
+// It is a no-op when prefetching is disabled (BlockOptions.Prefetch
+// <= 0), the table is closed, the segment is already resident or in
+// flight, or admitting it would push pooled + in-flight bytes past
+// ResidentBytes (counted as a prefetch stall). Safe for concurrent
+// use; never blocks on compilation.
+func (b *BlockCompiledRouting) Prefetch(g int) {
+	if b.opts.Prefetch <= 0 {
+		return
+	}
+	if g < 0 || g >= b.numSegments {
+		return
+	}
+	est := b.segEstBytes(g)
+	b.mu.Lock()
+	if b.closed || b.pool[g] != nil || b.inflight[g] != nil {
+		b.mu.Unlock()
+		return
+	}
+	if b.poolBytes+b.inflightBytes+est > b.opts.ResidentBytes {
+		b.mu.Unlock()
+		met.prefetchStalls.Inc()
+		return
+	}
+	if !b.prefStarted {
+		b.startPrefetchersLocked()
+	}
+	e := &prefetchEntry{done: make(chan struct{})}
+	b.inflight[g] = e
+	b.inflightBytes += est
+	b.mu.Unlock()
+	select {
+	case b.prefCh <- g:
+	default:
+		// Queue full — retract the admission instead of blocking the
+		// caller's evaluation loop.
+		b.mu.Lock()
+		if b.inflight[g] == e {
+			delete(b.inflight, g)
+			b.inflightBytes -= est
+		}
+		b.mu.Unlock()
+		close(e.done)
+		met.prefetchStalls.Inc()
+	}
+}
+
+// startPrefetchersLocked spins up the worker pool on first use; b.mu
+// must be held.
+func (b *BlockCompiledRouting) startPrefetchersLocked() {
+	nw := b.opts.Prefetch
+	if nw > maxPrefetchWorkers {
+		nw = maxPrefetchWorkers
+	}
+	if nw > b.numSegments {
+		nw = b.numSegments
+	}
+	b.prefCh = make(chan int, b.numSegments)
+	b.prefStop = make(chan struct{})
+	b.prefWG.Add(nw)
+	for i := 0; i < nw; i++ {
+		go b.prefetchWorker()
+	}
+	b.prefStarted = true
+}
+
+func (b *BlockCompiledRouting) prefetchWorker() {
+	defer b.prefWG.Done()
+	for {
+		select {
+		case <-b.prefStop:
+			return
+		case g := <-b.prefCh:
+			b.runPrefetch(g)
+		}
+	}
+}
+
+// runPrefetch materializes one admitted segment and deposits it into
+// the resident pool; the admission already reserved its bytes, so the
+// deposit may not be refused. A failed compile (misbehaving custom
+// selector) retracts silently — the error surfaces from the
+// synchronous Segment call instead, exactly as without prefetch.
+func (b *BlockCompiledRouting) runPrefetch(g int) {
+	est := b.segEstBytes(g)
+	b.mu.Lock()
+	e := b.inflight[g]
+	if e == nil {
+		b.mu.Unlock()
+		return
+	}
+	if b.closed || b.pool[g] != nil {
+		delete(b.inflight, g)
+		b.inflightBytes -= est
+		b.mu.Unlock()
+		close(e.done)
+		return
+	}
+	b.mu.Unlock()
+
+	lo, hi := b.SegmentSpan(g)
+	s, err := b.materialize(g, lo, hi)
+
+	b.mu.Lock()
+	delete(b.inflight, g)
+	b.inflightBytes -= est
+	if err != nil || b.closed {
+		b.mu.Unlock()
+		if s != nil {
+			s.drop()
+		}
+		close(e.done)
+		return
+	}
+	b.pool[g] = s
+	b.poolBytes += s.bytes
+	b.liveBytes += s.bytes
+	live := b.liveBytes
+	b.mu.Unlock()
+	met.segmentLivePeak.SetMax(live)
+	met.segmentsPrefetched.Inc()
+	close(e.done)
+}

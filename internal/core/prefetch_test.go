@@ -1,0 +1,225 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPrefetchMatchesSync pins the pipeline's correctness: segments
+// materialized by the prefetch workers are bit-identical to synchronous
+// compiles, and at least some fetches are actually served by the
+// workers (the test issues every prefetch before touching Segment).
+func TestPrefetchMatchesSync(t *testing.T) {
+	topo := blockTestTopo(t)
+	r := NewRouting(topo, Disjoint{}, 4, 0)
+	sync := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 64 << 10})
+	defer sync.Close()
+	b := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 64 << 10, Prefetch: 4})
+	defer b.Close()
+	if b.NumSegments() < 2 {
+		t.Fatalf("want multiple segments, got %d", b.NumSegments())
+	}
+	pref0 := met.segmentsPrefetched.Value()
+	for g := 0; g < b.NumSegments(); g++ {
+		b.Prefetch(g)
+	}
+	for g := 0; g < b.NumSegments(); g++ {
+		want, err := sync.Segment(g)
+		if err != nil {
+			t.Fatalf("sync Segment(%d): %v", g, err)
+		}
+		got, err := b.Segment(g)
+		if err != nil {
+			t.Fatalf("prefetched Segment(%d): %v", g, err)
+		}
+		if !equalInt32(got.links, want.links) || !equalInt32(got.pathIdx, want.pathIdx) {
+			t.Fatalf("prefetched segment %d differs from sync compile", g)
+		}
+		sync.Release(want)
+		b.Release(got)
+	}
+	if met.segmentsPrefetched.Value() == pref0 {
+		t.Fatalf("no segment was served by the prefetch workers")
+	}
+}
+
+// TestPrefetchRespectsResidentBudget pins admission: with a budget that
+// fits roughly one segment, prefetching every segment must stall (not
+// queue) the overflow, and the pool never exceeds the budget.
+func TestPrefetchRespectsResidentBudget(t *testing.T) {
+	topo := blockTestTopo(t)
+	r := NewRouting(topo, Disjoint{}, 4, 0)
+	budget := perSourceBytes(r)*int64(topo.NumProcessors()/8) + 64
+	b := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 64 << 10, ResidentBytes: budget, Prefetch: 2})
+	defer b.Close()
+	stalls0 := met.prefetchStalls.Value()
+	for g := 0; g < b.NumSegments(); g++ {
+		b.Prefetch(g)
+	}
+	if met.prefetchStalls.Value() == stalls0 {
+		t.Fatalf("over-budget prefetch burst produced no stalls")
+	}
+	if got := b.ResidentBytes(); got > budget {
+		t.Fatalf("resident pool %d exceeds budget %d", got, budget)
+	}
+	// Stalled segments still materialize synchronously.
+	for g := 0; g < b.NumSegments(); g++ {
+		seg, err := b.Segment(g)
+		if err != nil {
+			t.Fatalf("Segment(%d): %v", g, err)
+		}
+		b.Release(seg)
+	}
+}
+
+// TestPrefetchWarmPoolAllocFree pins the admission fast path: asking to
+// prefetch a segment that is already resident (the steady state of an
+// evaluator running ahead of itself) allocates nothing.
+func TestPrefetchWarmPoolAllocFree(t *testing.T) {
+	topo := blockTestTopo(t)
+	r := NewRouting(topo, Disjoint{}, 4, 0)
+	b := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 64 << 10, Prefetch: 2})
+	defer b.Close()
+	seg, err := b.Segment(0)
+	if err != nil {
+		t.Fatalf("Segment(0): %v", err)
+	}
+	b.Release(seg) // segment 0 now pooled
+	if allocs := testing.AllocsPerRun(100, func() { b.Prefetch(0) }); allocs != 0 {
+		t.Fatalf("warm-pool Prefetch allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// TestPrefetchCloseUnblocksWaiters pins shutdown: Close while prefetches
+// are admitted must wake any Segment call waiting on them and leave the
+// table cleanly rejecting further fetches.
+func TestPrefetchCloseUnblocksWaiters(t *testing.T) {
+	topo := blockTestTopo(t)
+	r := NewRouting(topo, Disjoint{}, 4, 0)
+	b := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 64 << 10, Prefetch: 1})
+	for g := 0; g < b.NumSegments(); g++ {
+		b.Prefetch(g)
+	}
+	b.Close()
+	if _, err := b.Segment(0); err == nil {
+		t.Fatalf("Segment after Close succeeded")
+	}
+}
+
+// TestSegmentCacheEviction pins the size cap: writes beyond MaxBytes
+// evict oldest records first, and a segment mapped before its record
+// was evicted stays fully readable (the unlink only removes the name).
+func TestSegmentCacheEviction(t *testing.T) {
+	topo := blockTestTopo(t)
+	dir := t.TempDir()
+	cache, err := OpenSegmentCache(dir)
+	if err != nil {
+		t.Fatalf("OpenSegmentCache: %v", err)
+	}
+	r := NewRouting(topo, Disjoint{}, 4, 0)
+	seed := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 128 << 10, Cache: cache})
+	segBytes := int64(0)
+	for g := 0; g < seed.NumSegments(); g++ {
+		seg, err := seed.Segment(g)
+		if err != nil {
+			t.Fatalf("Segment(%d): %v", g, err)
+		}
+		if segBytes == 0 {
+			segBytes = seg.Bytes()
+		}
+		seed.Release(seg)
+	}
+	numSegs := seed.NumSegments()
+	seed.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(files) != numSegs {
+		t.Fatalf("%d cache files for %d segments", len(files), numSegs)
+	}
+
+	// Map segment 0 from the cache, then cap the cache so the next write
+	// evicts everything old — including segment 0's record.
+	warm := NewBlockCompiledRouting(r, BlockOptions{SegmentBytes: 128 << 10, Cache: cache})
+	defer warm.Close()
+	held, err := warm.Segment(0)
+	if err != nil {
+		t.Fatalf("warm Segment(0): %v", err)
+	}
+	wantLinks := append([]int32(nil), held.links...)
+
+	cache.SetMaxBytes(2 * segBytes)
+	other := NewBlockCompiledRouting(NewRouting(topo, Disjoint{}, 4, 1), BlockOptions{SegmentBytes: 128 << 10, Cache: cache})
+	if seg, err := other.Segment(0); err != nil {
+		t.Fatalf("other Segment(0): %v", err)
+	} else {
+		other.Release(seg)
+	}
+	other.Close()
+
+	var total int64
+	left, _ := filepath.Glob(filepath.Join(dir, "*.seg*"))
+	for _, f := range left {
+		st, err := os.Stat(f)
+		if err == nil {
+			total += st.Size()
+		}
+	}
+	if len(left) >= numSegs+1 {
+		t.Fatalf("no records evicted: %d files remain", len(left))
+	}
+	if total > 2*segBytes+4096 {
+		t.Fatalf("cache holds %d bytes after eviction, cap %d", total, 2*segBytes)
+	}
+	// The held (possibly mmap-backed) segment survived its record's
+	// eviction: the data reads back intact.
+	if !equalInt32(held.links, wantLinks) {
+		t.Fatalf("held segment changed after its cache record was evicted")
+	}
+	warm.Release(held)
+}
+
+// TestSegmentCacheHeapFallback runs the cache round trip through the
+// non-mmap path (mmap_other.go's behavior) regardless of platform.
+func TestSegmentCacheHeapFallback(t *testing.T) {
+	forceHeapSegments.Store(true)
+	defer forceHeapSegments.Store(false)
+	topo := blockTestTopo(t)
+	dir := t.TempDir()
+	cache, err := OpenSegmentCache(dir)
+	if err != nil {
+		t.Fatalf("OpenSegmentCache: %v", err)
+	}
+	r := NewRouting(topo, Disjoint{}, 4, 0)
+	opts := BlockOptions{SegmentBytes: 128 << 10, Cache: cache}
+	cold := NewBlockCompiledRouting(r, opts)
+	want := make([][]int32, cold.NumSegments())
+	for g := 0; g < cold.NumSegments(); g++ {
+		seg, err := cold.Segment(g)
+		if err != nil {
+			t.Fatalf("cold Segment(%d): %v", g, err)
+		}
+		want[g] = append([]int32(nil), seg.links...)
+		cold.Release(seg)
+	}
+	cold.Close()
+
+	hit0 := met.segmentsCacheHit.Value()
+	warm := NewBlockCompiledRouting(r, opts)
+	defer warm.Close()
+	for g := 0; g < warm.NumSegments(); g++ {
+		seg, err := warm.Segment(g)
+		if err != nil {
+			t.Fatalf("warm Segment(%d): %v", g, err)
+		}
+		if seg.Mapped() {
+			t.Fatalf("heap fallback produced a mapped segment")
+		}
+		if !equalInt32(seg.links, want[g]) {
+			t.Fatalf("heap-loaded segment %d differs from compile", g)
+		}
+		warm.Release(seg)
+	}
+	if met.segmentsCacheHit.Value()-hit0 != int64(warm.NumSegments()) {
+		t.Fatalf("heap fallback missed the cache")
+	}
+}

@@ -1,0 +1,400 @@
+package core
+
+import "fmt"
+
+// Delta-encoded segments. Routing schemes on the same XGFT share most
+// of their path structure: every scheme's CSR offsets are identical
+// whenever the per-NCA-level path counts match, and for whole levels
+// the index sequences themselves coincide (shift-1 and disjoint agree
+// at every level whose disjoint offsets are the identity; every scheme
+// agrees at levels with a single shortest path; a limited scheme at
+// K=1 degenerates to d-mod-k). A variant table compiled with
+// BlockOptions.DeltaBase exploits this twice:
+//
+//   - in memory, segment compilation copies the base segment's rows
+//     for every shared level (a memcpy per span) and only runs the
+//     fill machinery for the levels whose indices actually differ;
+//   - on disk, the cache record (xgftsegd-v1) stores no offset arrays
+//     and no shared rows — just the changed levels' path indices and
+//     links — and load materializes the segment by patching the base.
+//
+// Which levels are shared is a structural fact of the two schemes (per
+// level, not per pair), so the delta needs no row-by-row diffing and
+// the changed-row layout is reconstructible from the shared-level mask
+// alone.
+
+// idxAnchor classifies what a closed-form index generator's output is
+// relative to: the destination's d-mod-k index, the source's s-mod-k
+// index, or absolute indices.
+type idxAnchor int
+
+const (
+	anchorDst idxAnchor = iota
+	anchorSrc
+	anchorAbs
+)
+
+// fastKindOf maps a selector to its closed-form generator tag.
+func fastKindOf(sel Selector) fastScheme {
+	switch sel.(type) {
+	case DModK:
+		return fastDModK
+	case SModK:
+		return fastSModK
+	case Shift1:
+		return fastShift1
+	case Disjoint:
+		return fastDisjoint
+	case UMulti:
+		return fastUMulti
+	default:
+		return fastGeneric
+	}
+}
+
+// builtinSelector reports whether sel is one of this package's schemes
+// — the set whose x == 1 behavior is known to be the single path 0.
+func builtinSelector(sel Selector) bool {
+	switch sel.(type) {
+	case DModK, SModK, RandomSingle, Shift1, Disjoint, RandomK, UMulti:
+		return true
+	}
+	return false
+}
+
+// idxOffsets returns the generator's offset sequence relative to its
+// anchor at NCA level k (np entries), or ok=false for generators with
+// no closed form.
+func idxOffsets(r *Routing, k int) (anchor idxAnchor, offs []int32, ok bool) {
+	t := r.Topology()
+	np := r.pathCount(k)
+	switch fastKindOf(r.Selector()) {
+	case fastDModK:
+		return anchorDst, []int32{0}, true
+	case fastSModK:
+		return anchorSrc, []int32{0}, true
+	case fastShift1:
+		offs = make([]int32, np)
+		for c := range offs {
+			offs[c] = int32(c)
+		}
+		return anchorDst, offs, true
+	case fastDisjoint:
+		offs = make([]int32, np)
+		for c := range offs {
+			offs[c] = int32(DisjointOffset(t, k, c))
+		}
+		return anchorDst, offs, true
+	case fastUMulti:
+		offs = make([]int32, np)
+		for c := range offs {
+			offs[c] = int32(c)
+		}
+		return anchorAbs, offs, true
+	}
+	return 0, nil, false
+}
+
+// levelShared reports whether base and variant emit identical index
+// sequences for every pair at NCA level k.
+func levelShared(base, variant *Routing, k int) bool {
+	t := base.Topology()
+	if base.pathCount(k) != variant.pathCount(k) {
+		return false
+	}
+	if t.WProd(k) == 1 {
+		// A single shortest path: every scheme with a known contract
+		// emits {0}. Custom selectors make no such promise.
+		return builtinSelector(base.Selector()) && builtinSelector(variant.Selector())
+	}
+	ba, bo, ok1 := idxOffsets(base, k)
+	va, vo, ok2 := idxOffsets(variant, k)
+	if !ok1 || !ok2 || ba != va || len(bo) != len(vo) {
+		return false
+	}
+	for i := range bo {
+		if bo[i] != vo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaSharedLevels computes, per NCA level 1..h, whether variant's
+// index sequences coincide with base's (shared[0] is unused). ok is
+// false when the two routings are not delta-compatible: different
+// topologies or differing per-level path counts (which would change
+// the CSR offsets and defeat row sharing entirely).
+func DeltaSharedLevels(base, variant *Routing) (shared []bool, ok bool) {
+	t := base.Topology()
+	if variant.Topology().String() != t.String() {
+		return nil, false
+	}
+	for k := 1; k <= t.H(); k++ {
+		if base.pathCount(k) != variant.pathCount(k) {
+			return nil, false
+		}
+	}
+	shared = make([]bool, t.H()+1)
+	for k := 1; k <= t.H(); k++ {
+		shared[k] = levelShared(base, variant, k)
+	}
+	return shared, true
+}
+
+// DeltaSavings predicts the segment-cache bytes of storing variant's
+// whole table full-fat versus delta-encoded against base. ok is false
+// when the pair is not delta-compatible. cmd/xgftinfo prints the
+// prediction so a sweep can be sized before anything compiles.
+func DeltaSavings(base, variant *Routing) (fullBytes, deltaBytes int64, ok bool) {
+	shared, ok := DeltaSharedLevels(base, variant)
+	if !ok {
+		return 0, 0, false
+	}
+	t := variant.Topology()
+	n := int64(t.NumProcessors())
+	var paths, links, chPaths, chLinks int64
+	for k := 1; k <= t.H(); k++ {
+		pairs := int64(t.ProcessorsPerSubtree(k) - t.ProcessorsPerSubtree(k-1))
+		np := int64(variant.pathCount(k))
+		paths += pairs * np
+		links += pairs * np * int64(2*k)
+		if !shared[k] {
+			chPaths += pairs * np
+			chLinks += pairs * np * int64(2*k)
+		}
+	}
+	fullBytes = n * (16*n + 4*paths + 4*links)
+	deltaBytes = n * 4 * (chPaths + chLinks)
+	return fullBytes, deltaBytes, true
+}
+
+// deltaPlan is the precomputed delta geometry a variant table carries:
+// the base table, the shared-level mask, the cache key pinning both
+// scheme identities, and the per-source changed-data counts that size
+// records without walking anything.
+type deltaPlan struct {
+	base   *BlockCompiledRouting
+	shared []bool
+	mask   uint64
+	key    string
+
+	h    int
+	n    int
+	psub []int
+	np   []int
+
+	chPathsPerSrc int64
+	chLinksPerSrc int64
+}
+
+// newDeltaPlan validates base/variant compatibility and builds the
+// plan; it panics on mismatch, mirroring the eager contract of
+// NewBlockCompiledRouting's other invariants.
+func newDeltaPlan(base, variant *BlockCompiledRouting) *deltaPlan {
+	shared, ok := DeltaSharedLevels(base.r, variant.r)
+	if !ok {
+		panic(fmt.Sprintf("core: DeltaBase %s is not delta-compatible with %s (topology or per-level path counts differ)",
+			base.r, variant.r))
+	}
+	if base.blockSrcs != variant.blockSrcs || base.n != variant.n {
+		panic(fmt.Sprintf("core: DeltaBase blocking (%d sources/segment over %d) differs from variant (%d over %d)",
+			base.blockSrcs, base.n, variant.blockSrcs, variant.n))
+	}
+	t := variant.topo
+	pl := &deltaPlan{
+		base:   base,
+		shared: shared,
+		h:      t.H(),
+		n:      variant.n,
+		psub:   make([]int, t.H()+1),
+		np:     make([]int, t.H()+1),
+	}
+	pl.psub[0] = 1
+	for k := 1; k <= pl.h; k++ {
+		pl.psub[k] = t.ProcessorsPerSubtree(k)
+		pl.np[k] = variant.r.pathCount(k)
+		if shared[k] {
+			pl.mask |= 1 << uint(k)
+		} else {
+			pairs := int64(pl.psub[k] - pl.psub[k-1])
+			pl.chPathsPerSrc += pairs * int64(pl.np[k])
+			pl.chLinksPerSrc += pairs * int64(pl.np[k]) * int64(2*k)
+		}
+	}
+	br := base.r
+	pl.key = fmt.Sprintf("xgftsegd-v1|%s|%s|K=%d|seed=%d|block=%d|base=%s|baseK=%d|baseSeed=%d",
+		t, variant.r.Selector().Name(), variant.r.K(), variant.r.Seed(), variant.blockSrcs,
+		br.Selector().Name(), br.K(), br.Seed())
+	return pl
+}
+
+// forEachSpan visits every constant-NCA-level destination span of the
+// segment covering sources [lo, hi), in row order: for each source the
+// descending subtree intervals (level h down to 1), then — skipping
+// the empty self row — the ascending ones. fn receives the level and
+// the segment-local row range.
+func (pl *deltaPlan) forEachSpan(lo, hi int, fn func(k, row0, row1 int)) {
+	for src := lo; src < hi; src++ {
+		base := (src - lo) * pl.n
+		for k := pl.h; k >= 1; k-- {
+			a := src - src%pl.psub[k]
+			b := src - src%pl.psub[k-1]
+			if a < b {
+				fn(k, base+a, base+b)
+			}
+		}
+		for k := 1; k <= pl.h; k++ {
+			a := src - src%pl.psub[k-1] + pl.psub[k-1]
+			b := src - src%pl.psub[k] + pl.psub[k]
+			if a < b {
+				fn(k, base+a, base+b)
+			}
+		}
+	}
+}
+
+// SegmentDelta is the delta encoding of one variant segment against
+// the base scheme's same-index segment: the shared-level mask plus the
+// changed levels' path indices and links, concatenated in row order.
+// Offsets and shared rows are omitted — both are reconstructed from
+// the base segment when the delta is applied.
+type SegmentDelta struct {
+	// Mask has bit k set when level-k rows are shared with the base.
+	Mask uint64
+	// PathIdx and Links hold the changed rows' data in row order.
+	PathIdx []int32
+	Links   []int32
+}
+
+// Bytes returns the encoded payload size.
+func (d *SegmentDelta) Bytes() int64 {
+	return 4 * int64(len(d.PathIdx)+len(d.Links))
+}
+
+// EncodeDelta extracts the delta of a compiled segment against the
+// configured DeltaBase. It requires the table to have been built with
+// BlockOptions.DeltaBase.
+func (b *BlockCompiledRouting) EncodeDelta(s *RoutingSegment) (*SegmentDelta, error) {
+	pl := b.delta
+	if pl == nil {
+		return nil, fmt.Errorf("core: EncodeDelta needs a table built with BlockOptions.DeltaBase")
+	}
+	nSrc := int64(s.srcHi - s.srcLo)
+	d := &SegmentDelta{
+		Mask:    pl.mask,
+		PathIdx: make([]int32, 0, nSrc*pl.chPathsPerSrc),
+		Links:   make([]int32, 0, nSrc*pl.chLinksPerSrc),
+	}
+	pl.forEachSpan(s.srcLo, s.srcHi, func(k, r0, r1 int) {
+		if pl.shared[k] {
+			return
+		}
+		d.PathIdx = append(d.PathIdx, s.pathIdx[s.pathOff[r0]:s.pathOff[r1]]...)
+		d.Links = append(d.Links, s.links[s.linkOff[r0]:s.linkOff[r1]]...)
+	})
+	return d, nil
+}
+
+// ApplyDelta materializes segment g by patching d onto the base
+// scheme's segment g: offsets and shared rows copy from the base,
+// changed rows from the delta. The result is a heap segment owned by
+// the caller (it does not alias d or the base).
+func (b *BlockCompiledRouting) ApplyDelta(g int, d *SegmentDelta) (*RoutingSegment, error) {
+	pl := b.delta
+	if pl == nil {
+		return nil, fmt.Errorf("core: ApplyDelta needs a table built with BlockOptions.DeltaBase")
+	}
+	if d.Mask != pl.mask {
+		return nil, fmt.Errorf("core: delta mask %#x does not match plan mask %#x", d.Mask, pl.mask)
+	}
+	lo, hi := b.SegmentSpan(g)
+	nSrc := int64(hi - lo)
+	if int64(len(d.PathIdx)) != nSrc*pl.chPathsPerSrc || int64(len(d.Links)) != nSrc*pl.chLinksPerSrc {
+		return nil, fmt.Errorf("core: delta payload %d/%d does not match plan %d/%d",
+			len(d.PathIdx), len(d.Links), nSrc*pl.chPathsPerSrc, nSrc*pl.chLinksPerSrc)
+	}
+	baseSeg, err := pl.base.Segment(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta base segment %d: %w", g, err)
+	}
+	defer pl.base.Release(baseSeg)
+	s := &RoutingSegment{
+		index:   g,
+		srcLo:   lo,
+		srcHi:   hi,
+		n:       b.n,
+		pathOff: make([]int64, len(baseSeg.pathOff)),
+		linkOff: make([]int64, len(baseSeg.linkOff)),
+		pathIdx: make([]int32, len(baseSeg.pathIdx)),
+		links:   make([]int32, len(baseSeg.links)),
+	}
+	copy(s.pathOff, baseSeg.pathOff)
+	copy(s.linkOff, baseSeg.linkOff)
+	var dp, dl int64
+	pl.forEachSpan(lo, hi, func(k, r0, r1 int) {
+		p0, p1 := s.pathOff[r0], s.pathOff[r1]
+		l0, l1 := s.linkOff[r0], s.linkOff[r1]
+		if pl.shared[k] {
+			copy(s.pathIdx[p0:p1], baseSeg.pathIdx[p0:p1])
+			copy(s.links[l0:l1], baseSeg.links[l0:l1])
+			return
+		}
+		copy(s.pathIdx[p0:p1], d.PathIdx[dp:dp+(p1-p0)])
+		copy(s.links[l0:l1], d.Links[dl:dl+(l1-l0)])
+		dp += p1 - p0
+		dl += l1 - l0
+	})
+	s.bytes = s.Bytes()
+	return s, nil
+}
+
+// compileSegmentDelta compiles segment g against the delta base:
+// shared levels memcpy from the base segment, changed levels run the
+// fast fill. Output is bit-identical to a from-scratch compile (the
+// differential tests pin this); the base fetch itself may pool, map or
+// compile on the base table's side.
+func (b *BlockCompiledRouting) compileSegmentDelta(g, lo, hi int) (*RoutingSegment, error) {
+	baseSeg, err := b.delta.base.Segment(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta base segment %d: %w", g, err)
+	}
+	defer b.delta.base.Release(baseSeg)
+	s, f, err := b.fillSegment(g, lo, hi, baseSeg, b.delta.shared)
+	if err != nil {
+		return nil, err
+	}
+	met.segDeltaRowsShared.Add(f.rowsShared)
+	return s, nil
+}
+
+// loadDeltaCached materializes segment g from a cached delta record.
+func (b *BlockCompiledRouting) loadDeltaCached(g, lo, hi int) (*RoutingSegment, bool) {
+	d, cleanup, ok := b.opts.Cache.loadDelta(b.delta, g, lo, hi)
+	if !ok {
+		return nil, false
+	}
+	s, err := b.ApplyDelta(g, d)
+	cleanup()
+	if err != nil {
+		return nil, false
+	}
+	met.segDeltaPatched.Inc()
+	return s, true
+}
+
+// storeDeltaCached persists segment g as a delta record and accounts
+// the bytes saved against a full-fat record.
+func (b *BlockCompiledRouting) storeDeltaCached(g int, s *RoutingSegment) error {
+	d, err := b.EncodeDelta(s)
+	if err != nil {
+		return err
+	}
+	if err := b.opts.Cache.storeDelta(b.delta.key, g, s, d); err != nil {
+		return err
+	}
+	if saved := s.Bytes() - d.Bytes(); saved > 0 {
+		met.segDeltaBytesSaved.Add(saved)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Delta test pair: on blockTestTopo (w = 1,4,4), shift-1 and disjoint
+// at K=4 have identical per-level path counts, share levels 1 and 2
+// (the disjoint offsets are the identity while the radix product stays
+// within w2), and genuinely differ at level 3 — so a delta has both
+// copied and recompiled spans, and a delta record is strictly smaller
+// than a full one.
+func deltaTestPair(t *testing.T) (base, variant *Routing) {
+	t.Helper()
+	topo := blockTestTopo(t)
+	return NewRouting(topo, Disjoint{}, 4, 0), NewRouting(topo, Shift1{}, 4, 0)
+}
+
+func TestDeltaSharedLevels(t *testing.T) {
+	base, variant := deltaTestPair(t)
+	shared, ok := DeltaSharedLevels(base, variant)
+	if !ok {
+		t.Fatalf("disjoint/shift1 at equal K should be delta-compatible")
+	}
+	if !shared[1] || !shared[2] || shared[3] {
+		t.Fatalf("shared levels %v, want [_ true true false]", shared)
+	}
+	full, delta, ok := DeltaSavings(base, variant)
+	if !ok || delta <= 0 || delta >= full {
+		t.Fatalf("DeltaSavings = (%d, %d, %v), want 0 < delta < full", full, delta, ok)
+	}
+	// Mismatched path counts (K=1 vs K=4) defeat row sharing entirely.
+	if _, ok := DeltaSharedLevels(NewRouting(base.Topology(), DModK{}, 1, 0), variant); ok {
+		t.Fatalf("differing per-level path counts reported delta-compatible")
+	}
+}
+
+// TestDeltaCompiledMatchesScratch pins the tentpole contract for the
+// in-memory half: a table compiled with DeltaBase is bit-identical,
+// pair by pair, to the fully compiled variant table.
+func TestDeltaCompiledMatchesScratch(t *testing.T) {
+	baseR, varR := deltaTestPair(t)
+	c, err := CompileRouting(varR, 1<<30)
+	if err != nil {
+		t.Fatalf("CompileRouting: %v", err)
+	}
+	base := NewBlockCompiledRouting(baseR, BlockOptions{SegmentBytes: 64 << 10})
+	defer base.Close()
+	b := NewBlockCompiledRouting(varR, BlockOptions{SegmentBytes: 64 << 10, DeltaBase: base})
+	defer b.Close()
+	if b.NumSegments() < 2 {
+		t.Fatalf("want multiple segments, got %d", b.NumSegments())
+	}
+	n := b.Topology().NumProcessors()
+	rows0 := met.segDeltaRowsShared.Value()
+	for g := 0; g < b.NumSegments(); g++ {
+		seg, err := b.Segment(g)
+		if err != nil {
+			t.Fatalf("Segment(%d): %v", g, err)
+		}
+		lo, hi := b.SegmentSpan(g)
+		for src := lo; src < hi; src++ {
+			for dst := 0; dst < n; dst++ {
+				comparePair(t, c, seg, src, dst)
+			}
+		}
+		b.Release(seg)
+	}
+	if met.segDeltaRowsShared.Value() == rows0 {
+		t.Fatalf("delta compile shared no rows with the base")
+	}
+}
+
+// TestDeltaEncodeApplyRoundTrip pins the in-memory encoding: the delta
+// of a compiled segment applied back onto the base reproduces the
+// segment exactly, and rejects a foreign mask or payload.
+func TestDeltaEncodeApplyRoundTrip(t *testing.T) {
+	baseR, varR := deltaTestPair(t)
+	base := NewBlockCompiledRouting(baseR, BlockOptions{SegmentBytes: 64 << 10})
+	defer base.Close()
+	b := NewBlockCompiledRouting(varR, BlockOptions{SegmentBytes: 64 << 10, DeltaBase: base})
+	defer b.Close()
+	seg, err := b.Segment(0)
+	if err != nil {
+		t.Fatalf("Segment(0): %v", err)
+	}
+	defer b.Release(seg)
+	d, err := b.EncodeDelta(seg)
+	if err != nil {
+		t.Fatalf("EncodeDelta: %v", err)
+	}
+	if d.Bytes() >= seg.Bytes() {
+		t.Fatalf("delta %d bytes not smaller than segment %d", d.Bytes(), seg.Bytes())
+	}
+	got, err := b.ApplyDelta(0, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if !equalInt32(got.pathIdx, seg.pathIdx) || !equalInt32(got.links, seg.links) {
+		t.Fatalf("delta round trip differs from the compiled segment")
+	}
+	if _, err := b.ApplyDelta(0, &SegmentDelta{Mask: d.Mask ^ 1, PathIdx: d.PathIdx, Links: d.Links}); err == nil {
+		t.Fatalf("ApplyDelta accepted a foreign mask")
+	}
+	if _, err := b.ApplyDelta(0, &SegmentDelta{Mask: d.Mask, PathIdx: d.PathIdx[:1], Links: d.Links}); err == nil {
+		t.Fatalf("ApplyDelta accepted a short payload")
+	}
+}
+
+// TestDeltaCacheRoundTrip pins the on-disk half: a cold delta table
+// writes xgftsegd-v1 records (strictly smaller than the base's full
+// records), and a warm table patches them back bit-identically.
+func TestDeltaCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenSegmentCache(dir)
+	if err != nil {
+		t.Fatalf("OpenSegmentCache: %v", err)
+	}
+	baseR, varR := deltaTestPair(t)
+	baseOpts := BlockOptions{SegmentBytes: 128 << 10, Cache: cache}
+
+	runVariant := func() [][]int32 {
+		base := NewBlockCompiledRouting(baseR, baseOpts)
+		defer base.Close()
+		b := NewBlockCompiledRouting(varR, BlockOptions{SegmentBytes: 128 << 10, Cache: cache, DeltaBase: base})
+		defer b.Close()
+		out := make([][]int32, b.NumSegments())
+		for g := 0; g < b.NumSegments(); g++ {
+			seg, err := b.Segment(g)
+			if err != nil {
+				t.Fatalf("Segment(%d): %v", g, err)
+			}
+			out[g] = append([]int32(nil), seg.links...)
+			b.Release(seg)
+		}
+		return out
+	}
+
+	saved0, patched0 := met.segDeltaBytesSaved.Value(), met.segDeltaPatched.Value()
+	cold := runVariant()
+	if met.segDeltaBytesSaved.Value() == saved0 {
+		t.Fatalf("cold delta run saved no cache bytes")
+	}
+	full, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	deltas, _ := filepath.Glob(filepath.Join(dir, "*.segd"))
+	if len(deltas) != len(cold) {
+		t.Fatalf("%d delta records for %d segments", len(deltas), len(cold))
+	}
+	var fullBytes, deltaBytes int64
+	for _, f := range full {
+		st, _ := os.Stat(f)
+		fullBytes += st.Size()
+	}
+	for _, f := range deltas {
+		st, _ := os.Stat(f)
+		deltaBytes += st.Size()
+	}
+	if deltaBytes >= fullBytes {
+		t.Fatalf("delta records (%d bytes) not smaller than full records (%d bytes)", deltaBytes, fullBytes)
+	}
+
+	warm := runVariant()
+	if got := met.segDeltaPatched.Value() - patched0; got != int64(len(cold)) {
+		t.Fatalf("warm run patched %d segments, want %d", got, len(cold))
+	}
+	for g := range cold {
+		if !equalInt32(warm[g], cold[g]) {
+			t.Fatalf("warm delta segment %d differs from cold compile", g)
+		}
+	}
+}
+
+// TestDeltaCacheRejectsCorruptRecords pins validation parity with the
+// full format: a damaged delta record is a miss, never wrong data.
+func TestDeltaCacheRejectsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenSegmentCache(dir)
+	if err != nil {
+		t.Fatalf("OpenSegmentCache: %v", err)
+	}
+	baseR, varR := deltaTestPair(t)
+	fetch := func() []int32 {
+		base := NewBlockCompiledRouting(baseR, BlockOptions{SegmentBytes: 128 << 10, Cache: cache})
+		defer base.Close()
+		b := NewBlockCompiledRouting(varR, BlockOptions{SegmentBytes: 128 << 10, Cache: cache, DeltaBase: base})
+		defer b.Close()
+		seg, err := b.Segment(0)
+		if err != nil {
+			t.Fatalf("Segment(0): %v", err)
+		}
+		defer b.Release(seg)
+		return append([]int32(nil), seg.links...)
+	}
+	want := fetch()
+	files, err := filepath.Glob(filepath.Join(dir, "*.segd"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no delta records written (err=%v)", err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatalf("reading %s: %v", files[0], err)
+	}
+	data[32] ^= 0xff // flip a mask byte
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatalf("writing corrupt record: %v", err)
+	}
+	miss0 := met.segmentsCacheMiss.Value()
+	if got := fetch(); !equalInt32(got, want) {
+		t.Fatalf("corrupt delta record produced wrong links")
+	}
+	if met.segmentsCacheMiss.Value() == miss0 {
+		t.Fatalf("corrupt delta record served as a hit")
+	}
+}
+
+// TestDeltaIncompatibleBasePanics pins the eager contract: construction
+// with a base whose per-level path counts differ must panic, not
+// produce a silently wrong table.
+func TestDeltaIncompatibleBasePanics(t *testing.T) {
+	topo := blockTestTopo(t)
+	base := NewBlockCompiledRouting(NewRouting(topo, DModK{}, 1, 0), BlockOptions{SegmentBytes: 64 << 10})
+	defer base.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("incompatible DeltaBase did not panic")
+		}
+	}()
+	NewBlockCompiledRouting(NewRouting(topo, Disjoint{}, 4, 0), BlockOptions{SegmentBytes: 64 << 10, DeltaBase: base})
+}

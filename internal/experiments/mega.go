@@ -19,10 +19,20 @@ type TableOptions struct {
 	// CacheDir, when non-empty, persists compiled segments for reuse
 	// across runs.
 	CacheDir string
+	// CacheMaxBytes caps the segment cache's on-disk footprint (oldest
+	// records evicted on write); 0 means unbounded.
+	CacheMaxBytes int64
 	// Budget caps resident table bytes; 0 means core.DefaultTableBudget.
 	Budget int64
 	// SegmentBytes overrides the experiment's segment size when > 0.
 	SegmentBytes int64
+	// Prefetch enables the async segment compile pipeline at the given
+	// depth; 0 disables it.
+	Prefetch int
+	// SegmentDelta compiles delta-compatible schemes of a multi-scheme
+	// sweep as patches against the first compatible scheme's table,
+	// in memory and in the segment cache.
+	SegmentDelta bool
 }
 
 // MegaConfig describes a mega-fabric Figure-4-style sweep: average
@@ -56,6 +66,9 @@ type MegaConfig struct {
 	TableBudget int64
 	// CacheDir optionally persists compiled segments across runs.
 	CacheDir string
+	// CacheMaxBytes caps the segment cache's on-disk footprint; 0 means
+	// unbounded.
+	CacheMaxBytes int64
 	// Workers bounds shard parallelism; 0 means GOMAXPROCS. Shards
 	// split the segment range, so Workers=1 degenerates to the exact
 	// sequential walk (bit-identical to lazy evaluation).
@@ -63,6 +76,16 @@ type MegaConfig struct {
 	// EvalBytes bounds total evaluator row memory across shards, which
 	// sets how many samples share one table walk; 0 means 512 MiB.
 	EvalBytes int64
+	// Prefetch enables the async compile pipeline at the given depth
+	// (see core.BlockOptions.Prefetch); 0 disables it.
+	Prefetch int
+	// SegmentDelta compiles each unit whose scheme is delta-compatible
+	// with an earlier unit's as a delta against that table (see
+	// core.BlockOptions.DeltaBase): the base compiles once, variants
+	// copy its shared levels and cache only changed rows. Base tables
+	// stay open for the rest of the sweep instead of closing with their
+	// unit.
+	SegmentDelta bool
 	// Ctx cancels the sweep between shard cells (see Scale.Ctx).
 	Ctx context.Context
 }
@@ -105,6 +128,7 @@ func MegaFabricSweep(cfg MegaConfig) (*Table, error) {
 		if cache, err = core.OpenSegmentCache(cfg.CacheDir); err != nil {
 			return nil, err
 		}
+		cache.SetMaxBytes(cfg.CacheMaxBytes)
 	}
 	evalBytes := cfg.EvalBytes
 	if evalBytes <= 0 {
@@ -123,10 +147,42 @@ func MegaFabricSweep(cfg MegaConfig) (*Table, error) {
 		}
 	}
 
-	// results[u][i][j]: unit u, sample i, effective-K column j.
+	// results[u][i][j]: unit u, sample i, effective-K column j. Units
+	// still run one at a time; with SegmentDelta, the first table of
+	// each delta-compatible group additionally stays open as the base
+	// later units patch against, so only base tables accumulate.
 	results := make([][][]float64, len(units))
+	var bases []*core.BlockCompiledRouting
+	defer func() {
+		for _, b := range bases {
+			b.Close()
+		}
+	}()
 	for u, unit := range units {
-		vals, err := runMegaUnit(cfg, schemes[unit.scheme], unit.seed, eff, kmax, cache, evalBytes)
+		r := core.NewRouting(t, schemes[unit.scheme], kmax, unit.seed)
+		opts := core.BlockOptions{
+			SegmentBytes:  cfg.SegmentBytes,
+			ResidentBytes: cfg.TableBudget,
+			Cache:         cache,
+			Prefetch:      cfg.Prefetch,
+		}
+		if cfg.SegmentDelta {
+			for _, cand := range bases {
+				if _, ok := core.DeltaSharedLevels(cand.Routing(), r); ok {
+					opts.DeltaBase = cand
+					break
+				}
+			}
+		}
+		b := core.NewBlockCompiledRouting(r, opts)
+		isBase := cfg.SegmentDelta && opts.DeltaBase == nil
+		if isBase {
+			bases = append(bases, b)
+		}
+		vals, err := runMegaUnit(cfg, b, eff, evalBytes)
+		if !isBase {
+			b.Close()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("experiments: mega unit %s seed %d: %w", schemes[unit.scheme].Name(), unit.seed, err)
 		}
@@ -193,21 +249,15 @@ func deterministicSelector(sel core.Selector) bool {
 	return false
 }
 
-// runMegaUnit measures one (scheme, seed): Samples permutations × the
-// effective K grid, returning vals[i][j]. Samples are processed in
-// rounds sized so evaluator row memory stays under evalBytes; each
-// round is one sharded segment-ordered walk of the whole batch, so a
-// segment is compiled (or mapped) once per round per shard.
-func runMegaUnit(cfg MegaConfig, sel core.Selector, seed int64, eff []int, kmax int, cache *core.SegmentCache, evalBytes int64) ([][]float64, error) {
+// runMegaUnit measures one (scheme, seed) over its prepared block
+// table: Samples permutations × the effective K grid, returning
+// vals[i][j]. Samples are processed in rounds sized so evaluator row
+// memory stays under evalBytes; each round is one sharded
+// segment-ordered walk of the whole batch, so a segment is compiled
+// (or mapped) once per round per shard. The caller owns b's lifetime
+// (delta base tables outlive their unit).
+func runMegaUnit(cfg MegaConfig, b *core.BlockCompiledRouting, eff []int, evalBytes int64) ([][]float64, error) {
 	t := cfg.Topo
-	r := core.NewRouting(t, sel, kmax, seed)
-	b := core.NewBlockCompiledRouting(r, core.BlockOptions{
-		SegmentBytes:  cfg.SegmentBytes,
-		ResidentBytes: cfg.TableBudget,
-		Cache:         cache,
-	})
-	defer b.Close()
-
 	shards := cfg.Workers
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -295,18 +345,24 @@ func runMegaUnit(cfg MegaConfig, sel core.Selector, seed int64, eff []int, kmax 
 // hold — full is ~10× the paper's largest evaluated topology.
 func Mega(sc Scale, seed int64, topt TableOptions) (*Table, error) {
 	cfg := MegaConfig{
-		PermSeed:     seed,
-		Workers:      sc.Workers,
-		CacheDir:     topt.CacheDir,
-		TableBudget:  topt.Budget,
-		SegmentBytes: topt.SegmentBytes,
+		PermSeed:      seed,
+		Workers:       sc.Workers,
+		CacheDir:      topt.CacheDir,
+		CacheMaxBytes: topt.CacheMaxBytes,
+		TableBudget:   topt.Budget,
+		SegmentBytes:  topt.SegmentBytes,
+		Prefetch:      topt.Prefetch,
+		SegmentDelta:  topt.SegmentDelta,
 	}
 	switch sc.Name {
 	case "quick", "":
 		cfg.Topo = topology.MustNew(3, []int{8, 8, 8}, []int{1, 8, 8})
 		cfg.Ks = []int{1, 2, 4}
 		cfg.Samples = 8
-		cfg.Schemes = []core.Selector{core.DModK{}, core.Disjoint{}}
+		// Shift-1 and disjoint are delta-compatible (equal per-level path
+		// counts), so the quick scale exercises the delta path whenever
+		// -segment-delta is on; d-mod-k (single-path) stands alone.
+		cfg.Schemes = []core.Selector{core.DModK{}, core.Shift1{}, core.Disjoint{}}
 		if cfg.SegmentBytes <= 0 {
 			cfg.SegmentBytes = 256 << 10
 		}

@@ -112,6 +112,7 @@ func (e *BlockEvaluator) AccumulateSegments(tms []*traffic.Matrix, g0, g1 int) e
 	met.blockWalks.Inc()
 	met.pairsEvaluated.Add(countFlows(tms))
 	e.reset(tms, g0)
+	depth := e.b.PrefetchDepth()
 	for g := g0; g < g1; g++ {
 		if e.allDone(tms) {
 			break
@@ -119,6 +120,19 @@ func (e *BlockEvaluator) AccumulateSegments(tms []*traffic.Matrix, g0, g1 int) e
 		lo, hi := e.b.SegmentSpan(g)
 		if !e.anyFlowIn(tms, hi) {
 			continue
+		}
+		// Prime the compile pipeline before blocking on this segment:
+		// upcoming segments materialize on the worker pool while this one
+		// is accumulated. Issuance stops at the first segment no remaining
+		// flow can reach (cursors only advance, so later walk iterations
+		// re-issue as the frontier moves). Prefetch never blocks and its
+		// admission is budget-bounded, so over-issuing is safe.
+		for n := g + 1; n <= g+depth && n < g1; n++ {
+			_, nhi := e.b.SegmentSpan(n)
+			if !e.anyFlowIn(tms, nhi) {
+				break
+			}
+			e.b.Prefetch(n)
 		}
 		seg, err := e.b.Segment(g)
 		if err != nil {

@@ -123,6 +123,77 @@ func TestBlockEvaluatorShardedMerge(t *testing.T) {
 	}
 }
 
+// TestBlockEvaluatorPrefetchMatches pins the pipeline's transparency:
+// the same batch evaluated over a prefetching table produces bitwise
+// the same loads as over a plain one, and the workers actually serve
+// segments (nonzero core.segments_prefetched).
+func TestBlockEvaluatorPrefetchMatches(t *testing.T) {
+	topo := blockFlowTopo(t)
+	n := topo.NumProcessors()
+	tms := []*traffic.Matrix{
+		traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(13, 0))),
+		traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(13, 1))),
+	}
+	ks := []int{1, 4}
+	r := core.NewRouting(topo, core.Disjoint{}, 4, 0)
+	plain := core.NewBlockCompiledRouting(r, core.BlockOptions{SegmentBytes: 64 << 10})
+	defer plain.Close()
+	pref := core.NewBlockCompiledRouting(r, core.BlockOptions{SegmentBytes: 64 << 10, Prefetch: 4})
+	defer pref.Close()
+	want := [][]float64{make([]float64, len(ks)), make([]float64, len(ks))}
+	got := [][]float64{make([]float64, len(ks)), make([]float64, len(ks))}
+	if err := NewBlockEvaluator(plain, ks).MaxLoadsBatch(tms, want); err != nil {
+		t.Fatalf("plain MaxLoadsBatch: %v", err)
+	}
+	prefetched0 := obsCounter(t, "core.segments_prefetched")
+	if err := NewBlockEvaluator(pref, ks).MaxLoadsBatch(tms, got); err != nil {
+		t.Fatalf("prefetch MaxLoadsBatch: %v", err)
+	}
+	for s := range want {
+		for j := range ks {
+			if got[s][j] != want[s][j] {
+				t.Fatalf("matrix %d K=%d: prefetch %v != plain %v", s, ks[j], got[s][j], want[s][j])
+			}
+		}
+	}
+	if obsCounter(t, "core.segments_prefetched") == prefetched0 {
+		t.Fatalf("prefetch workers served no segments")
+	}
+}
+
+// TestBlockPrefetchSteadyStateAllocs pins the CI allocation contract:
+// with every segment resident (the steady state), enabling prefetch
+// adds zero allocations per AccumulateSegments call over the plain
+// walk — admission's warm-pool early return is allocation-free.
+func TestBlockPrefetchSteadyStateAllocs(t *testing.T) {
+	topo := blockFlowTopo(t)
+	n := topo.NumProcessors()
+	tms := []*traffic.Matrix{
+		traffic.FromPermutation(traffic.RandomPermutation(n, stats.Stream(17, 0))),
+	}
+	ks := []int{1, 4}
+	r := core.NewRouting(topo, core.Disjoint{}, 4, 0)
+	run := func(prefetch int) float64 {
+		b := core.NewBlockCompiledRouting(r, core.BlockOptions{SegmentBytes: 64 << 10, Prefetch: prefetch})
+		defer b.Close()
+		e := NewBlockEvaluator(b, ks)
+		// Warm: pool every segment and size the evaluator's rows.
+		if err := e.AccumulateSegments(tms, 0, b.NumSegments()); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if err := e.AccumulateSegments(tms, 0, b.NumSegments()); err != nil {
+				t.Fatalf("AccumulateSegments: %v", err)
+			}
+		})
+	}
+	base := run(0)
+	with := run(4)
+	if with > base {
+		t.Fatalf("prefetch adds steady-state allocations: %v/run with vs %v/run without", with, base)
+	}
+}
+
 // TestExperimentBlockMatchesNever pins runBlock end to end: the block
 // experiment reproduces the lazy experiment's sampling result exactly
 // (same sample count, same mean bits) on deterministic and randomized

@@ -341,6 +341,11 @@ type BlockPolicy struct {
 	// links × batch × seeds); 0 means DefaultEvalBytes. Larger batches
 	// amortize segment fetches over more samples per walk.
 	EvalBytes int64
+	// Prefetch enables the async compile pipeline (see
+	// core.BlockOptions.Prefetch): when > 0, the evaluator issues
+	// prefetches that many segments ahead of its walk so segment
+	// materialization overlaps load accumulation. 0 disables it.
+	Prefetch int
 }
 
 // DefaultEvalBytes bounds block-mode evaluator row memory when
@@ -469,6 +474,7 @@ func (x Experiment) runBlock(seeds []int64) stats.AdaptiveResult {
 		SegmentBytes:  x.Block.SegmentBytes,
 		ResidentBytes: resident,
 		Cache:         x.Block.Cache,
+		Prefetch:      x.Block.Prefetch,
 	}
 	k := x.K
 	if mp := x.Topo.MaxPaths(); k <= 0 || k > mp {

@@ -1,0 +1,149 @@
+package topology
+
+import "fmt"
+
+// LinkExpander accelerates bulk path-to-link expansion for callers that
+// expand many destinations against one source at a time (the block
+// segment compiler walks every dst for each source of a block). The
+// 2k links of a path split cleanly in (source, path index) versus
+// destination:
+//
+//	up link at level j   = 2·(edgeOffset[j-1] + (sHigh_j·WProd(j-1) + uLow_j)·w_j + u_j)
+//	down link at level j = 2·(edgeOffset[j-1] + dHigh_j·WProd(j-1)·w_j) + 1
+//	                       + 2·(uLow_j·w_j + u_j)
+//
+// where sHigh_j/dHigh_j strip j-1 low m-digits from src/dst and uLow_j
+// packs the digits below j. Everything except the dHigh_j term is a
+// function of (src, path index) alone, so the expander caches, per NCA
+// level, the k absolute up links and the k down-link addends of every
+// canonical path index of the current source. Expanding a pair then
+// costs one k-division dst pass plus a copy and k adds per path,
+// instead of re-deriving every hop.
+//
+// Results are bit-identical to AppendPathLinksNCA (the arithmetic above
+// is the same formula, just factored); TestLinkExpanderMatchesAppend
+// pins that. Not safe for concurrent use; each compiling goroutine
+// holds its own.
+type LinkExpander struct {
+	t   *Topology
+	src int
+	// Per level k (1..h), lazily built for the current source:
+	// upLinks[k] holds WProd(k) rows of k absolute up-link IDs in
+	// traversal order, downAdd[k] the matching k down-link addends in
+	// emit order (level k first). Row r is path index r.
+	built    []bool
+	upLinks  [][]int32
+	downAdd  [][]int32
+	digits   []int
+	dstParts []int32
+}
+
+// NewLinkExpander creates an expander over t with no source selected.
+func (t *Topology) NewLinkExpander() *LinkExpander {
+	return &LinkExpander{
+		t:        t,
+		src:      -1,
+		built:    make([]bool, t.h+1),
+		upLinks:  make([][]int32, t.h+1),
+		downAdd:  make([][]int32, t.h+1),
+		digits:   make([]int, t.h+1),
+		dstParts: make([]int32, t.h+1),
+	}
+}
+
+// SetSource selects the source whose paths subsequent PairLinks calls
+// expand, invalidating the per-source caches. Selecting the current
+// source again is a no-op.
+func (e *LinkExpander) SetSource(src int) {
+	if src == e.src {
+		return
+	}
+	if src < 0 || src >= e.t.mprod[0] {
+		panic(fmt.Sprintf("topology: source %d out of range [0,%d)", src, e.t.mprod[0]))
+	}
+	e.src = src
+	for k := range e.built {
+		e.built[k] = false
+	}
+}
+
+// build materializes the level-k cache for the current source: one row
+// per canonical path index, digits enumerated exactly as
+// DecodePathIndex defines them (u_1 most significant).
+func (e *LinkExpander) build(k int) {
+	t := e.t
+	x := t.wprod[k]
+	if cap(e.upLinks[k]) < x*k {
+		e.upLinks[k] = make([]int32, x*k)
+		e.downAdd[k] = make([]int32, x*k)
+	}
+	up := e.upLinks[k][:x*k]
+	da := e.downAdd[k][:x*k]
+	dig := e.digits
+	for j := range dig {
+		dig[j] = 0
+	}
+	for idx := 0; idx < x; idx++ {
+		row := idx * k
+		sHigh := e.src
+		uLow := 0
+		for j := 1; j <= k; j++ {
+			u := dig[j]
+			nodeIdx := sHigh*t.wprod[j-1] + uLow
+			up[row+j-1] = int32(2 * (t.edgeOffset[j-1] + nodeIdx*t.w[j] + u))
+			sHigh /= t.m[j]
+			uLow += u * t.wprod[j-1]
+		}
+		for j := k; j >= 1; j-- {
+			u := dig[j]
+			uLow -= u * t.wprod[j-1]
+			da[row+k-j] = int32(2 * (uLow*t.w[j] + u))
+		}
+		// Advance the digit odometer: u_k is least significant, which
+		// makes row order equal canonical index order.
+		for j := k; j >= 1; j-- {
+			dig[j]++
+			if dig[j] < t.w[j] {
+				break
+			}
+			dig[j] = 0
+		}
+	}
+	e.built[k] = true
+	e.upLinks[k] = up
+	e.downAdd[k] = da
+}
+
+// PairLinks writes the 2k links of every path index in idxs for the
+// pair (current source, dst) — NCA level k, caller-established — into
+// out, path-major in idxs order, exactly as AppendPathSetLinks would
+// emit them. out must hold len(idxs)·2k values. Path indices are not
+// revalidated; callers pass indices produced by a Selector.
+func (e *LinkExpander) PairLinks(dst, k int, idxs []int32, out []int32) {
+	if e.src < 0 {
+		panic("topology: LinkExpander has no source; call SetSource first")
+	}
+	if !e.built[k] {
+		e.build(k)
+	}
+	t := e.t
+	dp := e.dstParts
+	q := dst
+	for j := 1; j <= k; j++ {
+		dp[k-j] = int32(2*(t.edgeOffset[j-1]+q*t.wprod[j-1]*t.w[j]) + 1)
+		q /= t.m[j]
+	}
+	up := e.upLinks[k]
+	da := e.downAdd[k]
+	o := 0
+	for _, idx := range idxs {
+		row := int(idx) * k
+		copy(out[o:o+k], up[row:row+k])
+		o += k
+		add := da[row : row+k]
+		for i := 0; i < k; i++ {
+			out[o+i] = dp[i] + add[i]
+		}
+		o += k
+	}
+}
